@@ -1,0 +1,51 @@
+"""E11 — the motivating use case: NoC design-space exploration with TGs.
+
+Trace once on the cheap TLM fabric (the paper notes collection "could be
+performed on top of a transactional fabric model"), then evaluate each
+candidate interconnect with TGs only, and check the TG-based ranking
+matches the ground-truth ranking obtained with full core simulations.
+"""
+
+import pytest
+
+from repro.apps import mp_matrix
+from repro.harness import (
+    build_tg_platform,
+    reference_run,
+    translate_traces,
+)
+from benchmarks.conftest import REPORT_LINES
+
+CANDIDATES = ["ahb", "stbus", "xpipes"]
+PARAMS = {"n": 4}
+N_CORES = 3
+
+
+@pytest.mark.benchmark(group="dse")
+def test_tg_ranking_matches_truth(benchmark):
+    def explore():
+        _, collectors, _ = reference_run(mp_matrix, N_CORES, "tlm",
+                                         app_params=PARAMS)
+        programs = translate_traces(collectors, N_CORES)
+        predicted = {}
+        for fabric in CANDIDATES:
+            platform = build_tg_platform(programs, N_CORES, fabric)
+            platform.run()
+            predicted[fabric] = platform.cumulative_execution_time
+        return predicted
+
+    predicted = benchmark.pedantic(explore, rounds=1, iterations=1)
+    truth = {}
+    for fabric in CANDIDATES:
+        platform, _, _ = reference_run(mp_matrix, N_CORES, fabric,
+                                       app_params=PARAMS, collect=False)
+        truth[fabric] = platform.cumulative_execution_time
+    predicted_rank = sorted(CANDIDATES, key=predicted.get)
+    truth_rank = sorted(CANDIDATES, key=truth.get)
+    REPORT_LINES.append(
+        f"[E11] DSE mp_matrix {N_CORES}P: predicted {predicted} "
+        f"truth {truth} — ranking match: {predicted_rank == truth_rank}")
+    assert predicted_rank == truth_rank
+    for fabric in CANDIDATES:
+        error = abs(predicted[fabric] - truth[fabric]) / truth[fabric]
+        assert error < 0.06, f"{fabric}: {error:.2%}"

@@ -1,0 +1,37 @@
+"""E4 — Table 2, Cacheloop block: speedup scaling with processor count.
+
+Paper rows: 2P-12P, error 0.00%-0.01%, gain growing 3.36x -> 4.69x (the
+bus never saturates, so replacing cores keeps paying off).  We reproduce
+error ≈ 0 and monotone-ish growth of the event-gain with core count.
+"""
+
+import pytest
+
+from repro.apps import cacheloop
+from benchmarks.common import record_row, table2_measurement
+from repro.harness import build_tg_platform
+
+import os
+
+CORE_COUNTS = [2, 4, 6, 8, 10, 12]
+#: REPRO_SCALE multiplies workload sizes toward paper-scale runs.
+SCALE = int(os.environ.get("REPRO_SCALE", "1"))
+ITERS = 1500 * SCALE
+
+
+@pytest.mark.benchmark(group="table2-cacheloop")
+@pytest.mark.parametrize("n_cores", CORE_COUNTS)
+def test_cacheloop_row(benchmark, n_cores):
+    measurement = table2_measurement(cacheloop, n_cores, {"iters": ITERS})
+    record_row(benchmark, "Cacheloop", measurement)
+    programs = measurement["programs"]
+
+    def tg_run():
+        platform = build_tg_platform(programs, n_cores)
+        platform.run()
+        return platform
+
+    benchmark(tg_run)
+    # paper: 0.00-0.01% error for cacheloop
+    assert measurement["error"] < 0.001
+    assert measurement["gain"] > 1.0

@@ -1,0 +1,36 @@
+"""E6 — Table 2, DES block: pipelined synchronisation accuracy/speedup.
+
+Paper rows: 3P-12P, error 0.00%-0.29%, gain 2.02x-3.09x shrinking with
+core count as the bus saturates.  We reproduce the error band and the
+gain shrink at high stage counts.
+"""
+
+import pytest
+
+from repro.apps import des
+from benchmarks.common import record_row, table2_measurement
+from repro.harness import build_tg_platform
+
+import os
+
+CORE_COUNTS = [3, 4, 6, 8, 10, 12]
+#: REPRO_SCALE multiplies the block count toward paper-scale runs.
+SCALE = int(os.environ.get("REPRO_SCALE", "1"))
+BLOCKS = 4 * SCALE
+
+
+@pytest.mark.benchmark(group="table2-des")
+@pytest.mark.parametrize("n_cores", CORE_COUNTS)
+def test_des_row(benchmark, n_cores):
+    measurement = table2_measurement(des, n_cores, {"blocks": BLOCKS})
+    record_row(benchmark, "DES", measurement)
+    programs = measurement["programs"]
+
+    def tg_run():
+        platform = build_tg_platform(programs, n_cores)
+        platform.run()
+        return platform
+
+    benchmark(tg_run)
+    assert measurement["error"] < 0.05
+    assert measurement["event_gain"] > 1.0

@@ -1,0 +1,36 @@
+"""E5 — Table 2, MP matrix block: contention-heavy accuracy and speedup.
+
+Paper rows: 2P-12P, error 0.00%-1.52% (worst around 8P, improving again as
+the saturated bus dominates), gain 2.64x-3.20x shrinking at high counts.
+We reproduce the error band and the congestion-driven gain shrink.
+"""
+
+import pytest
+
+from repro.apps import mp_matrix
+from benchmarks.common import record_row, table2_measurement
+from repro.harness import build_tg_platform
+
+import os
+
+CORE_COUNTS = [2, 4, 6, 8, 10, 12]
+#: REPRO_SCALE enlarges the matrices toward paper-scale runs (N = 8·k).
+SCALE = int(os.environ.get("REPRO_SCALE", "1"))
+N = 8 * SCALE
+
+
+@pytest.mark.benchmark(group="table2-mp-matrix")
+@pytest.mark.parametrize("n_cores", CORE_COUNTS)
+def test_mp_matrix_row(benchmark, n_cores):
+    measurement = table2_measurement(mp_matrix, n_cores, {"n": N})
+    record_row(benchmark, "MP matrix", measurement)
+    programs = measurement["programs"]
+
+    def tg_run():
+        platform = build_tg_platform(programs, n_cores)
+        platform.run()
+        return platform
+
+    benchmark(tg_run)
+    assert measurement["error"] < 0.05
+    assert measurement["event_gain"] > 1.0

@@ -1,0 +1,33 @@
+"""E3 — Table 2, SP matrix block: single-processor accuracy and speedup.
+
+Paper row: ``1P  ARM 6610680  TG 6610659  0.00%  73s/34s  2.15x``.
+We reproduce the shape: near-zero error and a clear TG speedup.
+"""
+
+import pytest
+
+from repro.apps import sp_matrix
+from benchmarks.common import record_row, table2_measurement
+
+
+import os
+
+#: REPRO_SCALE enlarges the matrix toward paper-scale runs.
+SCALE = int(os.environ.get("REPRO_SCALE", "1"))
+
+
+@pytest.mark.benchmark(group="table2-sp-matrix")
+def test_sp_matrix_1p(benchmark):
+    measurement = table2_measurement(sp_matrix, 1, {"n": 8 * SCALE})
+    record_row(benchmark, "SP matrix", measurement)
+    programs = measurement["programs"]
+
+    def tg_run():
+        from repro.harness import build_tg_platform
+        platform = build_tg_platform(programs, 1)
+        platform.run()
+        return platform
+
+    benchmark(tg_run)
+    assert measurement["error"] < 0.01
+    assert measurement["gain"] > 1.0

@@ -1,0 +1,82 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every Table-2 bench follows the paper's measurement protocol: the same
+configuration is simulated with ARM-like cores and with TGs, wall times are
+averaged over repeats ("time measurements were taken by averaging over
+multiple runs"), and the row reports simulated cycles (accuracy) and wall
+seconds (gain).
+"""
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.harness import (
+    build_tg_platform,
+    reference_run,
+    translate_traces,
+)
+
+
+def timed(factory: Callable[[], object], repeats: int = 3
+          ) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time of build+run; returns (wall, last)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = factory()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def table2_measurement(app, n_cores: int, app_params: Dict,
+                       interconnect: str = "ahb",
+                       repeats: int = 3) -> Dict[str, object]:
+    """One Table-2 row: ARM vs TG cycles and wall times.
+
+    The reference (tracing) run happens once — as in the paper, its cost
+    is one-off; the *untraced* ARM run and the TG run are both timed.
+    """
+    # one traced run provides the programs
+    platform, collectors, _ = reference_run(app, n_cores, interconnect,
+                                            app_params=app_params)
+    ref_cycles = platform.cumulative_execution_time
+    programs = translate_traces(collectors, n_cores)
+
+    def arm_run():
+        p, _, _ = reference_run(app, n_cores, interconnect,
+                                app_params=app_params, collect=False)
+        return p
+
+    def tg_run():
+        p = build_tg_platform(programs, n_cores, interconnect)
+        p.run()
+        return p
+
+    arm_wall, arm_platform = timed(arm_run, repeats)
+    tg_wall, tg_platform = timed(tg_run, repeats)
+    tg_cycles = tg_platform.cumulative_execution_time
+    return {
+        "n_cores": n_cores,
+        "arm_cycles": ref_cycles,
+        "tg_cycles": tg_cycles,
+        "error": abs(tg_cycles - ref_cycles) / ref_cycles,
+        "arm_wall": arm_wall,
+        "tg_wall": tg_wall,
+        "gain": arm_wall / tg_wall if tg_wall else 0.0,
+        "arm_events": arm_platform.sim.events_fired,
+        "tg_events": tg_platform.sim.events_fired,
+        "event_gain": (arm_platform.sim.events_fired
+                       / max(1, tg_platform.sim.events_fired)),
+        "programs": programs,
+    }
+
+
+def record_row(benchmark, section: str, measurement: Dict) -> None:
+    """Push a row into the session Table 2 and pytest-benchmark extras."""
+    benchmark.extra_info.update({
+        key: value for key, value in measurement.items()
+        if key != "programs"
+    })
+    from benchmarks.conftest import TABLE2_ROWS
+    TABLE2_ROWS.append((section, measurement))

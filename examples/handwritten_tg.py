@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Hand-written TG programs — the paper's closing suggestion.
+
+"The TG might be used in association with manually written programs to
+generate traffic patterns typical of IP cores still in the design phase,
+helping in the tuning of the communication performance."
+
+This example hand-writes two TG programs — a bursty DMA-style streamer
+and a latency-sensitive polling agent — runs them against two
+interconnects, and reports the latency statistics a NoC architect would
+look at.
+
+Run:  python examples/handwritten_tg.py
+"""
+
+from repro.core import (
+    Cond,
+    TGInstruction,
+    TGMaster,
+    TGOp,
+    TGProgram,
+)
+from repro.core.isa import ADDRREG, DATAREG, RDREG, TEMPREG
+from repro.ocp import LatencyMonitor
+from repro.platform import (
+    MparmPlatform,
+    PlatformConfig,
+    SEM_BASE,
+    SHARED_BASE,
+)
+from repro.stats import Table
+
+
+def I(op, **kwargs):  # noqa: E743 - terse builder
+    return TGInstruction(op, **kwargs)
+
+
+def bounded_dma_streamer(core_id, bursts=16, period=40):
+    """Same traffic, with the loop unrolled so it terminates."""
+    program = TGProgram(core_id=core_id)
+    pool = program.add_pool([0xD0 + i for i in range(8)])
+    base = SHARED_BASE + 0x800 + core_id * 0x400
+    program.append(I(TGOp.SET_REGISTER, a=ADDRREG, imm=base))
+    for _ in range(bursts):
+        program.append(I(TGOp.BURST_WRITE, a=ADDRREG, b=8, imm=pool))
+        program.append(I(TGOp.IDLE, imm=period))
+    program.append(I(TGOp.HALT))
+    return program
+
+
+def polling_agent(core_id, acquisitions=8, hold=25):
+    """Repeatedly acquires/releases a semaphore with idle gaps."""
+    program = TGProgram(core_id=core_id)
+    program.append(I(TGOp.SET_REGISTER, a=ADDRREG, imm=SEM_BASE))
+    program.append(I(TGOp.SET_REGISTER, a=TEMPREG, imm=1))
+    program.append(I(TGOp.SET_REGISTER, a=DATAREG, imm=1))
+    for _ in range(acquisitions):
+        loop = program.label_next(f"acq_{len(program.instructions)}")
+        program.append(I(TGOp.READ, a=ADDRREG))
+        program.append(I(TGOp.IF, a=RDREG, b=TEMPREG,
+                         cond=int(Cond.NE), imm=loop))
+        program.append(I(TGOp.IDLE, imm=hold))
+        program.append(I(TGOp.WRITE, a=ADDRREG, b=DATAREG))
+        program.append(I(TGOp.IDLE, imm=10))
+    program.append(I(TGOp.HALT))
+    return program
+
+
+def evaluate(fabric):
+    platform = MparmPlatform(PlatformConfig(n_masters=3,
+                                            interconnect=fabric))
+    masters = [
+        TGMaster(platform.sim, "dma0", bounded_dma_streamer(0)),
+        TGMaster(platform.sim, "dma1", bounded_dma_streamer(1, period=30)),
+        TGMaster(platform.sim, "agent", polling_agent(2)),
+    ]
+    monitors = []
+    for master in masters:
+        monitor = LatencyMonitor()
+        master.port.attach_monitor(monitor)
+        platform.add_master(master)
+        monitors.append(monitor)
+    platform.run()
+    return platform, monitors
+
+
+def main():
+    table = Table(["fabric", "master", "transactions",
+                   "mean accept wait", "mean read latency",
+                   "max read latency"],
+                  title="Hand-written TG traffic on two interconnects")
+    for fabric in ("ahb", "xpipes"):
+        platform, monitors = evaluate(fabric)
+        for name, monitor in zip(("dma0", "dma1", "polling agent"),
+                                 monitors):
+            table.add_row(
+                fabric, name, monitor.request_count,
+                f"{monitor.mean_accept_latency:.1f} cy",
+                f"{monitor.mean_response_latency:.1f} cy",
+                f"{monitor.max_response_latency} cy")
+    print(table.render())
+    print("\nThe same synthetic workload, described once as TG programs, "
+          "characterises any fabric model plugged underneath.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reactive traffic generators for fast Network-on-Chip simulation.
+
+A from-scratch reproduction of Mahadevan et al., *"A Network Traffic
+Generator Model for Fast Network-on-Chip Simulation"* (DATE 2005,
+DOI 10.1109/DATE.2005.22): a complete MPARM-like cycle-true MPSoC
+simulation platform plus the paper's contribution — traffic-generator
+processors that replay IP-core communication reactively from traces.
+
+The most common entry points, re-exported here::
+
+    from repro import MparmPlatform, PlatformConfig      # build systems
+    from repro import tg_flow, reference_run             # run experiments
+    from repro import Translator, TGMaster, TGProgram    # the TG toolchain
+
+Package map (see docs/ARCHITECTURE.md):
+
+=====================  ==============================================
+``repro.kernel``       deterministic event-driven simulation kernel
+``repro.ocp``          OCP transaction layer (ports, monitors)
+``repro.interconnect`` AMBA AHB, ×pipes NoC, STBus, TLM fabrics
+``repro.memory``       RAM, semaphore bank, barrier device
+``repro.cpu``          the armlet RISC core, caches, assembler
+``repro.apps``         the four paper benchmarks (armlet assembly)
+``repro.core``         the TG: ISA, programs, master/slave models
+``repro.trace``        .trc traces, collectors, trace→TG translator
+``repro.platform``     MPARM-style system builder
+``repro.harness``      end-to-end experiment flows
+``repro.stats``        statistics, drift analysis, energy, reports
+``repro.cli``          command-line toolchain
+=====================  ==============================================
+"""
+
+from repro.core import TGMaster, TGProgram, parse_tgp
+from repro.harness import reference_run, tg_flow, translate_traces
+from repro.platform import MparmPlatform, PlatformConfig
+from repro.trace import TraceCollector, Translator, collect_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MparmPlatform",
+    "PlatformConfig",
+    "TGMaster",
+    "TGProgram",
+    "TraceCollector",
+    "Translator",
+    "collect_traces",
+    "parse_tgp",
+    "reference_run",
+    "tg_flow",
+    "translate_traces",
+    "__version__",
+]

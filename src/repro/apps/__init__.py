@@ -1,0 +1,36 @@
+"""Benchmark applications (armlet assembly).
+
+The four workloads of the paper's evaluation (Section 6):
+
+* :mod:`repro.apps.sp_matrix` — single-processor matrix manipulation;
+* :mod:`repro.apps.cacheloop` — in-cache idle loops, minimal bus traffic;
+* :mod:`repro.apps.mp_matrix` — multiprocessor matrix manipulation with
+  barrier synchronisation and semaphore-protected reporting;
+* :mod:`repro.apps.des` — pipelined DES encryption/decryption over shared-
+  memory mailboxes.
+
+Each module exposes ``source(core_id, n_cores, **params)`` returning the
+per-core assembly text, plus Python golden models used by tests and the
+experiment harness to verify functional correctness of the simulated runs.
+
+All programs are written so that the addresses and data of their
+communication events are independent of transaction interleaving (static
+work partitioning, per-core result slots, constant synchronisation
+payloads).  Polling counts still vary with the interconnect — that is the
+reactive behaviour the TG must regenerate — but the translated TG programs
+are identical across interconnects, which experiment E7 checks.
+"""
+
+from repro.apps import cacheloop, des, mp_matrix, sp_matrix
+from repro.apps.common import app_header, barrier_wait, sem_acquire, sem_release
+
+__all__ = [
+    "app_header",
+    "barrier_wait",
+    "cacheloop",
+    "des",
+    "mp_matrix",
+    "sem_acquire",
+    "sem_release",
+    "sp_matrix",
+]

@@ -1,0 +1,41 @@
+"""Command-line toolchain.
+
+The paper's flow is file-based: OCP monitors write ``.trc`` traces, a
+translator emits symbolic ``.tgp`` programs, an assembler produces
+``.bin`` images for the TG instruction memory.  These commands expose
+that flow (plus the experiment runner) from the shell:
+
+========================= ============================================
+command                   purpose
+========================= ============================================
+``repro-trc2tgp``         translate a ``.trc`` trace into a ``.tgp``
+``repro-tgasm``           assemble ``.tgp`` → ``.bin``
+``repro-tgdump``          disassemble ``.bin`` → ``.tgp`` text
+``repro-trace-stats``     summarise a ``.trc`` (mix, latencies, gaps)
+``repro-traceset``        inspect/translate trace-set directories
+``repro-experiment``      run one Table-2 configuration end to end
+``repro-sweep``           run an experiment grid from a JSON spec
+========================= ============================================
+
+Each command is also importable (``main(argv) -> int``) for testing.
+"""
+
+from repro.cli.tools import (
+    experiment_main,
+    sweep_main,
+    tgasm_main,
+    tgdump_main,
+    trace_stats_main,
+    traceset_main,
+    trc2tgp_main,
+)
+
+__all__ = [
+    "experiment_main",
+    "sweep_main",
+    "tgasm_main",
+    "tgdump_main",
+    "trace_stats_main",
+    "traceset_main",
+    "trc2tgp_main",
+]

@@ -1,0 +1,297 @@
+"""Implementations of the command-line tools."""
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import ReplayMode, parse_tgp
+from repro.core.assembler import assemble_binary, disassemble_binary
+from repro.trace import Translator, TranslatorOptions, group_events, parse_trc
+
+
+def _parse_range(text: str):
+    """``BASE:SIZE`` (both int literals, hex ok) -> (base, size)."""
+    try:
+        base_text, size_text = text.split(":")
+        return int(base_text, 0), int(size_text, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected BASE:SIZE (e.g. 0x1a000000:0x80), got {text!r}")
+
+
+# --------------------------------------------------------------- trc2tgp
+
+def trc2tgp_main(argv: Optional[List[str]] = None) -> int:
+    """Translate a ``.trc`` trace file into a symbolic ``.tgp`` program."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trc2tgp",
+        description="Translate an OCP .trc trace into a TG .tgp program.")
+    parser.add_argument("trace", help="input .trc file")
+    parser.add_argument("-o", "--output",
+                        help="output .tgp file (default: stdout)")
+    parser.add_argument("--mode", choices=[m.value for m in ReplayMode],
+                        default=ReplayMode.REACTIVE.value,
+                        help="replay fidelity (default: reactive)")
+    parser.add_argument("--pollable", type=_parse_range, action="append",
+                        default=[], metavar="BASE:SIZE",
+                        help="pollable address range (repeatable)")
+    parser.add_argument("--default-poll-gap", type=int, default=4,
+                        help="inner poll idle when the trace shows no "
+                             "failed polls (cycles, default 4)")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as handle:
+        master_id, events = parse_trc(handle.read())
+    options = TranslatorOptions(
+        mode=ReplayMode.from_name(args.mode),
+        pollable_ranges=args.pollable,
+        default_poll_gap=args.default_poll_gap)
+    program = Translator(options).translate_events(events, master_id)
+    text = program.to_tgp()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"{args.trace}: {len(events)} events -> "
+              f"{len(program)} TG instructions -> {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------- tgasm
+
+def tgasm_main(argv: Optional[List[str]] = None) -> int:
+    """Assemble a ``.tgp`` program into a ``.bin`` image."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tgasm",
+        description="Assemble a .tgp program into a TG .bin image.")
+    parser.add_argument("program", help="input .tgp file")
+    parser.add_argument("-o", "--output", required=True,
+                        help="output .bin file")
+    args = parser.parse_args(argv)
+
+    with open(args.program) as handle:
+        program = parse_tgp(handle.read())
+    image = assemble_binary(program)
+    with open(args.output, "wb") as handle:
+        handle.write(image)
+    print(f"{args.program}: {len(program)} instructions, "
+          f"{len(program.pool)} pool words -> {len(image)} bytes",
+          file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------- tgdump
+
+def tgdump_main(argv: Optional[List[str]] = None) -> int:
+    """Disassemble a ``.bin`` image back to ``.tgp`` text."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tgdump",
+        description="Disassemble a TG .bin image to .tgp text.")
+    parser.add_argument("image", help="input .bin file")
+    parser.add_argument("-o", "--output",
+                        help="output .tgp file (default: stdout)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the program footprint summary instead")
+    args = parser.parse_args(argv)
+
+    with open(args.image, "rb") as handle:
+        program = disassemble_binary(handle.read())
+    if args.stats:
+        print(json.dumps(program.stats(), indent=2, sort_keys=True))
+        return 0
+    text = program.to_tgp()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ----------------------------------------------------------- trace-stats
+
+def trace_stats_main(argv: Optional[List[str]] = None) -> int:
+    """Summarise a ``.trc`` trace (mix, latencies, idle gaps)."""
+    from repro.stats import trace_summary
+    parser = argparse.ArgumentParser(
+        prog="repro-trace-stats",
+        description="Print summary statistics of a .trc trace.")
+    parser.add_argument("trace", help="input .trc file")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--timeline", action="store_true",
+                        help="render an ASCII activity timeline")
+    parser.add_argument("--width", type=int, default=72,
+                        help="timeline width in characters")
+    parser.add_argument("--vcd", metavar="FILE",
+                        help="export a VCD waveform of the trace")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as handle:
+        master_id, events = parse_trc(handle.read())
+    if args.vcd:
+        from repro.stats import export_vcd
+        export_vcd({f"M{master_id}": group_events(events)}, path=args.vcd)
+        print(f"wrote {args.vcd}", file=sys.stderr)
+        return 0
+    if args.timeline:
+        from repro.stats import render_timeline
+        print(render_timeline({f"M{master_id}": group_events(events)},
+                              width=args.width))
+        return 0
+    summary = trace_summary(group_events(events))
+    summary["master"] = master_id
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"master {master_id}: {summary['transactions']} transactions,"
+              f" {summary['beats']} beats over "
+              f"{summary['duration_cycles']} cycles "
+              f"({summary['beats_per_kcycle']} beats/kcycle)")
+        print(f"  mix: {summary['mix']}")
+        print(f"  read latency:  {summary['read_latency']}")
+        print(f"  write latency: {summary['write_latency']}")
+        print(f"  idle gaps:     {summary['idle_gaps']}")
+    return 0
+
+
+# ----------------------------------------------------------------- sweep
+
+def sweep_main(argv: Optional[List[str]] = None) -> int:
+    """Run a grid of TG-flow experiments described by a JSON spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run a sweep of reference+TG experiments from a "
+                    "JSON spec (see repro.harness.sweep).")
+    parser.add_argument("spec", help="JSON sweep specification file")
+    parser.add_argument("--csv", metavar="FILE",
+                        help="also write results as CSV")
+    args = parser.parse_args(argv)
+
+    from repro.harness import SweepSpec, run_sweep, sweep_csv, sweep_table
+    with open(args.spec) as handle:
+        spec = SweepSpec.from_dict(json.load(handle))
+    print(f"running {spec.points} grid point(s)...", file=sys.stderr)
+    results = run_sweep(spec)
+    print(sweep_table(results, title=f"Sweep: {spec.benchmark}"))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_csv(results))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+# -------------------------------------------------------------- traceset
+
+def traceset_main(argv: Optional[List[str]] = None) -> int:
+    """Operate on trace-set directories (manifest + per-core traces)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traceset",
+        description="Inspect or translate a trace-set directory.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    info = subparsers.add_parser("info", help="print manifest summary")
+    info.add_argument("directory")
+    translate = subparsers.add_parser(
+        "translate", help="translate every trace to .tgp/.bin")
+    translate.add_argument("directory")
+    translate.add_argument("--mode", choices=[m.value for m in ReplayMode],
+                           default=ReplayMode.REACTIVE.value)
+    args = parser.parse_args(argv)
+
+    from repro.trace import load_trace_set, translate_trace_set
+    if args.command == "info":
+        manifest, traces = load_trace_set(args.directory)
+        print(f"benchmark:     {manifest.get('benchmark') or '(unknown)'}")
+        print(f"interconnect:  {manifest.get('interconnect') or '(unknown)'}")
+        print(f"masters:       {manifest['n_masters']}")
+        for master_id, events in sorted(traces.items()):
+            print(f"  core {master_id}: {len(events)} events")
+        return 0
+    programs = translate_trace_set(args.directory,
+                                   mode=ReplayMode.from_name(args.mode))
+    for master_id, program in sorted(programs.items()):
+        print(f"core {master_id}: {len(program)} TG instructions -> "
+              f"core{master_id}.tgp / .bin")
+    return 0
+
+
+# ------------------------------------------------------------ experiment
+
+_APPS = {}
+
+
+def _app_by_name(name: str):
+    if not _APPS:
+        from repro.apps import cacheloop, des, mp_matrix, sp_matrix
+        _APPS.update({"sp_matrix": sp_matrix, "cacheloop": cacheloop,
+                      "mp_matrix": mp_matrix, "des": des})
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown benchmark {name!r}; choose from {sorted(_APPS)}")
+
+
+def experiment_main(argv: Optional[List[str]] = None) -> int:
+    """Run one Table-2 configuration and print the row."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run a reference + TG simulation pair and report "
+                    "accuracy and speedup (one Table-2 row).")
+    parser.add_argument("benchmark", type=_app_by_name,
+                        help="sp_matrix | cacheloop | mp_matrix | des")
+    parser.add_argument("-n", "--cores", type=int, default=2)
+    parser.add_argument("--interconnect", default="ahb",
+                        choices=["ahb", "xpipes", "stbus", "tlm"])
+    parser.add_argument("--tg-interconnect", default=None,
+                        choices=["ahb", "xpipes", "stbus", "tlm"],
+                        help="run the TGs on a different fabric (DSE)")
+    parser.add_argument("--mode", choices=[m.value for m in ReplayMode],
+                        default=ReplayMode.REACTIVE.value)
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="benchmark parameter, e.g. n=8 or blocks=4")
+    parser.add_argument("--save-traces", metavar="DIR",
+                        help="archive the reference traces as a trace set")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    app_params = {}
+    for item in args.param:
+        key, _, value = item.partition("=")
+        app_params[key] = int(value, 0)
+
+    from repro.harness import table2_row, tg_flow
+    result = tg_flow(args.benchmark, args.cores,
+                     interconnect=args.interconnect,
+                     tg_interconnect=args.tg_interconnect,
+                     mode=ReplayMode.from_name(args.mode),
+                     app_params=app_params or None)
+    if args.save_traces:
+        from repro.apps.common import pollable_ranges
+        from repro.trace import save_trace_set
+        save_trace_set(args.save_traces, result.traces,
+                       benchmark=result.benchmark,
+                       interconnect=result.interconnect,
+                       pollable_ranges=pollable_ranges(result.n_cores))
+        print(f"traces archived to {args.save_traces}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "benchmark": result.benchmark,
+            "n_cores": result.n_cores,
+            "interconnect": result.interconnect,
+            "mode": result.mode.value,
+            "ref_cycles": result.ref_cycles,
+            "tg_cycles": result.tg_cycles,
+            "error": result.error,
+            "ref_wall_s": result.ref_wall,
+            "tg_wall_s": result.tg_wall,
+            "gain": result.gain,
+            "event_gain": result.event_gain,
+        }, indent=2))
+    else:
+        print(table2_row(result))
+    return 0

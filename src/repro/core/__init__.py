@@ -1,0 +1,73 @@
+"""The Traffic Generator (TG) — the paper's contribution.
+
+A TG is a very simple instruction-set processor (paper Section 4, Table 1)
+that emulates an IP core's communication at its OCP interface.  Its program
+is derived from a trace collected in a reference simulation
+(:mod:`repro.trace`), and because the program contains *conditional* polling
+loops rather than a flat replay, the TG reacts correctly to interconnects
+with different timing — the "reactive" capability Section 3 argues for.
+
+Contents:
+
+* :mod:`repro.core.isa` — TG instruction set and 2-word binary encoding;
+* :mod:`repro.core.program` — the program container, ``.tgp`` symbolic text
+  emit/parse;
+* :mod:`repro.core.assembler` — ``.tgp`` program ↔ ``.bin`` image;
+* :mod:`repro.core.tg_master` — the OCP-master TG model (the entity needed
+  in a simulation environment);
+* :mod:`repro.core.tg_slaves` — the two slave TG entities (shared-memory TG
+  and dummy-response TG) for all-TG test-chip configurations;
+* :mod:`repro.core.modes` — replay-fidelity modes (cloning / timeshifting /
+  reactive) implementing Section 3's taxonomy for the ablation study.
+"""
+
+from repro.core.isa import (
+    Cond,
+    TGError,
+    TGInstruction,
+    TGOp,
+    RDREG,
+    TEMPREG,
+    ADDRREG,
+    DATAREG,
+    TG_NUM_REGS,
+    reg_name,
+)
+from repro.core.modes import ReplayMode
+from repro.core.program import TGProgram, parse_tgp
+from repro.core.assembler import assemble_binary, disassemble_binary
+from repro.core.tg_master import TGMaster
+from repro.core.hw_model import TGHardwareModel
+from repro.core.multitask import MultitaskTGMaster
+from repro.core.stochastic import (
+    SeededRandom,
+    StochasticTGMaster,
+    TrafficProfile,
+)
+from repro.core.tg_slaves import TGDummySlave, TGSharedMemorySlave
+
+__all__ = [
+    "ADDRREG",
+    "Cond",
+    "DATAREG",
+    "MultitaskTGMaster",
+    "RDREG",
+    "ReplayMode",
+    "SeededRandom",
+    "StochasticTGMaster",
+    "TrafficProfile",
+    "TEMPREG",
+    "TGDummySlave",
+    "TGError",
+    "TGHardwareModel",
+    "TGInstruction",
+    "TGMaster",
+    "TGOp",
+    "TGProgram",
+    "TGSharedMemorySlave",
+    "TG_NUM_REGS",
+    "assemble_binary",
+    "disassemble_binary",
+    "parse_tgp",
+    "reg_name",
+]

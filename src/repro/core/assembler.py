@@ -1,0 +1,77 @@
+"""TG binary images: assemble ``.tgp`` programs into ``.bin`` and back.
+
+Image layout (little-endian 32-bit words)::
+
+    word 0      magic 'TGP1' (0x54475031)
+    word 1      core_id << 16 | thread_id
+    word 2      mode (ReplayMode ordinal)
+    word 3      instruction count N
+    word 4      pool word count P
+    word 5..    N * 2 instruction words
+    ...         P pool words
+
+The image is what a hardware TG's instruction memory would be loaded with
+(the paper's path "towards deployment of the TG device on a silicon NoC
+test chip").
+"""
+
+import struct
+from typing import List
+
+from repro.core.isa import TGError, decode_instruction, encode_instruction
+from repro.core.modes import ReplayMode
+from repro.core.program import TGProgram
+
+MAGIC = 0x54475031  # 'TGP1'
+
+_MODE_CODES = {mode: index for index, mode in enumerate(ReplayMode)}
+_MODES_BY_CODE = {index: mode for mode, index in _MODE_CODES.items()}
+
+
+def assemble_binary(program: TGProgram) -> bytes:
+    """Assemble a validated program into a ``.bin`` image."""
+    program.validate()
+    words: List[int] = [
+        MAGIC,
+        ((program.core_id & 0xFFFF) << 16) | (program.thread_id & 0xFFFF),
+        _MODE_CODES[program.mode],
+        len(program.instructions),
+        len(program.pool),
+    ]
+    for instr in program.instructions:
+        word0, word1 = encode_instruction(instr)
+        words.append(word0)
+        words.append(word1)
+    words.extend(program.pool)
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def disassemble_binary(image: bytes) -> TGProgram:
+    """Decode a ``.bin`` image back into a :class:`TGProgram`."""
+    if len(image) % 4 != 0 or len(image) < 20:
+        raise TGError(f"truncated TG image ({len(image)} bytes)")
+    words = list(struct.unpack(f"<{len(image) // 4}I", image))
+    if words[0] != MAGIC:
+        raise TGError(f"bad magic 0x{words[0]:08x}")
+    core_id = words[1] >> 16
+    thread_id = words[1] & 0xFFFF
+    mode = _MODES_BY_CODE.get(words[2])
+    if mode is None:
+        raise TGError(f"bad mode code {words[2]}")
+    n_instructions = words[3]
+    n_pool = words[4]
+    expected = 5 + 2 * n_instructions + n_pool
+    if len(words) != expected:
+        raise TGError(f"image has {len(words)} words, header implies "
+                      f"{expected}")
+    instructions = []
+    cursor = 5
+    for _ in range(n_instructions):
+        instructions.append(decode_instruction(words[cursor],
+                                               words[cursor + 1]))
+        cursor += 2
+    pool = words[cursor:cursor + n_pool]
+    program = TGProgram(core_id=core_id, thread_id=thread_id,
+                        instructions=instructions, pool=pool, mode=mode)
+    program.validate()
+    return program

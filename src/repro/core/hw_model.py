@@ -1,0 +1,165 @@
+"""Microarchitectural TG model: executes the raw ``.bin`` image.
+
+The paper positions the TG for "a straightforward path towards deployment
+of the TG device on a silicon NoC test chip".  This module models that
+device one level below :class:`~repro.core.tg_master.TGMaster`: a small
+machine with an **instruction memory** (the untouched ``.bin`` words), a
+program counter in image-word units, a register file, and a
+fetch/decode/execute loop that decodes every instruction from its two
+memory words on the fly.  Burst-write data is fetched from the pool
+region of the same memory.
+
+It is *cycle-equivalent* to the behavioural ``TGMaster`` by construction
+(same cost model), and the equivalence is enforced by co-simulation tests
+that compare complete OCP event streams — the behavioural model plays the
+role of the specification, this model the role of the RTL.
+
+Only reactive/timeshifting images are supported: a cloning TG needs the
+issue-queue machinery that a dumb replay device would implement
+differently in hardware.
+"""
+
+import struct
+from typing import List, Optional
+
+from repro.kernel import Component, Simulator
+from repro.core.assembler import MAGIC, _MODES_BY_CODE
+from repro.core.isa import (
+    Cond,
+    RDREG,
+    TGError,
+    TGOp,
+    TG_NUM_REGS,
+    decode_instruction,
+)
+from repro.core.modes import ReplayMode
+from repro.ocp import OCPMasterPort
+
+#: Image-word offset where code begins (after the 5-word header).
+CODE_OFFSET = 5
+
+
+class TGHardwareModel(Component):
+    """Executes a ``.bin`` image word-for-word (no pre-decoded program).
+
+    Exposes the standard master surface, so it can occupy any platform
+    socket interchangeably with ``TGMaster`` and armlet cores.
+    """
+
+    def __init__(self, sim: Simulator, name: str, image: bytes):
+        super().__init__(sim, name)
+        if len(image) % 4 != 0 or len(image) < CODE_OFFSET * 4:
+            raise TGError(f"truncated TG image ({len(image)} bytes)")
+        self.imem: List[int] = list(
+            struct.unpack(f"<{len(image) // 4}I", image))
+        if self.imem[0] != MAGIC:
+            raise TGError(f"bad magic 0x{self.imem[0]:08x}")
+        mode = _MODES_BY_CODE.get(self.imem[2])
+        if mode is None:
+            raise TGError(f"bad mode code {self.imem[2]}")
+        if mode is ReplayMode.CLONING:
+            raise TGError("the hardware TG does not implement cloning")
+        self.mode = mode
+        self.core_id = self.imem[1] >> 16
+        self.n_instructions = self.imem[3]
+        self.n_pool = self.imem[4]
+        expected = CODE_OFFSET + 2 * self.n_instructions + self.n_pool
+        if len(self.imem) != expected:
+            raise TGError(f"image has {len(self.imem)} words, header "
+                          f"implies {expected}")
+        self._pool_offset = CODE_OFFSET + 2 * self.n_instructions
+        self.port = OCPMasterPort(sim, f"{name}.ocp")
+        self.regs = [0] * TG_NUM_REGS
+        self.pc = 0                      # instruction index
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        self.instructions_executed = 0
+        self._process = None
+        self._outstanding = []
+
+    # ------------------------------------------------------------- surface
+
+    def start(self) -> None:
+        self.regs = [0] * TG_NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.halt_time = None
+        self._process = self.sim.spawn(self._run(), name=f"{self.name}.fsm")
+
+    @property
+    def finished(self) -> bool:
+        return self.halted
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        return self.halt_time
+
+    # --------------------------------------------------------------- core
+
+    def _fetch_decode(self):
+        """One instruction-memory access: two words -> decoded fields."""
+        if not 0 <= self.pc < self.n_instructions:
+            raise TGError(f"{self.name}: pc {self.pc} outside image")
+        base = CODE_OFFSET + 2 * self.pc
+        return decode_instruction(self.imem[base], self.imem[base + 1])
+
+    def _pool_words(self, offset: int, count: int) -> List[int]:
+        start = self._pool_offset + offset
+        if offset < 0 or offset + count > self.n_pool:
+            raise TGError(f"{self.name}: pool access [{offset}, "
+                          f"{offset + count}) outside pool")
+        return self.imem[start:start + count]
+
+    def _run(self):
+        regs = self.regs
+        while True:
+            instr = self._fetch_decode()
+            self.pc += 1
+            self.instructions_executed += 1
+            op = instr.op
+            if op == TGOp.IDLE:
+                if instr.imm:
+                    yield instr.imm
+            elif op == TGOp.SET_REGISTER:
+                regs[instr.a] = instr.imm
+                yield 1
+            elif op == TGOp.READ:
+                regs[RDREG] = yield from self.port.read(regs[instr.a])
+            elif op == TGOp.WRITE:
+                yield from self.port.write(regs[instr.a], regs[instr.b])
+            elif op == TGOp.BURST_READ:
+                words = yield from self.port.burst_read(regs[instr.a],
+                                                        instr.b)
+                regs[RDREG] = words[-1]
+            elif op == TGOp.BURST_WRITE:
+                data = self._pool_words(instr.imm, instr.b)
+                yield from self.port.burst_write(regs[instr.a], data)
+            elif op == TGOp.READ_NB:
+                reader = self.sim.spawn(
+                    self.port.read(regs[instr.a]),
+                    name=f"{self.name}.nb#{self.instructions_executed}")
+                self._outstanding.append(reader)
+                yield 1
+            elif op == TGOp.FENCE:
+                for reader in self._outstanding:
+                    if reader.alive:
+                        yield reader
+                self._outstanding = []
+            elif op == TGOp.IF:
+                if Cond(instr.cond).evaluate(regs[instr.a], regs[instr.b]):
+                    self.pc = instr.imm
+                yield 1
+            elif op == TGOp.JUMP:
+                self.pc = instr.imm
+                yield 1
+            elif op == TGOp.HALT:
+                for reader in self._outstanding:
+                    if reader.alive:
+                        yield reader
+                self._outstanding = []
+                break
+            else:  # pragma: no cover - decode rejects unknown opcodes
+                raise TGError(f"bad opcode {op}")
+        self.halted = True
+        self.halt_time = self.sim.now
+        return self.halt_time

@@ -1,0 +1,32 @@
+"""Replay-fidelity modes — Section 3's taxonomy, made executable.
+
+The paper motivates reactive TGs by walking through two weaker designs.
+All three are implemented so the ablation benchmark (DESIGN.md E9) can
+quantify the accuracy gap:
+
+* **CLONING** — "a trace with timestamps … independently replayed": every
+  transaction is issued at its recorded absolute time; reads do not block
+  the program.  Breaks as soon as network latency varies.
+* **TIMESHIFTING** — "adjacent transactions are tied to each other":
+  transactions are issued relative to the previous unblock (reads block),
+  but polling sequences are replayed verbatim, so the transaction *count*
+  cannot adapt to a different interconnect.
+* **REACTIVE** — the paper's TG: relative timing *and* polling loops
+  collapsed into conditional re-reads, so both timing and transaction
+  counts adapt.
+"""
+
+import enum
+
+
+class ReplayMode(enum.Enum):
+    CLONING = "cloning"
+    TIMESHIFTING = "timeshifting"
+    REACTIVE = "reactive"
+
+    @staticmethod
+    def from_name(name: str) -> "ReplayMode":
+        for mode in ReplayMode:
+            if mode.value == name:
+                return mode
+        raise ValueError(f"unknown replay mode {name!r}")

@@ -1,0 +1,292 @@
+"""Multitask TG: several task programs scheduled on one master socket.
+
+Paper §7, future work: "analysis of the behavior of a system in which
+multiple tasks run on a single processor and are dynamically scheduled by
+an OS, either based upon timeslices (preemptive multitasking) or upon
+transition to a sleep state followed by awakening on interrupt receipt.
+Context switching-related issues will need to be modeled."
+
+:class:`MultitaskTGMaster` implements both policies over ordinary TG
+programs (e.g. the translated traces of two cores, consolidated onto one
+processor socket):
+
+* ``scheduler="timeslice"`` — preemptive round-robin.  A task runs for a
+  quantum of TG cycles; long ``Idle`` periods are divisible (the timer
+  interrupt preempts an idling task), while an OCP transaction in flight
+  is never preempted (the bus transfer must finish).
+* ``scheduler="sleep"`` — run-to-block.  A task runs until it executes an
+  ``Idle`` of at least ``sleep_threshold`` cycles, which models the core
+  sleeping until a timer/interrupt wakes it at the recorded time; other
+  tasks run in the gap, hiding each other's idle periods.
+* ``scheduler="priority"`` — preemptive static priorities on top of the
+  sleep semantics: the highest-priority runnable task always runs, and a
+  lower-priority task is preempted (at an instruction boundary) the
+  moment a higher-priority sleeper wakes.
+
+Tasks that synchronise *with each other* (e.g. two pipeline stages
+consolidated onto one socket) need a preemptive policy: a polling loop
+contains no long ``Idle``, so under run-to-block scheduling the poller
+monopolises the processor and the task that would satisfy the poll never
+runs — a livelock the timeslice policy's quantum resolves
+(``tests/core/test_multitask.py`` demonstrates both outcomes).
+
+A modelling caveat the two policies bracket: a TG ``Idle`` conflates
+*local computation* with *genuine waiting*.  Timeslice scheduling treats
+every idle as busy compute (idles of different tasks serialise — faithful
+for compute-bound traces); sleep scheduling treats long idles as waits
+(idles overlap — the optimistic bound, faithful for I/O-wait-shaped
+traces).  Real consolidation cost lies between the two.
+
+Every switch pays ``context_switch_cycles`` (state save/restore).  The
+master socket surface is the usual one (``port``/``start()``/
+``finished``/``completion_time``), so a multitask TG drops into any
+platform socket.
+"""
+
+from typing import List, Optional
+
+from repro.kernel import Component, Simulator
+from repro.core.isa import (
+    Cond,
+    RDREG,
+    TGError,
+    TGOp,
+    TG_NUM_REGS,
+)
+from repro.core.modes import ReplayMode
+from repro.core.program import TGProgram
+from repro.ocp import OCPMasterPort
+
+SCHEDULERS = ("timeslice", "sleep", "priority")
+
+
+class _Task:
+    """Execution context of one task program."""
+
+    __slots__ = ("task_id", "program", "regs", "pc", "halted",
+                 "pending_idle", "wake_time", "completion_time",
+                 "instructions_executed")
+
+    def __init__(self, task_id: int, program: TGProgram):
+        self.task_id = task_id
+        self.program = program
+        self.regs = [0] * TG_NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.pending_idle = 0
+        self.wake_time: Optional[int] = None  # sleeping until this cycle
+        self.completion_time: Optional[int] = None
+        self.instructions_executed = 0
+
+    def runnable(self, now: int) -> bool:
+        if self.halted:
+            return False
+        if self.wake_time is not None and self.wake_time > now:
+            return False
+        return True
+
+
+class MultitaskTGMaster(Component):
+    """One master socket running several TG task programs under an OS model.
+
+    Args:
+        programs: The task programs (reactive/timeshifting only; cloning
+            tasks have their own issue engine and are rejected).
+        scheduler: ``"timeslice"`` or ``"sleep"``.
+        timeslice: Quantum in cycles (timeslice policy).
+        context_switch_cycles: Cost of each task switch.
+        sleep_threshold: Minimum ``Idle`` treated as a sleep (sleep policy).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 programs: List[TGProgram],
+                 scheduler: str = "timeslice",
+                 timeslice: int = 64,
+                 context_switch_cycles: int = 4,
+                 sleep_threshold: int = 16,
+                 priorities: Optional[List[int]] = None):
+        super().__init__(sim, name)
+        if not programs:
+            raise TGError("need at least one task program")
+        if priorities is not None and len(priorities) != len(programs):
+            raise TGError("priorities must match the number of programs")
+        if scheduler not in SCHEDULERS:
+            raise TGError(f"unknown scheduler {scheduler!r}; "
+                          f"choose from {SCHEDULERS}")
+        if timeslice < 1:
+            raise TGError("timeslice must be >= 1")
+        if context_switch_cycles < 0:
+            raise TGError("context_switch_cycles must be >= 0")
+        for program in programs:
+            program.validate()
+            if program.mode is ReplayMode.CLONING:
+                raise TGError("cloning-mode programs cannot be multitasked")
+        self.port = OCPMasterPort(sim, f"{name}.ocp")
+        self.scheduler = scheduler
+        self.timeslice = timeslice
+        self.context_switch_cycles = context_switch_cycles
+        self.sleep_threshold = sleep_threshold
+        self.tasks = [_Task(index, program)
+                      for index, program in enumerate(programs)]
+        #: Static task priorities (higher runs first, "priority" policy).
+        self.priorities = list(priorities) if priorities is not None \
+            else [0] * len(programs)
+        self.context_switches = 0
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        self._process = None
+        self._current: Optional[_Task] = None
+        self._rr_index = 0
+
+    # ------------------------------------------------------------- surface
+
+    def start(self) -> None:
+        self._process = self.sim.spawn(self._run(), name=f"{self.name}.os")
+
+    @property
+    def finished(self) -> bool:
+        return self.halted
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        return self.halt_time
+
+    @property
+    def task_completion_times(self) -> List[Optional[int]]:
+        return [task.completion_time for task in self.tasks]
+
+    # ------------------------------------------------------------ scheduler
+
+    def _pick_next(self) -> Optional[_Task]:
+        """Next task to run: round-robin, or best priority for the
+        priority policy (ties broken by task id)."""
+        if self.scheduler == "priority":
+            runnable = [task for task in self.tasks
+                        if task.runnable(self.sim.now)]
+            if not runnable:
+                return None
+            return max(runnable,
+                       key=lambda t: (self.priorities[t.task_id],
+                                      -t.task_id))
+        count = len(self.tasks)
+        for offset in range(count):
+            task = self.tasks[(self._rr_index + offset) % count]
+            if task.runnable(self.sim.now):
+                self._rr_index = (task.task_id + 1) % count
+                return task
+        return None
+
+    def _higher_priority_runnable(self, current: _Task) -> bool:
+        level = self.priorities[current.task_id]
+        return any(self.priorities[task.task_id] > level
+                   and task.runnable(self.sim.now)
+                   for task in self.tasks if task is not current)
+
+    def _earliest_wake(self) -> Optional[int]:
+        times = [task.wake_time for task in self.tasks
+                 if not task.halted and task.wake_time is not None]
+        return min(times) if times else None
+
+    def _run(self):
+        while True:
+            if all(task.halted for task in self.tasks):
+                break
+            task = self._pick_next()
+            if task is None:
+                # every live task is sleeping: idle until the first wake
+                wake = self._earliest_wake()
+                if wake is None:  # pragma: no cover - defensive
+                    raise TGError(f"{self.name}: live tasks but no wake time")
+                if wake > self.sim.now:
+                    yield wake - self.sim.now
+                continue
+            if self._current is not task:
+                if self._current is not None and self.context_switch_cycles:
+                    yield self.context_switch_cycles
+                if self._current is not None:
+                    self.context_switches += 1
+                self._current = task
+            task.wake_time = None
+            yield from self._run_task(task)
+        self.halted = True
+        self.halt_time = self.sim.now
+
+    def _run_task(self, task: _Task):
+        """Run one scheduling episode of ``task``."""
+        quantum = self.timeslice
+        while not task.halted:
+            if self.scheduler == "timeslice" and quantum <= 0 \
+                    and self._other_runnable(task):
+                return  # quantum expired
+            if self.scheduler == "priority" \
+                    and self._higher_priority_runnable(task):
+                return  # preempted by a higher-priority wake-up
+            start = self.sim.now
+            slept = yield from self._step(task, quantum)
+            quantum -= self.sim.now - start
+            if slept:
+                return  # task went to sleep; schedule someone else
+        task.completion_time = self.sim.now
+
+    def _other_runnable(self, current: _Task) -> bool:
+        return any(task is not current and task.runnable(self.sim.now)
+                   for task in self.tasks)
+
+    # ----------------------------------------------------------- execution
+
+    def _step(self, task: _Task, quantum: int):
+        """Execute one instruction (or an idle slice); returns True when
+        the task transitioned to the sleep state."""
+        if task.pending_idle > 0:
+            # resume a sliced idle: run up to the remaining quantum
+            slice_ = task.pending_idle
+            if self.scheduler == "timeslice":
+                slice_ = min(slice_, max(1, quantum))
+            task.pending_idle -= slice_
+            yield slice_
+            return False
+        instr = task.program.instructions[task.pc]
+        task.pc += 1
+        task.instructions_executed += 1
+        op = instr.op
+        regs = task.regs
+        if op == TGOp.IDLE:
+            if (self.scheduler in ("sleep", "priority")
+                    and instr.imm >= self.sleep_threshold):
+                # sleep until the "interrupt" at the recorded time
+                task.wake_time = self.sim.now + instr.imm
+                return True
+            if instr.imm:
+                # the idle is divisible: pending_idle carries the unslept
+                # remainder across preemptions
+                task.pending_idle = instr.imm
+                slice_ = task.pending_idle
+                if self.scheduler == "timeslice":
+                    slice_ = min(slice_, max(1, quantum))
+                task.pending_idle -= slice_
+                yield slice_
+        elif op == TGOp.SET_REGISTER:
+            regs[instr.a] = instr.imm
+            yield 1
+        elif op == TGOp.READ:
+            regs[RDREG] = yield from self.port.read(regs[instr.a])
+        elif op == TGOp.WRITE:
+            yield from self.port.write(regs[instr.a], regs[instr.b])
+        elif op == TGOp.BURST_READ:
+            words = yield from self.port.burst_read(regs[instr.a], instr.b)
+            regs[RDREG] = words[-1]
+        elif op == TGOp.BURST_WRITE:
+            data = task.program.pool[instr.imm:instr.imm + instr.b]
+            yield from self.port.burst_write(regs[instr.a], data)
+        elif op == TGOp.IF:
+            if Cond(instr.cond).evaluate(regs[instr.a], regs[instr.b]):
+                task.pc = instr.imm
+            yield 1
+        elif op == TGOp.JUMP:
+            task.pc = instr.imm
+            yield 1
+        elif op == TGOp.HALT:
+            task.halted = True
+        else:
+            raise TGError(f"multitask TG cannot execute {op.name}")
+        return False

@@ -1,0 +1,173 @@
+"""Stochastic traffic generators — the related-work baseline (Section 2).
+
+The paper contrasts its trace-derived reactive TGs with the stochastic
+models of Lahiri et al. [6]: "Traffic behavior is statistically
+represented by means of uniform, Gaussian, or Poisson distributions.
+Such distributions assume a degree of correlation within the
+communication transactions which is unlikely in a SoC environment …
+since the characteristics (functionality and timing) of the IP core are
+not captured, such models are unreliable for optimizing NoC features."
+
+This module makes that claim testable: :class:`StochasticTGMaster`
+generates traffic from a distribution *fitted to a reference trace*
+(matching its transaction mix, mean injection rate and address ranges),
+which is the strongest form of the stochastic approach.  The E16
+ablation then measures how badly even a well-fitted stochastic model
+predicts execution time compared with a reactive TG.
+
+All randomness is seeded and self-contained (a linear congruential
+generator), keeping simulations reproducible.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernel import Component, Simulator
+from repro.ocp import OCPMasterPort
+from repro.ocp.types import OCPCommand, WORD_BYTES
+from repro.trace.events import Transaction
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class SeededRandom:
+    """Tiny deterministic PRNG (so models never touch global state)."""
+
+    def __init__(self, seed: int):
+        self._state = (seed * 2 + 1) & _LCG_MASK
+
+    def _next(self) -> int:
+        self._state = (self._state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        return self._state >> 16
+
+    def uniform(self) -> float:
+        """Uniform in [0, 1)."""
+        return (self._next() & 0xFFFF_FFFF) / 0x1_0000_0000
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return lo + int(self.uniform() * (hi - lo + 1))
+
+    def choice(self, weighted: Sequence[Tuple[object, float]]):
+        """Pick by weight from ``[(item, weight), ...]``."""
+        total = sum(weight for _, weight in weighted)
+        mark = self.uniform() * total
+        for item, weight in weighted:
+            mark -= weight
+            if mark <= 0:
+                return item
+        return weighted[-1][0]
+
+    def geometric_gap(self, mean: float) -> int:
+        """Integer gap with the given mean (geometric ≈ Poisson process)."""
+        if mean <= 0:
+            return 0
+        import math
+        u = max(self.uniform(), 1e-12)
+        return max(0, int(-mean * math.log(u)))
+
+
+class TrafficProfile:
+    """A distribution fitted to a reference trace.
+
+    Captures what a stochastic model *can* capture: the transaction mix,
+    the mean local gap between transactions, the set of touched address
+    ranges per command, and the total transaction count.  What it cannot
+    capture — ordering, data dependence, reactiveness — is the paper's
+    point.
+    """
+
+    def __init__(self, mix: Dict[OCPCommand, float], mean_gap: float,
+                 address_pools: Dict[OCPCommand, List[int]],
+                 burst_len: int, transactions: int):
+        self.mix = mix
+        self.mean_gap = mean_gap
+        self.address_pools = address_pools
+        self.burst_len = burst_len
+        self.transactions = transactions
+
+    @staticmethod
+    def fit(transactions: List[Transaction],
+            cycle_ns: int = 5) -> "TrafficProfile":
+        """Fit a profile to a reference transaction stream."""
+        if not transactions:
+            raise ValueError("cannot fit a profile to an empty trace")
+        counts: Dict[OCPCommand, int] = {}
+        pools: Dict[OCPCommand, List[int]] = {}
+        gaps: List[int] = []
+        burst_lens: List[int] = []
+        previous = None
+        for txn in transactions:
+            counts[txn.cmd] = counts.get(txn.cmd, 0) + 1
+            pools.setdefault(txn.cmd, []).append(txn.addr)
+            if txn.cmd.is_burst:
+                burst_lens.append(txn.burst_len)
+            if previous is not None:
+                gaps.append(max(0, (txn.req_ns - previous.unblock_ns)
+                                // cycle_ns))
+            previous = txn
+        total = len(transactions)
+        mix = {cmd: count / total for cmd, count in counts.items()}
+        mean_gap = sum(gaps) / len(gaps) if gaps else 1.0
+        burst_len = (round(sum(burst_lens) / len(burst_lens))
+                     if burst_lens else 4)
+        return TrafficProfile(mix, mean_gap, pools, max(2, burst_len),
+                              total)
+
+
+class StochasticTGMaster(Component):
+    """Generates traffic from a :class:`TrafficProfile` (seeded).
+
+    Issues the profile's number of transactions with geometric inter-
+    transaction gaps around the fitted mean, commands drawn from the mix
+    and addresses drawn uniformly from the per-command pools.  Exposes the
+    standard master surface.
+    """
+
+    def __init__(self, sim: Simulator, name: str, profile: TrafficProfile,
+                 seed: int = 1):
+        super().__init__(sim, name)
+        self.profile = profile
+        self.port = OCPMasterPort(sim, f"{name}.ocp")
+        self.rng = SeededRandom(seed)
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        self.transactions_generated = 0
+        self._process = None
+
+    def start(self) -> None:
+        self._process = self.sim.spawn(self._run(), name=f"{self.name}.gen")
+
+    @property
+    def finished(self) -> bool:
+        return self.halted
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        return self.halt_time
+
+    def _run(self):
+        profile = self.profile
+        weighted = list(profile.mix.items())
+        for _ in range(profile.transactions):
+            gap = self.rng.geometric_gap(profile.mean_gap)
+            if gap:
+                yield gap
+            cmd = self.rng.choice(weighted)
+            pool = profile.address_pools[cmd]
+            addr = pool[self.rng.randint(0, len(pool) - 1)]
+            self.transactions_generated += 1
+            if cmd == OCPCommand.READ:
+                yield from self.port.read(addr)
+            elif cmd == OCPCommand.WRITE:
+                yield from self.port.write(addr, self.rng.randint(0, 255))
+            elif cmd == OCPCommand.BURST_READ:
+                yield from self.port.burst_read(addr, profile.burst_len)
+            else:
+                data = [self.rng.randint(0, 255)
+                        for _ in range(profile.burst_len)]
+                yield from self.port.burst_write(addr, data)
+        self.halted = True
+        self.halt_time = self.sim.now
+        return self.halt_time

@@ -1,0 +1,193 @@
+"""The OCP-master traffic generator — the entity that replaces an IP core.
+
+Execution cost model (must stay in sync with the translator in
+:mod:`repro.trace.translator`):
+
+* ``SetRegister``, ``If``, ``Jump`` — one TG cycle each;
+* ``Idle(n)`` — n cycles;
+* OCP instructions — issue the moment they execute; ``Read``/``BurstRead``
+  block until the response arrives, ``Write``/``BurstWrite`` resume at
+  command accept (posted, with back-pressure), exactly like the armlet
+  core's port usage, so a TG experiences congestion the same way a core
+  does.
+
+In :class:`~repro.core.modes.ReplayMode.CLONING` mode, reads do *not*
+block the program: transactions are handed to an internal issue queue that
+drains in order, modelling a dumb replay device with an outbound FIFO.
+The program's own timing then ignores response feedback entirely — the
+behaviour Section 3 shows to be inadequate — and the ablation benchmark
+measures how wrong it gets.
+"""
+
+from typing import List, Optional
+
+from repro.kernel import Component, Simulator
+from repro.core.isa import (
+    Cond,
+    RDREG,
+    TGError,
+    TGInstruction,
+    TGOp,
+    TG_NUM_REGS,
+)
+from repro.core.modes import ReplayMode
+from repro.core.program import TGProgram
+from repro.ocp import OCPMasterPort
+
+
+class TGMaster(Component):
+    """A traffic generator occupying a master socket.
+
+    Exposes the same surface as :class:`~repro.cpu.core_ip.CoreIP`
+    (``port``, ``start()``, ``finished``, ``completion_time``), making the
+    two interchangeable on any platform.
+    """
+
+    def __init__(self, sim: Simulator, name: str, program: TGProgram):
+        super().__init__(sim, name)
+        program.validate()
+        self.program = program
+        self.port = OCPMasterPort(sim, f"{name}.ocp")
+        self.regs = [0] * TG_NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        self.instructions_executed = 0
+        self.max_outstanding_observed = 0
+        self._process = None
+        self._issue_fifo = None
+        self._issuer = None
+        self._outstanding = []
+
+    # ------------------------------------------------------------- control
+
+    def start(self) -> None:
+        self.regs = [0] * TG_NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.halt_time = None
+        if self.program.mode is ReplayMode.CLONING:
+            self._issue_fifo = self.sim.fifo(name=f"{self.name}.issueq")
+            self._issuer = self.sim.spawn(self._issue_process(),
+                                          name=f"{self.name}.issuer")
+        self._process = self.sim.spawn(self._run(), name=f"{self.name}.run")
+
+    @property
+    def process(self):
+        return self._process
+
+    @property
+    def finished(self) -> bool:
+        return self.halted
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        return self.halt_time
+
+    # ----------------------------------------------------------- execution
+
+    def _run(self):
+        instructions = self.program.instructions
+        pool = self.program.pool
+        cloning = self.program.mode is ReplayMode.CLONING
+        regs = self.regs
+        while True:
+            instr = instructions[self.pc]
+            self.pc += 1
+            self.instructions_executed += 1
+            op = instr.op
+            if op == TGOp.IDLE:
+                if instr.imm:
+                    yield instr.imm
+            elif op == TGOp.SET_REGISTER:
+                regs[instr.a] = instr.imm
+                yield 1
+            elif op == TGOp.READ:
+                if cloning:
+                    yield from self._issue_fifo.put(
+                        (TGOp.READ, regs[instr.a], None))
+                else:
+                    regs[RDREG] = yield from self.port.read(regs[instr.a])
+            elif op == TGOp.WRITE:
+                if cloning:
+                    yield from self._issue_fifo.put(
+                        (TGOp.WRITE, regs[instr.a], regs[instr.b]))
+                else:
+                    yield from self.port.write(regs[instr.a], regs[instr.b])
+            elif op == TGOp.BURST_READ:
+                if cloning:
+                    yield from self._issue_fifo.put(
+                        (TGOp.BURST_READ, regs[instr.a], instr.b))
+                else:
+                    words = yield from self.port.burst_read(regs[instr.a],
+                                                            instr.b)
+                    regs[RDREG] = words[-1]
+            elif op == TGOp.BURST_WRITE:
+                data = pool[instr.imm:instr.imm + instr.b]
+                if cloning:
+                    yield from self._issue_fifo.put(
+                        (TGOp.BURST_WRITE, regs[instr.a], data))
+                else:
+                    yield from self.port.burst_write(regs[instr.a], data)
+            elif op == TGOp.READ_NB:
+                # out-of-order extension: the read retires in the
+                # background; the program continues after a 1-cycle issue
+                reader = self.sim.spawn(
+                    self.port.read(regs[instr.a]),
+                    name=f"{self.name}.nb#{self.instructions_executed}")
+                self._outstanding.append(reader)
+                self.max_outstanding_observed = max(
+                    self.max_outstanding_observed,
+                    sum(1 for p in self._outstanding if p.alive))
+                yield 1
+            elif op == TGOp.FENCE:
+                for reader in self._outstanding:
+                    if reader.alive:
+                        yield reader
+                self._outstanding = []
+            elif op == TGOp.IF:
+                if Cond(instr.cond).evaluate(regs[instr.a], regs[instr.b]):
+                    self.pc = instr.imm
+                yield 1
+            elif op == TGOp.JUMP:
+                self.pc = instr.imm
+                yield 1
+            elif op == TGOp.HALT:
+                # implicit fence: completion means all traffic retired
+                for reader in self._outstanding:
+                    if reader.alive:
+                        yield reader
+                self._outstanding = []
+                break
+            else:  # pragma: no cover - validate() rejects unknown ops
+                raise TGError(f"bad opcode {op}")
+        if cloning:
+            # completion = program done AND issue queue drained
+            yield from self._issue_fifo.put(None)
+            yield self._issuer
+        self.halted = True
+        self.halt_time = self.sim.now
+        return self.halt_time
+
+    def _issue_process(self):
+        """CLONING mode: drain queued transactions in order.
+
+        Operands are snapshots taken when the program executed the
+        instruction, since the program races ahead and may rewrite its
+        address/data registers before the queue drains.
+        """
+        regs = self.regs
+        while True:
+            entry = yield from self._issue_fifo.get()
+            if entry is None:
+                return
+            op, addr, operand = entry
+            if op == TGOp.READ:
+                regs[RDREG] = yield from self.port.read(addr)
+            elif op == TGOp.WRITE:
+                yield from self.port.write(addr, operand)
+            elif op == TGOp.BURST_READ:
+                words = yield from self.port.burst_read(addr, operand)
+                regs[RDREG] = words[-1]
+            elif op == TGOp.BURST_WRITE:
+                yield from self.port.burst_write(addr, operand)

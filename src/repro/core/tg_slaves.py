@@ -1,0 +1,71 @@
+"""Slave TG entities (paper Section 4, entities (2) and (3)).
+
+Only the master TG is needed inside a simulation environment — the
+platform provides real slave models — but the paper defines two slave TGs
+for all-TG configurations (e.g. a silicon test chip with no real memories):
+
+* :class:`TGSharedMemorySlave` — "must contain a data structure modeling
+  an actual shared memory (since the values read by the masters may affect
+  the sequence of transactions)";
+* :class:`TGDummySlave` — "must be able to respond, possibly with dummy
+  values, to communication transactions issued by a master".
+
+Both are "much simpler in design with respect to the master TG": the
+shared-memory TG *is* a RAM slave with TG identity metadata, and the dummy
+slave is a small state machine answering every read with a constant.
+"""
+
+from typing import Optional
+
+from repro.kernel import Simulator
+from repro.memory.slave import MemorySlave, SlaveTimings
+from repro.ocp.types import Request, Response
+
+
+class TGSharedMemorySlave(MemorySlave):
+    """Shared-memory TG: a real backing store behind an OCP slave port.
+
+    Functionally identical to a :class:`~repro.memory.slave.MemorySlave`
+    (that is the point — masters cannot tell the difference) but records
+    that it is a TG entity and counts transactions like a generator would.
+    """
+
+    def __init__(self, sim: Simulator, name: str, base: int, size_bytes: int,
+                 timings: Optional[SlaveTimings] = None, core_id: int = 0):
+        super().__init__(sim, name, base, size_bytes, timings)
+        self.core_id = core_id
+        self.transactions_served = 0
+
+    def access(self, request: Request):
+        response = yield from super().access(request)
+        self.transactions_served += 1
+        return response
+
+
+class TGDummySlave(MemorySlave):
+    """Dummy-response slave TG: fixed-latency, constant read data.
+
+    Writes are accepted and discarded; reads return ``dummy_value`` for
+    every beat.  Useful as a placeholder for a private memory whose
+    contents do not influence the traffic (e.g. when the master is itself
+    a TG that never interprets read data outside polling).
+    """
+
+    def __init__(self, sim: Simulator, name: str, base: int, size_bytes: int,
+                 timings: Optional[SlaveTimings] = None,
+                 dummy_value: int = 0xDEAD_BEEF, core_id: int = 0):
+        super().__init__(sim, name, base, size_bytes, timings)
+        self.dummy_value = dummy_value
+        self.core_id = core_id
+        self.transactions_served = 0
+
+    def read_location(self, offset: int) -> int:
+        return self.dummy_value
+
+    def write_location(self, offset: int, value: int) -> None:
+        pass  # discarded by design
+
+    def access(self, request: Request):
+        response = yield from super().access(request)
+        self.transactions_served += 1
+        return response

@@ -1,0 +1,52 @@
+"""The "armlet" IP-core substrate.
+
+The paper's reference platform runs applications on ARM7 cores; a full ARM
+ISS is out of scope here, so this package provides a compact 32-bit in-order
+RISC — *armlet* — that reproduces everything the TG methodology cares about
+at the core/interconnect boundary:
+
+* blocking loads, posted stores, and cache-refill burst reads over an OCP
+  master port;
+* separate direct-mapped I- and D-caches (write-through, no write-allocate),
+  so in-cache loops generate no bus traffic (the Cacheloop benchmark);
+* deterministic multi-cycle instruction timing, so the gap between two
+  communication events is a pure function of the executed instructions —
+  the property that makes trace-derived TG programs interconnect-portable.
+
+Layers:
+
+* :mod:`repro.cpu.isa` — instruction set, binary encoding and decoding;
+* :mod:`repro.cpu.assembler` — two-pass assembler (labels, ``.equ``,
+  ``.word``, ``.space``, ``LI`` pseudo-instruction);
+* :mod:`repro.cpu.cache` — the I/D cache model;
+* :mod:`repro.cpu.processor` — the multi-cycle core;
+* :mod:`repro.cpu.core_ip` — core + caches + OCP port, the unit a TG
+  replaces.
+"""
+
+from repro.cpu.isa import (
+    AsmError,
+    Instruction,
+    Op,
+    decode,
+    encode,
+)
+from repro.cpu.assembler import AssembledProgram, assemble
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.processor import CoreConfig, Processor
+from repro.cpu.core_ip import CoreIP
+
+__all__ = [
+    "AsmError",
+    "AssembledProgram",
+    "Cache",
+    "CacheConfig",
+    "CoreConfig",
+    "CoreIP",
+    "Instruction",
+    "Op",
+    "Processor",
+    "assemble",
+    "decode",
+    "encode",
+]

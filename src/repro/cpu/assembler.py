@@ -1,0 +1,377 @@
+"""Two-pass armlet assembler.
+
+Source syntax::
+
+    ; full-line or trailing comment (also //)
+    .equ  NPROC 4            ; named constant (usable in any later expression)
+    .word 0x12345678         ; literal data word (labels allowed)
+    .space 64                ; reserve bytes (zero-filled, word multiple)
+
+    start:                   ; label (word-aligned code address)
+        LI    r1, SHARED+0x40    ; pseudo: MOVI+MOVT, always two words
+        MOVI  r2, 0
+    loop:
+        LDR   r3, [r1, #8]
+        ADD   r2, r2, r3
+        SUBI  r4, r4, #1
+        CMPI  r4, #0
+        BNE   loop
+        STR   r2, [r1, #12]
+        HALT
+
+Expressions are constants, labels, and numbers combined with ``+``/``-``.
+Labels evaluate to absolute byte addresses (``base`` + word offset * 4).
+Register names: ``r0``..``r15`` plus aliases ``sp`` (r13) and ``lr`` (r14).
+Mnemonics are case-insensitive.
+"""
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.isa import (
+    AsmError,
+    Format,
+    Instruction,
+    LR,
+    OP_FORMAT,
+    Op,
+    SP,
+    decode,
+    encode,
+)
+from repro.ocp.types import WORD_BYTES, WORD_MASK
+
+_REG_ALIASES = {"sp": SP, "lr": LR}
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class AssembledProgram:
+    """Output of :func:`assemble`: encoded words plus symbol information."""
+
+    def __init__(self, words: List[int], base: int,
+                 symbols: Dict[str, int], source_map: List[Tuple[int, int]]):
+        self.words = words
+        self.base = base
+        self.symbols = symbols          # label -> absolute byte address
+        self.source_map = source_map    # (word index, source line number)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * WORD_BYTES
+
+    @property
+    def entry(self) -> int:
+        """Execution entry point (the load base)."""
+        return self.base
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AsmError(f"unknown label {label!r}") from None
+
+    def disassemble(self) -> List[str]:
+        """Human-readable listing (data words shown as .word)."""
+        lines = []
+        for index, word in enumerate(self.words):
+            addr = self.base + index * WORD_BYTES
+            try:
+                text = repr(decode(word))
+            except AsmError:
+                text = f".word 0x{word:08x}"
+            lines.append(f"0x{addr:08x}: {text}")
+        return lines
+
+
+class _Item:
+    """One pass-1 item: an instruction, pseudo-op, or data directive."""
+
+    __slots__ = ("kind", "mnemonic", "operands", "line_no", "word_offset", "size")
+
+    def __init__(self, kind: str, mnemonic: str, operands: List[str],
+                 line_no: int, size: int):
+        self.kind = kind            # "instr" | "li" | "word" | "space"
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_no = line_no
+        self.word_offset = 0
+        self.size = size            # in words
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas (brackets kept intact)."""
+    parts, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _Evaluator:
+    """Evaluates constant expressions over .equ symbols and labels."""
+
+    def __init__(self, equs: Dict[str, int], labels: Dict[str, int]):
+        self.equs = equs
+        self.labels = labels
+
+    def value(self, text: str, line_no: int) -> int:
+        text = text.strip()
+        if text.startswith("#"):
+            text = text[1:].strip()
+        tokens = re.split(r"([+-])", text)
+        total: Optional[int] = None
+        sign = 1
+        for token in tokens:
+            token = token.strip()
+            if token == "":
+                continue
+            if token == "+":
+                sign = 1
+                continue
+            if token == "-":
+                sign = -1
+                continue
+            term = self._term(token, line_no)
+            total = (total or 0) + sign * term
+            sign = 1
+        if total is None:
+            raise AsmError(f"line {line_no}: empty expression")
+        return total
+
+    def _term(self, token: str, line_no: int) -> int:
+        # terms may be products: NAME*4, 2*WORDS
+        if "*" in token:
+            product = 1
+            for factor in token.split("*"):
+                product *= self._atom(factor.strip(), line_no)
+            return product
+        return self._atom(token, line_no)
+
+    def _atom(self, token: str, line_no: int) -> int:
+        try:
+            return int(token, 0)
+        except ValueError:
+            pass
+        if token in self.equs:
+            return self.equs[token]
+        if token in self.labels:
+            return self.labels[token]
+        raise AsmError(f"line {line_no}: unknown symbol {token!r}")
+
+
+def _parse_reg(text: str, line_no: int) -> int:
+    token = text.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        value = int(token[1:])
+        if 0 <= value <= 15:
+            return value
+    raise AsmError(f"line {line_no}: bad register {text!r}")
+
+
+def _parse_mem_operand(text: str, line_no: int) -> Tuple[str, str]:
+    """``[rn]`` or ``[rn, expr]`` -> (reg text, offset expr text)."""
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise AsmError(f"line {line_no}: bad memory operand {text!r}")
+    inner = text[1:-1]
+    parts = [p.strip() for p in inner.split(",")]
+    if len(parts) == 1:
+        return parts[0], "0"
+    if len(parts) == 2:
+        return parts[0], parts[1]
+    raise AsmError(f"line {line_no}: bad memory operand {text!r}")
+
+
+def assemble(source: str, base: int = 0) -> AssembledProgram:
+    """Assemble armlet source text loaded at byte address ``base``."""
+    if base % WORD_BYTES != 0:
+        raise AsmError(f"base 0x{base:x} not word aligned")
+    equs: Dict[str, int] = {}
+    labels: Dict[str, int] = {}          # label -> word offset
+    items: List[_Item] = []
+    evaluator = _Evaluator(equs, labels)
+
+    # ------------------------------------------------------------- pass 1
+    word_offset = 0
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels or label in equs:
+                raise AsmError(f"line {line_no}: duplicate symbol {label!r}")
+            labels[label] = word_offset
+            line = line[match.end():]
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(rest)
+        if mnemonic == ".equ":
+            tokens = rest.split(None, 1)
+            if len(tokens) != 2:
+                raise AsmError(f"line {line_no}: .equ needs NAME VALUE")
+            name, expr = tokens
+            if name in equs or name in labels:
+                raise AsmError(f"line {line_no}: duplicate symbol {name!r}")
+            if not _LABEL_RE.match(name):
+                raise AsmError(f"line {line_no}: bad .equ name {name!r}")
+            equs[name] = evaluator.value(expr, line_no)
+            continue
+        if mnemonic == ".word":
+            if len(operands) != 1:
+                raise AsmError(f"line {line_no}: .word needs one expression")
+            item = _Item("word", mnemonic, operands, line_no, 1)
+        elif mnemonic == ".space":
+            if len(operands) != 1:
+                raise AsmError(f"line {line_no}: .space needs a byte count")
+            nbytes = evaluator.value(operands[0], line_no)
+            if nbytes < 0 or nbytes % WORD_BYTES != 0:
+                raise AsmError(f"line {line_no}: .space must be a "
+                               f"non-negative word multiple, got {nbytes}")
+            item = _Item("space", mnemonic, operands, line_no,
+                         nbytes // WORD_BYTES)
+        elif mnemonic == ".align":
+            if len(operands) != 1:
+                raise AsmError(f"line {line_no}: .align needs a byte count")
+            alignment = evaluator.value(operands[0], line_no)
+            if alignment < WORD_BYTES or alignment % WORD_BYTES != 0:
+                raise AsmError(f"line {line_no}: .align must be a word "
+                               f"multiple >= {WORD_BYTES}, got {alignment}")
+            align_words = alignment // WORD_BYTES
+            pad = (-word_offset) % align_words
+            item = _Item("space", mnemonic, operands, line_no, pad)
+        elif mnemonic == "li":
+            if len(operands) != 2:
+                raise AsmError(f"line {line_no}: LI needs rd, expr")
+            item = _Item("li", mnemonic, operands, line_no, 2)
+        else:
+            item = _Item("instr", mnemonic, operands, line_no, 1)
+        item.word_offset = word_offset
+        word_offset += item.size
+        items.append(item)
+
+    # labels now resolve to absolute byte addresses
+    abs_labels = {name: base + offset * WORD_BYTES
+                  for name, offset in labels.items()}
+    evaluator = _Evaluator(equs, abs_labels)
+
+    # ------------------------------------------------------------- pass 2
+    words: List[int] = []
+    source_map: List[Tuple[int, int]] = []
+
+    def emit(word: int, line_no: int) -> None:
+        source_map.append((len(words), line_no))
+        words.append(word & WORD_MASK)
+
+    for item in items:
+        line_no = item.line_no
+        if item.kind == "word":
+            emit(evaluator.value(item.operands[0], line_no), line_no)
+            continue
+        if item.kind == "space":
+            for _ in range(item.size):
+                emit(0, line_no)
+            continue
+        if item.kind == "li":
+            rd = _parse_reg(item.operands[0], line_no)
+            value = evaluator.value(item.operands[1], line_no) & WORD_MASK
+            emit(encode(Instruction(Op.MOVI, rd=rd, imm=value & 0xFFFF)),
+                 line_no)
+            emit(encode(Instruction(Op.MOVT, rd=rd, imm=value >> 16)),
+                 line_no)
+            continue
+        try:
+            op = Op[item.mnemonic.upper()]
+        except KeyError:
+            raise AsmError(
+                f"line {line_no}: unknown mnemonic {item.mnemonic!r}") from None
+        instr = _build_instruction(op, item, evaluator, line_no, base)
+        try:
+            emit(encode(instr), line_no)
+        except AsmError as error:
+            raise AsmError(f"line {line_no}: {error}") from None
+
+    return AssembledProgram(words, base, abs_labels, source_map)
+
+
+def _build_instruction(op: Op, item: _Item, evaluator: _Evaluator,
+                       line_no: int, base: int) -> Instruction:
+    fmt = OP_FORMAT[op]
+    ops = item.operands
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AsmError(f"line {line_no}: {op.name} needs {count} "
+                           f"operand(s), got {len(ops)}")
+
+    if fmt == Format.N:
+        need(0)
+        return Instruction(op)
+    if fmt == Format.R:
+        need(3)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no),
+                           rn=_parse_reg(ops[1], line_no),
+                           rm=_parse_reg(ops[2], line_no))
+    if fmt == Format.R2:
+        need(2)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no),
+                           rm=_parse_reg(ops[1], line_no))
+    if fmt == Format.CR:
+        need(2)
+        return Instruction(op, rn=_parse_reg(ops[0], line_no),
+                           rm=_parse_reg(ops[1], line_no))
+    if fmt == Format.I:
+        need(3)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no),
+                           rn=_parse_reg(ops[1], line_no),
+                           imm=evaluator.value(ops[2], line_no))
+    if fmt == Format.CI:
+        need(2)
+        return Instruction(op, rn=_parse_reg(ops[0], line_no),
+                           imm=evaluator.value(ops[1], line_no))
+    if fmt == Format.U16:
+        need(2)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no),
+                           imm=evaluator.value(ops[1], line_no))
+    if fmt == Format.MEM:
+        need(2)
+        reg_text, offset_text = _parse_mem_operand(ops[1], line_no)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no),
+                           rn=_parse_reg(reg_text, line_no),
+                           imm=evaluator.value(offset_text, line_no))
+    if fmt == Format.BR:
+        need(1)
+        target = evaluator.value(ops[0], line_no)
+        next_addr = base + (item.word_offset + 1) * WORD_BYTES
+        delta = target - next_addr
+        if delta % WORD_BYTES != 0:
+            raise AsmError(
+                f"line {line_no}: branch target 0x{target:x} not word aligned")
+        return Instruction(op, imm=delta // WORD_BYTES)
+    raise AsmError(f"line {line_no}: unhandled format {fmt}")  # pragma: no cover

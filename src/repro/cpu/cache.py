@@ -1,0 +1,152 @@
+"""Set-associative write-through caches with burst-line refill.
+
+Refills are OCP ``BurstRead`` transactions — exactly the "accurate modeling
+of cache refills" the paper lists as a requirement for faithful traffic
+replication.  Write policy is write-through/no-write-allocate (every store
+reaches memory; a store miss does not allocate), matching the simple ARM7
+cache configuration MPARM uses and keeping private memory always coherent
+with the cache.
+
+The default geometry is direct-mapped (``ways=1``); higher associativity
+with LRU replacement is available as a substrate design-space knob.
+"""
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.kernel import Component, Simulator
+from repro.ocp import OCPMasterPort
+from repro.ocp.types import OCPError, WORD_BYTES
+
+
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    Args:
+        lines: Total number of cache lines (power of two).
+        line_words: Words per line (power of two); refill burst length.
+        ways: Associativity (power of two, <= lines); LRU replacement.
+        hit_cycles: Extra cycles a hit costs (0 = single-cycle pipelined).
+    """
+
+    __slots__ = ("lines", "line_words", "ways", "hit_cycles")
+
+    def __init__(self, lines: int = 64, line_words: int = 4,
+                 ways: int = 1, hit_cycles: int = 0):
+        for value, what in ((lines, "lines"), (line_words, "line_words"),
+                            (ways, "ways")):
+            if value < 1 or value & (value - 1):
+                raise OCPError(f"cache {what} must be a power of two, "
+                               f"got {value}")
+        if ways > lines:
+            raise OCPError(f"ways ({ways}) cannot exceed lines ({lines})")
+        if hit_cycles < 0:
+            raise OCPError("hit_cycles must be >= 0")
+        self.lines = lines
+        self.line_words = line_words
+        self.ways = ways
+        self.hit_cycles = hit_cycles
+
+    @property
+    def sets(self) -> int:
+        return self.lines // self.ways
+
+    @property
+    def line_bytes(self) -> int:
+        return self.line_words * WORD_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        return self.lines * self.line_bytes
+
+    def __repr__(self) -> str:
+        return (f"CacheConfig(lines={self.lines}, "
+                f"line_words={self.line_words}, ways={self.ways}, "
+                f"hit_cycles={self.hit_cycles})")
+
+
+class Cache(Component):
+    """One set-associative cache (used for both I- and D-side).
+
+    The cache fetches misses over the supplied OCP master port with a burst
+    read of one line.  ``read``/``write`` are generators (drive with
+    ``yield from``).
+    """
+
+    def __init__(self, sim: Simulator, name: str, config: CacheConfig,
+                 port: OCPMasterPort):
+        super().__init__(sim, name)
+        self.config = config
+        self.port = port
+        # set index -> OrderedDict(tag -> line data); LRU first
+        self._sets: Dict[int, "OrderedDict[int, List[int]]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.evictions = 0
+
+    def _split(self, addr: int):
+        line_bytes = self.config.line_bytes
+        line_addr = addr - (addr % line_bytes)
+        line_number = line_addr // line_bytes
+        index = line_number % self.config.sets
+        tag = line_number // self.config.sets
+        word = (addr % line_bytes) // WORD_BYTES
+        return line_addr, index, tag, word
+
+    def _lookup(self, index: int, tag: int, touch: bool = True):
+        """Return the line data on hit (updating LRU), else None."""
+        ways = self._sets.get(index)
+        if ways is None or tag not in ways:
+            return None
+        if touch:
+            ways.move_to_end(tag)
+        return ways[tag]
+
+    def _fill(self, index: int, tag: int, data: List[int]) -> None:
+        ways = self._sets.setdefault(index, OrderedDict())
+        if len(ways) >= self.config.ways:
+            ways.popitem(last=False)  # evict LRU
+            self.evictions += 1
+        ways[tag] = data
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` currently hits (no LRU side effects)."""
+        _, index, tag, _ = self._split(addr)
+        return self._lookup(index, tag, touch=False) is not None
+
+    def read(self, addr: int):
+        """Read one word through the cache (generator)."""
+        line_addr, index, tag, word = self._split(addr)
+        line = self._lookup(index, tag)
+        if line is not None:
+            self.hits += 1
+            if self.config.hit_cycles:
+                yield self.config.hit_cycles
+            return line[word]
+        self.misses += 1
+        words = yield from self.port.burst_read(line_addr,
+                                                self.config.line_words)
+        self._fill(index, tag, list(words))
+        return words[word]
+
+    def write(self, addr: int, value: int):
+        """Write-through one word (generator); updates a hit line in place."""
+        _, index, tag, word = self._split(addr)
+        line = self._lookup(index, tag)
+        if line is not None:
+            self.write_hits += 1
+            line[word] = value
+        else:
+            self.write_misses += 1
+        yield from self.port.write(addr, value)
+
+    def invalidate(self) -> None:
+        """Drop all lines (used at system reset between runs)."""
+        self._sets.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

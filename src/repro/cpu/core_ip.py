@@ -1,0 +1,62 @@
+"""The replaceable unit: processor + caches behind one OCP master port.
+
+A :class:`CoreIP` is what Figure 1 of the paper swaps for a TG: everything
+on the IP side of the OCP interface.  The platform constructs one per
+master, points it at its program entry, and starts it.
+"""
+
+from typing import Callable, Optional
+
+from repro.kernel import Component, Simulator
+from repro.cpu.assembler import AssembledProgram
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.processor import CoreConfig, Processor
+from repro.ocp import OCPMasterPort
+
+
+class CoreIP(Component):
+    """An armlet IP core: CPU, I-cache, D-cache, and the OCP master port."""
+
+    def __init__(self, sim: Simulator, name: str, core_id: int,
+                 uncached: Callable[[int], bool],
+                 icache_config: Optional[CacheConfig] = None,
+                 dcache_config: Optional[CacheConfig] = None):
+        super().__init__(sim, name)
+        self.core_id = core_id
+        self.port = OCPMasterPort(sim, f"{name}.ocp")
+        self.icache = Cache(sim, f"{name}.icache",
+                            icache_config or CacheConfig(), self.port)
+        self.dcache = Cache(sim, f"{name}.dcache",
+                            dcache_config or CacheConfig(), self.port)
+        self.cpu = Processor(sim, f"{name}.cpu", self.port, self.icache,
+                             self.dcache, uncached, CoreConfig(core_id))
+        self._process = None
+        self._entry: Optional[int] = None
+
+    def set_program(self, program: AssembledProgram) -> None:
+        """Point the core at an assembled program (already loaded in RAM)."""
+        self._entry = program.entry
+
+    def set_entry(self, entry: int) -> None:
+        """Point the core at a raw entry address."""
+        self._entry = entry
+
+    def start(self) -> None:
+        """Reset and spawn the execution process."""
+        if self._entry is None:
+            raise RuntimeError(f"core {self.name!r} has no program")
+        self.cpu.reset(self._entry)
+        self._process = self.sim.spawn(self.cpu.run(), name=f"{self.name}.run")
+
+    @property
+    def process(self):
+        return self._process
+
+    @property
+    def finished(self) -> bool:
+        return self.cpu.halted
+
+    @property
+    def completion_time(self) -> Optional[int]:
+        """Cycle at which HALT executed (None while running)."""
+        return self.cpu.halt_time

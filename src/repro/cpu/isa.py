@@ -1,0 +1,262 @@
+"""armlet instruction set: formats, binary encoding, decoding.
+
+A fixed 32-bit encoding with a 6-bit opcode.  Formats:
+
+====== ======================== ===========================================
+format fields                   layout (bit positions)
+====== ======================== ===========================================
+N      --                       op<<26
+R      rd, rn, rm               op<<26 | rd<<22 | rn<<18 | rm<<14
+R2     rd, rm                   op<<26 | rd<<22 | rm<<14
+CR     rn, rm                   op<<26 | rn<<18 | rm<<14
+I      rd, rn, simm18           op<<26 | rd<<22 | rn<<18 | imm18
+CI     rn, simm18               op<<26 | rn<<18 | imm18
+U16    rd, imm16                op<<26 | rd<<22 | imm16
+MEM    rd, [rn, simm18]         op<<26 | rd<<22 | rn<<18 | imm18
+BR     simm26 (word offset)     op<<26 | imm26
+====== ======================== ===========================================
+
+Branch offsets are in *words*, relative to the instruction after the branch
+(like ARM's pipeline-relative offsets).  All immediates are two's-complement
+except U16, which is zero-extended.
+"""
+
+import enum
+from typing import Dict, NamedTuple, Optional
+
+from repro.ocp.types import WORD_MASK
+
+#: Number of general-purpose registers (r0..r15; r13=sp, r14=lr by convention).
+NUM_REGS = 16
+SP = 13
+LR = 14
+
+
+class AsmError(Exception):
+    """Bad assembly source, encoding overflow, or undecodable word."""
+
+
+class Format(enum.Enum):
+    N = "none"
+    R = "rd,rn,rm"
+    R2 = "rd,rm"
+    CR = "rn,rm"
+    I = "rd,rn,imm"
+    CI = "rn,imm"
+    U16 = "rd,imm16"
+    MEM = "rd,[rn,imm]"
+    BR = "offset"
+
+
+class Op(enum.IntEnum):
+    """Opcodes.  The integer value is the 6-bit binary opcode."""
+
+    NOP = 0
+    HALT = 1
+    ADD = 2
+    SUB = 3
+    MUL = 4
+    AND = 5
+    ORR = 6
+    EOR = 7
+    LSL = 8
+    LSR = 9
+    MOV = 10
+    CMP = 11
+    ADDI = 12
+    SUBI = 13
+    ANDI = 14
+    ORRI = 15
+    EORI = 16
+    LSLI = 17
+    LSRI = 18
+    CMPI = 19
+    MOVI = 20
+    MOVT = 21
+    LDR = 22
+    STR = 23
+    B = 24
+    BEQ = 25
+    BNE = 26
+    BLT = 27
+    BGE = 28
+    BGT = 29
+    BLE = 30
+    BL = 31
+    RET = 32
+
+
+#: Encoding format of each opcode.
+OP_FORMAT: Dict[Op, Format] = {
+    Op.NOP: Format.N,
+    Op.HALT: Format.N,
+    Op.RET: Format.N,
+    Op.ADD: Format.R,
+    Op.SUB: Format.R,
+    Op.MUL: Format.R,
+    Op.AND: Format.R,
+    Op.ORR: Format.R,
+    Op.EOR: Format.R,
+    Op.LSL: Format.R,
+    Op.LSR: Format.R,
+    Op.MOV: Format.R2,
+    Op.CMP: Format.CR,
+    Op.ADDI: Format.I,
+    Op.SUBI: Format.I,
+    Op.ANDI: Format.I,
+    Op.ORRI: Format.I,
+    Op.EORI: Format.I,
+    Op.LSLI: Format.I,
+    Op.LSRI: Format.I,
+    Op.CMPI: Format.CI,
+    Op.MOVI: Format.U16,
+    Op.MOVT: Format.U16,
+    Op.LDR: Format.MEM,
+    Op.STR: Format.MEM,
+    Op.B: Format.BR,
+    Op.BEQ: Format.BR,
+    Op.BNE: Format.BR,
+    Op.BLT: Format.BR,
+    Op.BGE: Format.BR,
+    Op.BGT: Format.BR,
+    Op.BLE: Format.BR,
+    Op.BL: Format.BR,
+}
+
+#: Extra execution cycles beyond the 1-cycle base (taken branches add
+#: :data:`BRANCH_TAKEN_PENALTY` dynamically).
+EXTRA_CYCLES: Dict[Op, int] = {Op.MUL: 2}
+
+#: Pipeline refill penalty for a taken branch (incl. BL, RET).
+BRANCH_TAKEN_PENALTY = 1
+
+BRANCH_OPS = (Op.B, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BGT, Op.BLE, Op.BL)
+
+_IMM18_MIN, _IMM18_MAX = -(1 << 17), (1 << 17) - 1
+_IMM26_MIN, _IMM26_MAX = -(1 << 25), (1 << 25) - 1
+
+
+class Instruction(NamedTuple):
+    """A decoded armlet instruction."""
+
+    op: Op
+    rd: int = 0
+    rn: int = 0
+    rm: int = 0
+    imm: int = 0
+
+    def __repr__(self) -> str:
+        fmt = OP_FORMAT[self.op]
+        name = self.op.name
+        if fmt == Format.N:
+            return name
+        if fmt == Format.R:
+            return f"{name} r{self.rd}, r{self.rn}, r{self.rm}"
+        if fmt == Format.R2:
+            return f"{name} r{self.rd}, r{self.rm}"
+        if fmt == Format.CR:
+            return f"{name} r{self.rn}, r{self.rm}"
+        if fmt == Format.I:
+            return f"{name} r{self.rd}, r{self.rn}, #{self.imm}"
+        if fmt == Format.CI:
+            return f"{name} r{self.rn}, #{self.imm}"
+        if fmt == Format.U16:
+            return f"{name} r{self.rd}, #0x{self.imm:04x}"
+        if fmt == Format.MEM:
+            return f"{name} r{self.rd}, [r{self.rn}, #{self.imm}]"
+        return f"{name} #{self.imm}"
+
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value < NUM_REGS:
+        raise AsmError(f"{what} r{value} out of range (r0..r{NUM_REGS - 1})")
+
+
+def _to_field(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise AsmError(f"{what} {value} outside signed {bits}-bit range")
+    return value & ((1 << bits) - 1)
+
+
+def _from_field(field: int, bits: int) -> int:
+    if field & (1 << (bits - 1)):
+        return field - (1 << bits)
+    return field
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    op = instr.op
+    fmt = OP_FORMAT[op]
+    word = int(op) << 26
+    if fmt == Format.N:
+        return word
+    if fmt in (Format.R, Format.R2, Format.CR):
+        if fmt != Format.CR:
+            _check_reg(instr.rd, "rd")
+            word |= instr.rd << 22
+        if fmt != Format.R2:
+            _check_reg(instr.rn, "rn")
+            word |= instr.rn << 18
+        _check_reg(instr.rm, "rm")
+        word |= instr.rm << 14
+        return word
+    if fmt in (Format.I, Format.MEM):
+        _check_reg(instr.rd, "rd")
+        _check_reg(instr.rn, "rn")
+        word |= instr.rd << 22
+        word |= instr.rn << 18
+        word |= _to_field(instr.imm, 18, f"{op.name} immediate")
+        return word
+    if fmt == Format.CI:
+        _check_reg(instr.rn, "rn")
+        word |= instr.rn << 18
+        word |= _to_field(instr.imm, 18, f"{op.name} immediate")
+        return word
+    if fmt == Format.U16:
+        _check_reg(instr.rd, "rd")
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise AsmError(f"{op.name} immediate 0x{instr.imm:x} not 16-bit")
+        word |= instr.rd << 22
+        word |= instr.imm
+        return word
+    if fmt == Format.BR:
+        word |= _to_field(instr.imm, 26, f"{op.name} offset")
+        return word
+    raise AsmError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+_OP_BY_CODE: Dict[int, Op] = {int(op): op for op in Op}
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    if not 0 <= word <= WORD_MASK:
+        raise AsmError(f"word 0x{word:x} is not 32-bit")
+    code = word >> 26
+    op = _OP_BY_CODE.get(code)
+    if op is None:
+        raise AsmError(f"unknown opcode {code} in word 0x{word:08x}")
+    fmt = OP_FORMAT[op]
+    rd = (word >> 22) & 0xF
+    rn = (word >> 18) & 0xF
+    rm = (word >> 14) & 0xF
+    if fmt == Format.N:
+        return Instruction(op)
+    if fmt == Format.R:
+        return Instruction(op, rd=rd, rn=rn, rm=rm)
+    if fmt == Format.R2:
+        return Instruction(op, rd=rd, rm=rm)
+    if fmt == Format.CR:
+        return Instruction(op, rn=rn, rm=rm)
+    if fmt in (Format.I, Format.MEM):
+        return Instruction(op, rd=rd, rn=rn,
+                           imm=_from_field(word & 0x3FFFF, 18))
+    if fmt == Format.CI:
+        return Instruction(op, rn=rn, imm=_from_field(word & 0x3FFFF, 18))
+    if fmt == Format.U16:
+        return Instruction(op, rd=rd, imm=word & 0xFFFF)
+    if fmt == Format.BR:
+        return Instruction(op, imm=_from_field(word & 0x3FFFFFF, 26))
+    raise AsmError(f"unhandled format {fmt}")  # pragma: no cover

@@ -1,0 +1,216 @@
+"""The armlet multi-cycle in-order core.
+
+Timing model (deterministic, so inter-transaction gaps are a pure function
+of the instruction stream — the property the TG translator relies on):
+
+* 1 cycle base per instruction (fetch/decode/execute, pipelined);
+* ``EXTRA_CYCLES`` for long ops (MUL);
+* +1 cycle for a taken branch (pipeline refill);
+* loads/stores add their memory-system time: zero extra on a cache hit,
+  a full OCP transaction on misses and uncached accesses.
+
+Uncached regions (shared memory, semaphores, barrier) are defined by the
+``uncached`` predicate supplied by the platform.
+"""
+
+from typing import Callable, Dict, Optional
+
+from repro.kernel import Component, Simulator
+from repro.cpu.cache import Cache
+from repro.cpu.isa import (
+    BRANCH_TAKEN_PENALTY,
+    EXTRA_CYCLES,
+    Instruction,
+    LR,
+    NUM_REGS,
+    Op,
+    decode,
+)
+from repro.ocp import OCPMasterPort
+from repro.ocp.types import OCPError, WORD_BYTES, WORD_MASK
+
+_SIGN_BIT = 0x8000_0000
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & _SIGN_BIT else value
+
+
+class CoreConfig:
+    """Processor tuning knobs."""
+
+    __slots__ = ("core_id",)
+
+    def __init__(self, core_id: int = 0):
+        self.core_id = core_id
+
+
+class Processor(Component):
+    """In-order armlet core executing from memory through its caches."""
+
+    def __init__(self, sim: Simulator, name: str, port: OCPMasterPort,
+                 icache: Cache, dcache: Cache,
+                 uncached: Callable[[int], bool],
+                 config: Optional[CoreConfig] = None):
+        super().__init__(sim, name)
+        self.port = port
+        self.icache = icache
+        self.dcache = dcache
+        self.uncached = uncached
+        self.config = config or CoreConfig()
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.flag_z = False
+        self.flag_lt = False
+        self.halted = False
+        self.halt_time: Optional[int] = None
+        self.instructions_executed = 0
+        self.loads = 0
+        self.stores = 0
+        self._decode_memo: Dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------ control
+
+    def reset(self, entry: int) -> None:
+        """Prepare for execution starting at ``entry``."""
+        self.regs = [0] * NUM_REGS
+        self.pc = entry
+        self.flag_z = False
+        self.flag_lt = False
+        self.halted = False
+        self.halt_time = None
+
+    def run(self):
+        """Main execution process (generator for :meth:`Simulator.spawn`)."""
+        while not self.halted:
+            word = yield from self._fetch(self.pc)
+            instr = self._decode(word)
+            self.pc = (self.pc + WORD_BYTES) & WORD_MASK
+            yield 1  # base cost
+            extra = yield from self._execute(instr)
+            if extra:
+                yield extra
+            self.instructions_executed += 1
+        self.halt_time = self.sim.now
+        return self.halt_time
+
+    # ----------------------------------------------------------- internals
+
+    def _decode(self, word: int) -> Instruction:
+        instr = self._decode_memo.get(word)
+        if instr is None:
+            instr = decode(word)
+            self._decode_memo[word] = instr
+        return instr
+
+    def _fetch(self, addr: int):
+        if self.uncached(addr):
+            value = yield from self.port.read(addr)
+            return value
+        value = yield from self.icache.read(addr)
+        return value
+
+    def _load(self, addr: int):
+        self.loads += 1
+        if self.uncached(addr):
+            value = yield from self.port.read(addr)
+            return value
+        value = yield from self.dcache.read(addr)
+        return value
+
+    def _store(self, addr: int, value: int):
+        self.stores += 1
+        if self.uncached(addr):
+            yield from self.port.write(addr, value)
+            return
+        yield from self.dcache.write(addr, value)
+
+    def _set_flags(self, a: int, b: int) -> None:
+        self.flag_z = a == b
+        self.flag_lt = _signed(a) < _signed(b)
+
+    def _branch(self, instr: Instruction) -> int:
+        """Apply a branch; returns the taken penalty (0 if not taken)."""
+        op = instr.op
+        take = (
+            op == Op.B or op == Op.BL
+            or (op == Op.BEQ and self.flag_z)
+            or (op == Op.BNE and not self.flag_z)
+            or (op == Op.BLT and self.flag_lt)
+            or (op == Op.BGE and not self.flag_lt)
+            or (op == Op.BGT and not self.flag_z and not self.flag_lt)
+            or (op == Op.BLE and (self.flag_z or self.flag_lt))
+        )
+        if not take:
+            return 0
+        if op == Op.BL:
+            self.regs[LR] = self.pc
+        self.pc = (self.pc + instr.imm * WORD_BYTES) & WORD_MASK
+        return BRANCH_TAKEN_PENALTY
+
+    def _execute(self, instr: Instruction):
+        """Execute one instruction (generator); returns extra cycles."""
+        op = instr.op
+        regs = self.regs
+        if op == Op.LDR:
+            addr = (regs[instr.rn] + instr.imm) & WORD_MASK
+            regs[instr.rd] = yield from self._load(addr)
+            return 0
+        if op == Op.STR:
+            addr = (regs[instr.rn] + instr.imm) & WORD_MASK
+            yield from self._store(addr, regs[instr.rd])
+            return 0
+        if op == Op.ADD:
+            regs[instr.rd] = (regs[instr.rn] + regs[instr.rm]) & WORD_MASK
+        elif op == Op.ADDI:
+            regs[instr.rd] = (regs[instr.rn] + instr.imm) & WORD_MASK
+        elif op == Op.SUB:
+            regs[instr.rd] = (regs[instr.rn] - regs[instr.rm]) & WORD_MASK
+        elif op == Op.SUBI:
+            regs[instr.rd] = (regs[instr.rn] - instr.imm) & WORD_MASK
+        elif op == Op.MUL:
+            regs[instr.rd] = (regs[instr.rn] * regs[instr.rm]) & WORD_MASK
+        elif op == Op.AND:
+            regs[instr.rd] = regs[instr.rn] & regs[instr.rm]
+        elif op == Op.ANDI:
+            regs[instr.rd] = regs[instr.rn] & (instr.imm & WORD_MASK)
+        elif op == Op.ORR:
+            regs[instr.rd] = regs[instr.rn] | regs[instr.rm]
+        elif op == Op.ORRI:
+            regs[instr.rd] = regs[instr.rn] | (instr.imm & WORD_MASK)
+        elif op == Op.EOR:
+            regs[instr.rd] = regs[instr.rn] ^ regs[instr.rm]
+        elif op == Op.EORI:
+            regs[instr.rd] = regs[instr.rn] ^ (instr.imm & WORD_MASK)
+        elif op == Op.LSL:
+            regs[instr.rd] = (regs[instr.rn] << (regs[instr.rm] & 31)) & WORD_MASK
+        elif op == Op.LSLI:
+            regs[instr.rd] = (regs[instr.rn] << (instr.imm & 31)) & WORD_MASK
+        elif op == Op.LSR:
+            regs[instr.rd] = regs[instr.rn] >> (regs[instr.rm] & 31)
+        elif op == Op.LSRI:
+            regs[instr.rd] = regs[instr.rn] >> (instr.imm & 31)
+        elif op == Op.MOV:
+            regs[instr.rd] = regs[instr.rm]
+        elif op == Op.MOVI:
+            regs[instr.rd] = instr.imm & 0xFFFF
+        elif op == Op.MOVT:
+            regs[instr.rd] = (regs[instr.rd] & 0xFFFF) | (instr.imm << 16)
+        elif op == Op.CMP:
+            self._set_flags(regs[instr.rn], regs[instr.rm])
+        elif op == Op.CMPI:
+            self._set_flags(regs[instr.rn], instr.imm & WORD_MASK)
+        elif op == Op.NOP:
+            pass
+        elif op == Op.HALT:
+            self.halted = True
+        elif op == Op.RET:
+            self.pc = regs[LR]
+            return BRANCH_TAKEN_PENALTY
+        elif op in (Op.B, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BGT, Op.BLE,
+                    Op.BL):
+            return self._branch(instr)
+        else:  # pragma: no cover - all opcodes handled above
+            raise OCPError(f"unimplemented op {op.name}")
+        return EXTRA_CYCLES.get(op, 0)
+        yield  # pragma: no cover - keeps _execute a generator

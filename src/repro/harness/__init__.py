@@ -1,0 +1,44 @@
+"""Experiment harness: the full TG simulation flow, automated.
+
+``tg_flow`` performs the complete methodology of paper Section 5 for one
+benchmark configuration:
+
+1. reference simulation with armlet cores (trace collection attached);
+2. translate each core's trace into a TG program;
+3. rebuild the platform with TGs in place of the cores;
+4. run the TG simulation;
+5. report accuracy (cumulative simulated cycles, as Table 2's "Error")
+   and speedup (wall-clock, Table 2's "Gain").
+
+``table2_row`` formats the result like a row of the paper's Table 2.
+"""
+
+from repro.harness.experiments import (
+    TGFlowResult,
+    build_testchip_platform,
+    build_tg_platform,
+    reference_run,
+    table2_row,
+    tg_flow,
+    translate_traces,
+)
+from repro.harness.sweep import (
+    SweepSpec,
+    run_sweep,
+    sweep_csv,
+    sweep_table,
+)
+
+__all__ = [
+    "SweepSpec",
+    "TGFlowResult",
+    "build_testchip_platform",
+    "build_tg_platform",
+    "reference_run",
+    "run_sweep",
+    "sweep_csv",
+    "sweep_table",
+    "table2_row",
+    "tg_flow",
+    "translate_traces",
+]

@@ -1,0 +1,199 @@
+"""The end-to-end TG experiment flow."""
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.common import pollable_ranges
+from repro.core import ReplayMode, TGMaster, TGProgram
+from repro.core.assembler import assemble_binary, disassemble_binary
+from repro.platform import MparmPlatform, PlatformConfig
+from repro.trace import TraceCollector, Translator, TranslatorOptions, collect_traces
+
+
+class TGFlowResult:
+    """Everything one benchmark configuration produced."""
+
+    def __init__(self) -> None:
+        self.benchmark: str = ""
+        self.n_cores: int = 0
+        self.interconnect: str = ""
+        self.mode: ReplayMode = ReplayMode.REACTIVE
+        self.ref_cycles: int = 0          # cumulative execution time, cores
+        self.tg_cycles: int = 0           # cumulative execution time, TGs
+        self.ref_wall: float = 0.0        # seconds
+        self.tg_wall: float = 0.0
+        self.ref_events: int = 0          # simulator effort proxies
+        self.tg_events: int = 0
+        self.programs: Dict[int, TGProgram] = {}
+        self.traces: Dict[int, TraceCollector] = {}
+        self.ref_platform: Optional[MparmPlatform] = None
+        self.tg_platform: Optional[MparmPlatform] = None
+
+    @property
+    def error(self) -> float:
+        """Relative cycle error, Table 2's "Error" column."""
+        if self.ref_cycles == 0:
+            return 0.0
+        return abs(self.tg_cycles - self.ref_cycles) / self.ref_cycles
+
+    @property
+    def gain(self) -> float:
+        """Wall-clock speedup, Table 2's "Gain" column."""
+        return self.ref_wall / self.tg_wall if self.tg_wall > 0 else 0.0
+
+    @property
+    def event_gain(self) -> float:
+        """Speedup in simulator events — a wall-clock-noise-free proxy."""
+        return self.ref_events / self.tg_events if self.tg_events else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<TGFlowResult {self.benchmark} {self.n_cores}P "
+                f"{self.interconnect} err={self.error:.2%} "
+                f"gain={self.gain:.2f}x>")
+
+
+def _build_config(n_cores: int, interconnect: str,
+                  config_overrides: Optional[dict]) -> PlatformConfig:
+    overrides = dict(config_overrides or {})
+    return PlatformConfig(n_masters=n_cores, interconnect=interconnect,
+                          **overrides)
+
+
+def reference_run(app, n_cores: int, interconnect: str = "ahb",
+                  app_params: Optional[dict] = None,
+                  config_overrides: Optional[dict] = None,
+                  collect: bool = True,
+                  ) -> Tuple[MparmPlatform, Dict[int, TraceCollector], float]:
+    """Run the bit-/cycle-true reference simulation.
+
+    Returns ``(platform, collectors, wall_seconds)``; ``collectors`` is
+    empty when ``collect`` is False (used to measure tracing overhead).
+    """
+    params = dict(app_params or {})
+    platform = MparmPlatform(_build_config(n_cores, interconnect,
+                                           config_overrides))
+    for core_id in range(n_cores):
+        platform.add_core(app.source(core_id, n_cores, **params))
+    collectors = collect_traces(platform) if collect else {}
+    start = time.perf_counter()
+    platform.run()
+    wall = time.perf_counter() - start
+    return platform, collectors, wall
+
+
+def translate_traces(collectors: Dict[int, TraceCollector], n_cores: int,
+                     mode: ReplayMode = ReplayMode.REACTIVE,
+                     ) -> Dict[int, TGProgram]:
+    """Translate every master's trace into a TG program.
+
+    The programs are additionally pushed through the ``.bin``
+    assemble/disassemble cycle, mirroring the real flow (the TG executes
+    the binary image, not the symbolic program).
+    """
+    options = TranslatorOptions(mode=mode,
+                                pollable_ranges=pollable_ranges(n_cores))
+    translator = Translator(options)
+    programs: Dict[int, TGProgram] = {}
+    for master_id, collector in collectors.items():
+        program = translator.translate_events(collector.events, master_id)
+        programs[master_id] = disassemble_binary(assemble_binary(program))
+    return programs
+
+
+def build_tg_platform(programs: Dict[int, TGProgram], n_cores: int,
+                      interconnect: str = "ahb",
+                      config_overrides: Optional[dict] = None,
+                      ) -> MparmPlatform:
+    """Build a platform with TGs occupying every master socket."""
+    platform = MparmPlatform(_build_config(n_cores, interconnect,
+                                           config_overrides))
+    for master_id in range(n_cores):
+        tg = TGMaster(platform.sim, f"tg{master_id}", programs[master_id])
+        platform.add_master(tg)
+    return platform
+
+
+def build_testchip_platform(programs: Dict[int, TGProgram], n_cores: int,
+                            interconnect: str = "ahb",
+                            config_overrides: Optional[dict] = None,
+                            ) -> MparmPlatform:
+    """Build the all-TG configuration of paper Figure 1(b).
+
+    Master TGs in every socket *and* TG entities for the memories: the
+    shared memory becomes a :class:`~repro.core.TGSharedMemorySlave` (a
+    real data structure, because the values masters read back matter) and
+    each private memory a :class:`~repro.core.TGDummySlave` (master TGs
+    never interpret refill data, so dummy values suffice — the paper's
+    argument for the simple slave TG).  The synchronisation devices stay,
+    since their state *is* the reactive behaviour.  This is the
+    configuration a silicon NoC test chip would carry.
+    """
+    from repro.core import TGDummySlave, TGSharedMemorySlave
+    from repro.memory.slave import MemorySlave
+    from repro.ocp import OCPSlavePort
+
+    platform = MparmPlatform(_build_config(n_cores, interconnect,
+                                           config_overrides))
+    config = platform.config
+    # swap the RAM models behind the already-mapped slave ports
+    for core_id, mem in enumerate(platform.private_mems):
+        dummy = TGDummySlave(platform.sim, f"tg_{mem.name}", mem.base,
+                             mem.size_bytes, config.private_timings,
+                             core_id=core_id)
+        platform.address_map.find(mem.base).slave_port.slave = dummy
+    shared_tg = TGSharedMemorySlave(
+        platform.sim, "tg_shared", platform.shared_mem.base,
+        platform.shared_mem.size_bytes, config.shared_timings)
+    platform.address_map.find(shared_tg.base).slave_port.slave = shared_tg
+    platform.shared_mem = shared_tg
+    for master_id in range(n_cores):
+        tg = TGMaster(platform.sim, f"tg{master_id}", programs[master_id])
+        platform.add_master(tg)
+    return platform
+
+
+def tg_flow(app, n_cores: int, interconnect: str = "ahb",
+            tg_interconnect: Optional[str] = None,
+            mode: ReplayMode = ReplayMode.REACTIVE,
+            app_params: Optional[dict] = None,
+            config_overrides: Optional[dict] = None) -> TGFlowResult:
+    """Full flow: reference run → translate → TG run → compare.
+
+    ``tg_interconnect`` lets the TG simulation run on a *different* fabric
+    than the reference (the design-space-exploration use case); accuracy
+    is only meaningful when both are the same.
+    """
+    result = TGFlowResult()
+    result.benchmark = getattr(app, "__name__", str(app)).split(".")[-1]
+    result.n_cores = n_cores
+    result.interconnect = interconnect
+    result.mode = mode
+
+    platform, collectors, ref_wall = reference_run(
+        app, n_cores, interconnect, app_params, config_overrides)
+    result.ref_platform = platform
+    result.traces = collectors
+    result.ref_wall = ref_wall
+    result.ref_events = platform.sim.events_fired
+    result.ref_cycles = platform.cumulative_execution_time
+
+    result.programs = translate_traces(collectors, n_cores, mode)
+
+    tg_platform = build_tg_platform(result.programs, n_cores,
+                                    tg_interconnect or interconnect,
+                                    config_overrides)
+    start = time.perf_counter()
+    tg_platform.run()
+    result.tg_wall = time.perf_counter() - start
+    result.tg_platform = tg_platform
+    result.tg_events = tg_platform.sim.events_fired
+    result.tg_cycles = tg_platform.cumulative_execution_time
+    return result
+
+
+def table2_row(result: TGFlowResult) -> str:
+    """Format one result like a row of the paper's Table 2."""
+    return (f"{result.n_cores}P  ARM={result.ref_cycles}  "
+            f"TG={result.tg_cycles}  Error={result.error:.2%}  "
+            f"ref={result.ref_wall:.3f}s  tg={result.tg_wall:.3f}s  "
+            f"Gain={result.gain:.2f}x")

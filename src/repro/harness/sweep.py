@@ -1,0 +1,110 @@
+"""Parameter sweeps: grids of TG-flow experiments from one spec.
+
+Architectural exploration is "carrying out the same set of simulations
+for each design alternative" — a sweep spec names the benchmark, the
+core counts, the interconnects and the replay modes, and the runner
+produces one :class:`~repro.harness.experiments.TGFlowResult` row per
+grid point, plus table/CSV renderings.
+
+Specs are plain dictionaries (JSON-friendly, used by ``repro-sweep``)::
+
+    {
+      "benchmark": "mp_matrix",
+      "cores": [2, 4, 8],
+      "interconnects": ["ahb", "xpipes"],
+      "modes": ["reactive"],
+      "app_params": {"n": 8}
+    }
+"""
+
+from typing import Dict, List, Optional
+
+from repro.core.modes import ReplayMode
+from repro.harness.experiments import TGFlowResult, tg_flow
+from repro.stats import Table
+
+_APP_NAMES = ("sp_matrix", "cacheloop", "mp_matrix", "des")
+
+
+def _resolve_app(name: str):
+    from repro import apps
+    if name not in _APP_NAMES:
+        raise ValueError(f"unknown benchmark {name!r}; "
+                         f"choose from {_APP_NAMES}")
+    return getattr(apps, name)
+
+
+class SweepSpec:
+    """A validated sweep description."""
+
+    def __init__(self, benchmark: str, cores: List[int],
+                 interconnects: Optional[List[str]] = None,
+                 modes: Optional[List[str]] = None,
+                 app_params: Optional[Dict] = None):
+        self.benchmark = benchmark
+        self.app = _resolve_app(benchmark)
+        if not cores:
+            raise ValueError("sweep needs at least one core count")
+        self.cores = list(cores)
+        self.interconnects = list(interconnects or ["ahb"])
+        self.modes = [ReplayMode.from_name(mode)
+                      for mode in (modes or ["reactive"])]
+        self.app_params = dict(app_params or {})
+
+    @staticmethod
+    def from_dict(data: Dict) -> "SweepSpec":
+        known = {"benchmark", "cores", "interconnects", "modes",
+                 "app_params"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
+        return SweepSpec(
+            benchmark=data["benchmark"],
+            cores=data["cores"],
+            interconnects=data.get("interconnects"),
+            modes=data.get("modes"),
+            app_params=data.get("app_params"))
+
+    @property
+    def points(self) -> int:
+        return len(self.cores) * len(self.interconnects) * len(self.modes)
+
+
+def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
+    """Run every grid point; returns results in grid order."""
+    results = []
+    for interconnect in spec.interconnects:
+        for mode in spec.modes:
+            for n_cores in spec.cores:
+                results.append(tg_flow(
+                    spec.app, n_cores, interconnect=interconnect,
+                    mode=mode, app_params=spec.app_params or None))
+    return results
+
+
+def sweep_table(results: List[TGFlowResult],
+                title: Optional[str] = None) -> str:
+    """Render sweep results as a fixed-width table."""
+    table = Table(["benchmark", "fabric", "mode", "#IPs", "ARM cycles",
+                   "TG cycles", "error", "gain", "event gain"],
+                  title=title)
+    for result in results:
+        table.add_row(result.benchmark, result.interconnect,
+                      result.mode.value, f"{result.n_cores}P",
+                      result.ref_cycles, result.tg_cycles,
+                      f"{result.error:.2%}", f"{result.gain:.2f}x",
+                      f"{result.event_gain:.2f}x")
+    return table.render()
+
+
+def sweep_csv(results: List[TGFlowResult]) -> str:
+    """Render sweep results as CSV text."""
+    lines = ["benchmark,interconnect,mode,n_cores,ref_cycles,tg_cycles,"
+             "error,ref_wall,tg_wall,gain,event_gain"]
+    for result in results:
+        lines.append(",".join(str(value) for value in (
+            result.benchmark, result.interconnect, result.mode.value,
+            result.n_cores, result.ref_cycles, result.tg_cycles,
+            result.error, result.ref_wall, result.tg_wall, result.gain,
+            result.event_gain)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,48 @@
+"""Interconnect fabrics.
+
+Four interconnects, matching the spread the paper explores with MPARM:
+
+* :class:`~repro.interconnect.amba_ahb.AmbaAhbBus` — the cycle-true shared
+  bus all Table-2 experiments run on (arbitration, address phase, data
+  phases with slave wait states, posted writes with back-pressure);
+* :class:`~repro.interconnect.xpipes.XpipesNoc` — a ×pipes-style 2D-mesh
+  wormhole packet-switched NoC (network interfaces, XY routing,
+  input-buffered routers);
+* :class:`~repro.interconnect.stbus.STBusFabric` — an STBus-type-3-style
+  partial crossbar with per-slave arbitration;
+* :class:`~repro.interconnect.tlm.TlmFabric` — a contention-free
+  fixed-latency transactional model, the cheap fabric the paper suggests
+  for reference trace collection.
+
+All fabrics implement the same ``transport(master_id, request)`` generator
+API consumed by :class:`~repro.ocp.port.OCPMasterPort`, so any master model
+(IP core or TG) runs unmodified on any of them.
+"""
+
+from repro.interconnect.address_map import AddressMap, AddressRange
+from repro.interconnect.arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+from repro.interconnect.base import Fabric, FabricStats
+from repro.interconnect.tlm import TlmFabric
+from repro.interconnect.amba_ahb import AmbaAhbBus
+from repro.interconnect.stbus import STBusFabric
+from repro.interconnect.xpipes import XpipesNoc
+
+__all__ = [
+    "AddressMap",
+    "AddressRange",
+    "AmbaAhbBus",
+    "Arbiter",
+    "Fabric",
+    "FabricStats",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "STBusFabric",
+    "TlmFabric",
+    "XpipesNoc",
+    "make_arbiter",
+]

@@ -1,0 +1,58 @@
+"""Fabric base class and shared statistics."""
+
+from typing import Dict, Optional
+
+from repro.kernel import Component, Simulator
+from repro.interconnect.address_map import AddressMap
+from repro.ocp.types import Request, Response
+
+
+class FabricStats:
+    """Counters every fabric maintains (read by the reporting layer)."""
+
+    def __init__(self) -> None:
+        self.transactions = 0
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self.beats_transferred = 0
+        self.per_master_transactions: Dict[int, int] = {}
+
+    def record(self, master_id: int, request: Request) -> None:
+        self.transactions += 1
+        if request.cmd.is_read:
+            self.read_transactions += 1
+        else:
+            self.write_transactions += 1
+        self.beats_transferred += request.burst_len
+        self.per_master_transactions[master_id] = (
+            self.per_master_transactions.get(master_id, 0) + 1)
+
+
+class Fabric(Component):
+    """Common base for all interconnect models.
+
+    A fabric owns an :class:`AddressMap` and implements
+    ``transport(master_id, request)``: a generator that performs the whole
+    transaction and returns a :class:`Response` for reads (``None`` for
+    writes).  Write transport returns to the caller at *command accept*
+    (posted-write semantics); the fabric must invoke ``request.on_accept()``
+    exactly once at the accept instant for every request.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 address_map: Optional[AddressMap] = None):
+        super().__init__(sim, name)
+        self.address_map = address_map or AddressMap()
+        self.stats = FabricStats()
+
+    def transport(self, master_id: int, request: Request):
+        """Run one transaction (generator).  Subclasses implement."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type symmetry
+
+    @staticmethod
+    def _accept(request: Request) -> None:
+        """Fire the accept callback exactly once."""
+        if request.on_accept is not None:
+            callback, request.on_accept = request.on_accept, None
+            callback()

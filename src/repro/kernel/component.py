@@ -1,0 +1,23 @@
+"""Base class for named model components."""
+
+from repro.kernel.simulator import Simulator
+
+
+class Component:
+    """A named piece of the simulated system.
+
+    Components hold a reference to the simulator and a hierarchical name used
+    in traces, statistics and error messages.  Subclasses register their
+    behaviour by spawning processes in ``start()`` (called by the platform
+    once the system is fully wired) or directly in ``__init__``.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+
+    def start(self) -> None:
+        """Hook called after system construction; default does nothing."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

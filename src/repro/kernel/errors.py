@@ -1,0 +1,22 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class KernelError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SimulationError(KernelError):
+    """A model did something the kernel cannot honour.
+
+    Examples: yielding a negative delay, scheduling in the past, yielding an
+    object that is not a delay, signal or process.
+    """
+
+
+class DeadlockError(KernelError):
+    """Raised by :meth:`Simulator.run` when ``check_deadlock=True`` and the
+    event queue drains while processes are still blocked on signals."""
+
+
+class ProcessKilled(KernelError):
+    """Thrown into a process generator when it is killed externally."""

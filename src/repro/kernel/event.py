@@ -1,0 +1,82 @@
+"""Event queue with fully deterministic ordering.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+a monotonically increasing insertion counter, so two events scheduled for the
+same cycle at the same priority fire in the order they were scheduled.  This
+total order is what makes every simulation in this package reproducible
+byte-for-byte — a requirement of the cross-interconnect validation experiment
+(DESIGN.md, E7).
+"""
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Absolute cycle at which the event fires.
+        priority: Tie-break within a cycle; lower fires first.
+        seq: Insertion sequence number (unique, assigned by the queue).
+        fn: Zero-argument callable run when the event fires.
+        cancelled: Cancelled events are skipped by the queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} prio={self.priority} seq={self.seq}{state}>"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, priority: int, fn: Callable[[], None]) -> Event:
+        """Insert a callback at an absolute time; returns a cancellable handle."""
+        event = Event(time, priority, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

@@ -1,0 +1,113 @@
+"""Simulation processes: generators driven by the event loop."""
+
+from typing import Any, Generator, Optional
+
+from repro.kernel.errors import ProcessKilled, SimulationError
+from repro.kernel.signal import Signal
+
+_PENDING = object()
+
+
+class Process:
+    """A running simulation process.
+
+    Wraps a Python generator and interprets what it yields:
+
+    ``yield n`` (non-negative int)
+        sleep for *n* cycles;
+    ``yield signal``
+        sleep until the :class:`Signal` is notified; the yield expression
+        evaluates to the notify payload;
+    ``yield process``
+        join another process; the yield expression evaluates to its return
+        value.
+
+    Subroutines are ordinary generators composed with ``yield from``; their
+    ``return`` value propagates as usual.
+    """
+
+    __slots__ = ("sim", "name", "generator", "_result", "_done_signal",
+                 "_waiting_on", "_alive")
+
+    def __init__(self, sim, generator: Generator, name: str = "process"):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process {name!r} needs a generator, got {type(generator).__name__}"
+            )
+        self.sim = sim
+        self.name = name
+        self.generator = generator
+        self._result: Any = _PENDING
+        self._done_signal = Signal(sim, f"{name}.done")
+        self._waiting_on: Optional[Signal] = None
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns, raises, or is killed."""
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if still running."""
+        if self._result is _PENDING:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self._result
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilled` into it."""
+        if not self._alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        try:
+            self.generator.throw(ProcessKilled(f"process {self.name!r} killed"))
+        except (ProcessKilled, StopIteration):
+            pass
+        self._finish(None)
+
+    def _finish(self, result: Any) -> None:
+        self._alive = False
+        self._result = result
+        self._done_signal.notify(result)
+
+    def _resume(self, value: Any = None) -> None:
+        """Advance the generator one step.  Called only by the kernel."""
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        """Schedule the next resume according to the yielded value."""
+        if isinstance(yielded, int) and not isinstance(yielded, bool):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.schedule_after(yielded, self._resume)
+        elif isinstance(yielded, Signal):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            other = yielded
+            if other._alive:
+                self._waiting_on = other._done_signal
+                other._done_signal._add_waiter(self)
+            else:
+                self.sim.schedule_after(0, lambda: self._resume(other._result))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r} ({type(yielded).__name__})"
+            )
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,117 @@
+"""Synchronisation primitives: broadcast signals and bounded FIFOs."""
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.kernel.errors import SimulationError
+
+
+class Signal:
+    """Broadcast wake-up primitive.
+
+    Processes block on a signal by yielding it (``payload = yield sig``).
+    :meth:`notify` wakes *all* currently blocked processes in the order they
+    started waiting, delivering ``payload`` as the value of their ``yield``
+    expression.  A notify with no waiters is lost (signals are not latched);
+    use a :class:`Fifo` when events must not be dropped.
+    """
+
+    __slots__ = ("sim", "name", "_waiters")
+
+    def __init__(self, sim, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: List = []
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    def _add_waiter(self, process) -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process) -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def notify(self, payload: Any = None) -> int:
+        """Wake every waiter at the current cycle; returns how many woke."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim.schedule_after(0, lambda p=process: p._resume(payload))
+        return len(waiters)
+
+    def __repr__(self) -> str:
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Fifo:
+    """Bounded blocking queue connecting producer and consumer processes.
+
+    Used for router input buffers and network-interface queues, where
+    back-pressure (a full buffer stalling the upstream hop) is part of the
+    timing model.  ``capacity=None`` means unbounded.
+
+    Both :meth:`put` and :meth:`get` are *generators* and must be driven with
+    ``yield from`` inside a simulation process::
+
+        yield from fifo.put(flit)
+        flit = yield from fifo.get()
+    """
+
+    def __init__(self, sim, capacity: Optional[int] = None, name: str = "fifo"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"fifo capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._not_full = Signal(sim, f"{name}.not_full")
+        self._not_empty = Signal(sim, f"{name}.not_empty")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the queue is full."""
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self._not_empty.notify()
+        return True
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._not_full.notify()
+            return True, item
+        return False, None
+
+    def put(self, item: Any):
+        """Blocking put (generator): waits while the queue is full."""
+        while self.is_full:
+            yield self._not_full
+        self._items.append(item)
+        self._not_empty.notify()
+
+    def get(self):
+        """Blocking get (generator): waits while the queue is empty."""
+        while not self._items:
+            yield self._not_empty
+        item = self._items.popleft()
+        self._not_full.notify()
+        return item
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Fifo {self.name!r} {len(self._items)}/{cap}>"

@@ -1,0 +1,161 @@
+"""The simulator: event loop, time base, and process management."""
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.kernel.errors import DeadlockError, SimulationError
+from repro.kernel.event import Event, EventQueue
+from repro.kernel.process import Process
+from repro.kernel.signal import Fifo, Signal
+
+#: Nanoseconds per simulated clock cycle.  The paper assumes a 5 ns cycle for
+#: both the IP cores and the TG; trace timestamps are recorded in ns.
+CYCLE_NS = 5
+
+
+class Simulator:
+    """Discrete-event simulator with integer cycle time.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.spawn(my_model_process(sim), name="cpu0")
+        sim.run()
+
+    The event order is fully deterministic (see :mod:`repro.kernel.event`),
+    so any two runs of the same model are identical.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._events_fired = 0
+        self._processes: List[Process] = []
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulation time in nanoseconds (cycle * 5 ns)."""
+        return self._now * CYCLE_NS
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (a simulator-effort proxy)."""
+        return self._events_fired
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule_after(self, delay: int, fn: Callable[[], None],
+                       priority: int = 0) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        return self._queue.push(self._now + delay, priority, fn)
+
+    def schedule_at(self, time: int, fn: Callable[[], None],
+                    priority: int = 0) -> Event:
+        """Schedule ``fn`` at an absolute cycle ``time >= now``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self._queue.push(time, priority, fn)
+
+    # -------------------------------------------------------------- processes
+
+    def spawn(self, generator: Generator, name: str = "process",
+              delay: int = 0) -> Process:
+        """Create a process from a generator and start it after ``delay``."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        self.schedule_after(delay, process._resume)
+        return process
+
+    def signal(self, name: str = "signal") -> Signal:
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name)
+
+    def fifo(self, capacity: Optional[int] = None, name: str = "fifo") -> Fifo:
+        """Create a :class:`Fifo` bound to this simulator."""
+        return Fifo(self, capacity, name)
+
+    @property
+    def live_processes(self) -> List[Process]:
+        """Processes that have not yet terminated."""
+        return [p for p in self._processes if p.alive]
+
+    # --------------------------------------------------------------- running
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
+            check_deadlock: bool = False) -> int:
+        """Run the event loop.
+
+        Args:
+            until: Stop once simulation time would pass this cycle (events at
+                exactly ``until`` still fire).
+            max_events: Safety stop after this many events.
+            check_deadlock: Raise :class:`DeadlockError` if the queue drains
+                while processes are still alive (blocked on signals forever).
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.fn()
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        if check_deadlock and self._queue.peek_time() is None:
+            stuck = self.live_processes
+            if stuck:
+                names = ", ".join(p.name for p in stuck[:8])
+                raise DeadlockError(
+                    f"{len(stuck)} process(es) blocked forever at cycle "
+                    f"{self._now}: {names}"
+                )
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event; returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.fn()
+        self._events_fired += 1
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now} queued={len(self._queue)} "
+                f"processes={len(self.live_processes)}>")
+
+
+def timeout(sim: Simulator, cycles: int) -> Signal:
+    """Return a signal that fires once, ``cycles`` from now."""
+    sig = sim.signal(f"timeout@{sim.now + cycles}")
+    sim.schedule_after(cycles, sig.notify)
+    return sig

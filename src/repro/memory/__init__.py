@@ -1,0 +1,30 @@
+"""Memory-mapped slave devices.
+
+The MPARM platform of the paper exposes three kinds of system slaves, all
+reproduced here:
+
+* **private memories** (one per core: boot code, data, stack; cacheable),
+* a **shared memory** visible to all masters (uncached),
+* a **hardware semaphore bank** whose reads are atomic test-and-set — the
+  device that makes the polling loops of Figure 2(b)/Figure 3 work.
+
+We add a small **barrier/counter device** (atomic increment on write) used
+by the multiprocessor benchmarks; MPARM builds barriers out of semaphores
+plus shared counters, but a hardware counter keeps write *data* values
+independent of arrival order, which the cross-interconnect validation
+experiment (DESIGN.md E7) requires.  All devices share the same timing
+model: a configurable access time for the first beat plus one cycle per
+additional burst beat.
+"""
+
+from repro.memory.store import WordStore
+from repro.memory.slave import MemorySlave, SlaveTimings
+from repro.memory.semaphore import BarrierDevice, SemaphoreBank
+
+__all__ = [
+    "BarrierDevice",
+    "MemorySlave",
+    "SemaphoreBank",
+    "SlaveTimings",
+    "WordStore",
+]

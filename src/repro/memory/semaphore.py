@@ -1,0 +1,117 @@
+"""Hardware synchronisation devices: semaphore bank and barrier counters.
+
+MPARM provides hardware semaphores accessed over the interconnect; checking
+is done by polling (paper Section 3).  The device semantics here follow the
+trace of Figure 3:
+
+* a semaphore word holds ``1`` when **free** and ``0`` when **locked**;
+* a *read* atomically returns the current value and, if it was free, locks
+  it (test-and-set) — so reading ``1`` means "acquired", reading ``0`` means
+  "retry";
+* a *write* stores the data value: writing ``1`` releases, writing ``0``
+  forces the locked state.
+
+Atomicity comes for free because the device serves one access at a time
+(the :class:`~repro.ocp.port.OCPSlavePort` serialises transactions) and the
+value update happens in the same access.
+"""
+
+from typing import Optional
+
+from repro.kernel import Simulator
+from repro.memory.slave import MemorySlave, SlaveTimings
+from repro.ocp.types import WORD_BYTES, WORD_MASK
+
+#: Value read from a free (acquirable) semaphore.
+SEM_FREE = 1
+#: Value read from a locked semaphore.
+SEM_LOCKED = 0
+
+
+class SemaphoreBank(MemorySlave):
+    """A bank of test-and-set hardware semaphores, one word each.
+
+    All semaphores reset to **free**.
+    """
+
+    def __init__(self, sim: Simulator, name: str, base: int, count: int,
+                 timings: Optional[SlaveTimings] = None):
+        super().__init__(sim, name, base, count * WORD_BYTES, timings)
+        for index in range(count):
+            self.store.write_word(index * WORD_BYTES, SEM_FREE)
+        self.acquisitions = 0
+        self.failed_polls = 0
+
+    def read_location(self, offset: int) -> int:
+        value = self.store.read_word(offset)
+        if value == SEM_FREE:
+            self.store.write_word(offset, SEM_LOCKED)
+            self.acquisitions += 1
+        else:
+            self.failed_polls += 1
+        return value
+
+    def write_location(self, offset: int, value: int) -> None:
+        self.store.write_word(offset, value & WORD_MASK)
+
+    def semaphore_addr(self, index: int) -> int:
+        """Global address of semaphore ``index``."""
+        return self.base + index * WORD_BYTES
+
+    def is_free(self, index: int) -> bool:
+        """Zero-time state check (for tests)."""
+        return self.store.read_word(index * WORD_BYTES) == SEM_FREE
+
+
+class BarrierDevice(MemorySlave):
+    """A bank of atomic event counters used as barriers.
+
+    Each counter occupies **two words**:
+
+    * word 0 (*count*): read returns the current count; write **adds** the
+      data value atomically (masters always write the constant ``1``, which
+      keeps trace data independent of arrival order);
+    * word 1 (*control*): write **sets** the count to the data value (used
+      to reset a barrier); read returns the count as well.
+
+    A barrier among *n* masters is: each master adds 1, then polls the count
+    word until it reads a value >= *n* (the translator collapses that poll
+    into a reactive loop exactly like a semaphore poll).
+    """
+
+    WORDS_PER_COUNTER = 2
+
+    def __init__(self, sim: Simulator, name: str, base: int, count: int,
+                 timings: Optional[SlaveTimings] = None):
+        size = count * self.WORDS_PER_COUNTER * WORD_BYTES
+        super().__init__(sim, name, base, size, timings)
+
+    def _counter_offset(self, offset: int) -> int:
+        return offset - (offset % (self.WORDS_PER_COUNTER * WORD_BYTES))
+
+    def _is_control(self, offset: int) -> bool:
+        return (offset // WORD_BYTES) % self.WORDS_PER_COUNTER == 1
+
+    def read_location(self, offset: int) -> int:
+        return self.store.read_word(self._counter_offset(offset))
+
+    def write_location(self, offset: int, value: int) -> None:
+        counter = self._counter_offset(offset)
+        if self._is_control(offset):
+            self.store.write_word(counter, value & WORD_MASK)
+        else:
+            current = self.store.read_word(counter)
+            self.store.write_word(counter, (current + value) & WORD_MASK)
+
+    def counter_addr(self, index: int) -> int:
+        """Global address of the *count* word of counter ``index``."""
+        return self.base + index * self.WORDS_PER_COUNTER * WORD_BYTES
+
+    def control_addr(self, index: int) -> int:
+        """Global address of the *control* (reset) word of counter ``index``."""
+        return self.counter_addr(index) + WORD_BYTES
+
+    def value(self, index: int) -> int:
+        """Zero-time count readback (for tests)."""
+        return self.store.read_word(
+            index * self.WORDS_PER_COUNTER * WORD_BYTES)

@@ -1,0 +1,52 @@
+"""Sparse word-addressable backing store."""
+
+from typing import Dict, Iterable, List
+
+from repro.ocp.types import OCPError, WORD_BYTES, WORD_MASK
+
+
+class WordStore:
+    """A sparse 32-bit word store indexed by byte address.
+
+    Unwritten locations read as zero.  Addresses must be word aligned and
+    inside ``[0, size)`` relative to the store base (the store is
+    zero-based; mapping to a global address range is the slave's job).
+    """
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % WORD_BYTES != 0:
+            raise OCPError(f"store size must be a positive word multiple, "
+                           f"got {size_bytes}")
+        self.size_bytes = size_bytes
+        self._words: Dict[int, int] = {}
+
+    def _check(self, offset: int) -> None:
+        if offset % WORD_BYTES != 0:
+            raise OCPError(f"unaligned store offset 0x{offset:x}")
+        if offset < 0 or offset + WORD_BYTES > self.size_bytes:
+            raise OCPError(
+                f"store offset 0x{offset:x} outside size 0x{self.size_bytes:x}")
+
+    def read_word(self, offset: int) -> int:
+        """Read the 32-bit word at byte ``offset``."""
+        self._check(offset)
+        return self._words.get(offset, 0)
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Write the 32-bit word at byte ``offset`` (value is masked)."""
+        self._check(offset)
+        self._words[offset] = value & WORD_MASK
+
+    def load_words(self, offset: int, words: Iterable[int]) -> None:
+        """Bulk-load consecutive words starting at byte ``offset``."""
+        for index, word in enumerate(words):
+            self.write_word(offset + index * WORD_BYTES, word)
+
+    def dump_words(self, offset: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at byte ``offset``."""
+        return [self.read_word(offset + i * WORD_BYTES) for i in range(count)]
+
+    @property
+    def written_offsets(self) -> List[int]:
+        """Sorted byte offsets that have been written (for debugging)."""
+        return sorted(self._words)

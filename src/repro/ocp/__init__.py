@@ -1,0 +1,49 @@
+"""OCP-style core/interconnect interface.
+
+The paper (and MPARM) use the Open Core Protocol at the boundary between IP
+cores and the interconnect, precisely so cores and traffic generators are
+interchangeable (Figure 1).  This package models OCP at the transaction
+level that the TG methodology needs:
+
+* a **request phase** (master presents a command),
+* a **command accept** (interconnect/slave takes the command — posted writes
+  release the master here), and
+* a **response phase** (read data returns to the master).
+
+Masters own an :class:`OCPMasterPort`; slaves sit behind an
+:class:`OCPSlavePort` which serialises concurrent accesses (one transaction
+in service at a time — the "stalled at the slave interface" behaviour of
+Figure 2(a)).  Monitors attached to a master port observe all three phases
+with cycle timestamps; the trace collector in :mod:`repro.trace` is such a
+monitor.
+"""
+
+from repro.ocp.types import (
+    BYTE_MASK,
+    WORD_BYTES,
+    WORD_MASK,
+    OCPCommand,
+    OCPError,
+    Request,
+    Response,
+)
+from repro.ocp.port import OCPMasterPort, OCPSlavePort
+from repro.ocp.monitor import LatencyMonitor, PortMonitor, RecordingMonitor
+from repro.ocp.checker import ProtocolChecker, ProtocolViolation
+
+__all__ = [
+    "BYTE_MASK",
+    "LatencyMonitor",
+    "ProtocolChecker",
+    "ProtocolViolation",
+    "OCPCommand",
+    "OCPError",
+    "OCPMasterPort",
+    "OCPSlavePort",
+    "PortMonitor",
+    "RecordingMonitor",
+    "Request",
+    "Response",
+    "WORD_BYTES",
+    "WORD_MASK",
+]

@@ -1,0 +1,84 @@
+"""Monitors observing OCP master ports.
+
+A monitor receives the three protocol phases with cycle timestamps.  The
+trace collector (:mod:`repro.trace.collector`) is the production monitor;
+this module provides the protocol base plus two simple implementations used
+by tests and statistics.
+"""
+
+from typing import List, Tuple
+
+from repro.ocp.types import Request, Response
+
+
+class PortMonitor:
+    """Interface for OCP master-port observers (all hooks optional)."""
+
+    def on_request(self, time: int, request: Request) -> None:
+        """Master presented ``request`` at cycle ``time``."""
+
+    def on_accept(self, time: int, request: Request) -> None:
+        """Command was accepted downstream at cycle ``time``."""
+
+    def on_response(self, time: int, request: Request,
+                    response: Response) -> None:
+        """Read response arrived back at the port at cycle ``time``."""
+
+
+class RecordingMonitor(PortMonitor):
+    """Keeps every observed phase in a list of tuples (for tests)."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+
+    def on_request(self, time, request):
+        self.events.append(("REQ", time, request))
+
+    def on_accept(self, time, request):
+        self.events.append(("ACC", time, request))
+
+    def on_response(self, time, request, response):
+        self.events.append(("RESP", time, request, response))
+
+    def of_kind(self, kind: str) -> List[Tuple]:
+        return [event for event in self.events if event[0] == kind]
+
+
+class LatencyMonitor(PortMonitor):
+    """Aggregates per-transaction latency statistics.
+
+    * ``accept_latency``: request → accept (arbitration + fabric delay);
+    * ``response_latency``: request → response (full round trip, reads only).
+    """
+
+    def __init__(self) -> None:
+        self.accept_latencies: List[int] = []
+        self.response_latencies: List[int] = []
+        self.request_count = 0
+
+    def on_request(self, time, request):
+        self.request_count += 1
+
+    def on_accept(self, time, request):
+        if request.issue_time is not None:
+            self.accept_latencies.append(time - request.issue_time)
+
+    def on_response(self, time, request, response):
+        if request.issue_time is not None:
+            self.response_latencies.append(time - request.issue_time)
+
+    @staticmethod
+    def _mean(values: List[int]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_accept_latency(self) -> float:
+        return self._mean(self.accept_latencies)
+
+    @property
+    def mean_response_latency(self) -> float:
+        return self._mean(self.response_latencies)
+
+    @property
+    def max_response_latency(self) -> int:
+        return max(self.response_latencies) if self.response_latencies else 0

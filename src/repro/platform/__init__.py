@@ -1,0 +1,37 @@
+"""MPARM-like platform assembly.
+
+Builds complete systems out of the substrates: N master devices (armlet
+cores or traffic generators), private memory per core, shared memory, the
+hardware semaphore bank and barrier device, all behind a chosen
+interconnect.  The memory map follows MPARM's layout style:
+
+========================= =====================================
+region                    base
+========================= =====================================
+private memory, core *i*  ``i * 0x0100_0000``
+shared memory             ``0x1900_0000``
+semaphore bank            ``0x1A00_0000``
+barrier/counter device    ``0x1B00_0000``
+========================= =====================================
+
+Everything at or above the shared-memory base is uncached (shared data,
+synchronisation devices); private memory is cached.
+"""
+
+from repro.platform.config import (
+    BAR_BASE,
+    PRIVATE_STRIDE,
+    SEM_BASE,
+    SHARED_BASE,
+    PlatformConfig,
+)
+from repro.platform.system import MparmPlatform
+
+__all__ = [
+    "BAR_BASE",
+    "MparmPlatform",
+    "PRIVATE_STRIDE",
+    "PlatformConfig",
+    "SEM_BASE",
+    "SHARED_BASE",
+]

@@ -1,0 +1,195 @@
+"""System builder and run control."""
+
+from typing import Dict, List, Optional
+
+from repro.kernel import Simulator
+from repro.cpu.assembler import AssembledProgram, assemble
+from repro.cpu.core_ip import CoreIP
+from repro.interconnect import (
+    AddressMap,
+    AmbaAhbBus,
+    STBusFabric,
+    TlmFabric,
+    XpipesNoc,
+)
+from repro.memory import BarrierDevice, MemorySlave, SemaphoreBank
+from repro.ocp import OCPSlavePort
+from repro.platform.config import (
+    BAR_BASE,
+    SEM_BASE,
+    SHARED_BASE,
+    PlatformConfig,
+)
+
+_FABRICS = {
+    "ahb": AmbaAhbBus,
+    "xpipes": XpipesNoc,
+    "stbus": STBusFabric,
+    "tlm": TlmFabric,
+}
+
+
+class MparmPlatform:
+    """A complete simulatable system.
+
+    Typical reference-simulation use::
+
+        platform = MparmPlatform(PlatformConfig(n_masters=2))
+        platform.add_core(asm_source_for_core0)
+        platform.add_core(asm_source_for_core1)
+        platform.run()
+        print(platform.cumulative_execution_time)
+
+    Masters are added in socket order (socket *i* = master id *i*).  A
+    master is any object exposing ``port`` (bound by the platform),
+    ``start()``, ``finished`` and ``completion_time`` — armlet cores and
+    traffic generators both qualify, which is the interchangeability at the
+    heart of the paper.
+    """
+
+    def __init__(self, config: PlatformConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.address_map = AddressMap()
+        self.private_mems: List[MemorySlave] = []
+        for core_id in range(config.n_masters):
+            mem = MemorySlave(self.sim, f"priv{core_id}",
+                              config.private_base(core_id),
+                              config.private_size, config.private_timings)
+            self._map(mem)
+            self.private_mems.append(mem)
+        self.shared_mem = MemorySlave(self.sim, "shared", SHARED_BASE,
+                                      config.shared_size,
+                                      config.shared_timings)
+        self.semaphores = SemaphoreBank(self.sim, "sem", SEM_BASE,
+                                        config.semaphores,
+                                        config.device_timings)
+        self.barriers = BarrierDevice(self.sim, "bar", BAR_BASE,
+                                      config.barriers, config.device_timings)
+        for slave in (self.shared_mem, self.semaphores, self.barriers):
+            self._map(slave)
+        try:
+            fabric_cls = _FABRICS[config.interconnect]
+        except KeyError:
+            raise ValueError(
+                f"unknown interconnect {config.interconnect!r}; choose from "
+                f"{sorted(_FABRICS)}") from None
+        self.fabric = fabric_cls(self.sim, address_map=self.address_map,
+                                 **config.fabric_kwargs)
+        self.masters: List = []
+        self._started = False
+
+    def _map(self, slave: MemorySlave) -> None:
+        port = OCPSlavePort(self.sim, f"{slave.name}.port", slave)
+        self.address_map.add(slave.base, slave.size_bytes, port, slave.name)
+
+    # ------------------------------------------------------------- masters
+
+    @property
+    def next_socket(self) -> int:
+        return len(self.masters)
+
+    def add_core(self, program, entry: Optional[int] = None) -> CoreIP:
+        """Create an armlet core in the next socket.
+
+        ``program`` is either assembly source text (assembled at the core's
+        private base) or an :class:`AssembledProgram` already based there.
+        The program image is loaded into the core's private memory.
+        """
+        core_id = self.next_socket
+        if core_id >= self.config.n_masters:
+            raise ValueError("all master sockets are occupied")
+        base = self.config.private_base(core_id)
+        if isinstance(program, str):
+            program = assemble(program, base=base)
+        if not isinstance(program, AssembledProgram):
+            raise TypeError("program must be source text or AssembledProgram")
+        self.private_mems[core_id].load(program.base, program.words)
+        core = CoreIP(self.sim, f"core{core_id}", core_id,
+                      self.config.uncached,
+                      icache_config=self.config.icache,
+                      dcache_config=self.config.dcache)
+        core.set_entry(entry if entry is not None else program.entry)
+        self._attach(core, core_id)
+        return core
+
+    def add_master(self, master) -> None:
+        """Attach a pre-built master (e.g. a traffic generator)."""
+        core_id = self.next_socket
+        if core_id >= self.config.n_masters:
+            raise ValueError("all master sockets are occupied")
+        self._attach(master, core_id)
+
+    def _attach(self, master, master_id: int) -> None:
+        master.port.bind(self.fabric, master_id)
+        if isinstance(self.fabric, XpipesNoc):
+            self.fabric.attach_master(master_id)
+        self.masters.append(master)
+
+    # ------------------------------------------------------------- running
+
+    def start(self) -> None:
+        """Start all masters (and finalise the NoC mesh if needed)."""
+        if self._started:
+            raise RuntimeError("platform already started")
+        if len(self.masters) != self.config.n_masters:
+            raise RuntimeError(
+                f"{len(self.masters)} master(s) added, config expects "
+                f"{self.config.n_masters}")
+        if isinstance(self.fabric, XpipesNoc):
+            self.fabric.build()
+        for master in self.masters:
+            master.start()
+        self._started = True
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Start (if needed) and run until all masters halt.
+
+        Returns the final simulation time.  Raises if the event queue
+        drains with unfinished masters (a deadlocked system) unless a
+        ``until``/``max_events`` bound stopped the run first.
+        """
+        if not self._started:
+            self.start()
+        end = self.sim.run(until=until, max_events=max_events)
+        if until is None and max_events is None:
+            stuck = [m for m in self.masters if not m.finished]
+            if stuck:
+                names = ", ".join(getattr(m, "name", "?") for m in stuck)
+                raise RuntimeError(
+                    f"simulation drained at cycle {end} with unfinished "
+                    f"masters: {names}")
+        return end
+
+    # ------------------------------------------------------------- results
+
+    @property
+    def all_finished(self) -> bool:
+        return all(master.finished for master in self.masters)
+
+    @property
+    def completion_times(self) -> List[Optional[int]]:
+        return [master.completion_time for master in self.masters]
+
+    @property
+    def cumulative_execution_time(self) -> int:
+        """Sum of per-master completion cycles — Table 2's accuracy metric."""
+        total = 0
+        for master in self.masters:
+            if master.completion_time is None:
+                raise RuntimeError("a master has not finished")
+            total += master.completion_time
+        return total
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Headline statistics for reports."""
+        summary = {
+            "cycles": self.sim.now,
+            "events": self.sim.events_fired,
+            "fabric_transactions": self.fabric.stats.transactions,
+            "fabric_beats": self.fabric.stats.beats_transferred,
+        }
+        if isinstance(self.fabric, AmbaAhbBus):
+            summary["bus_utilisation"] = round(self.fabric.utilisation(), 4)
+        return summary

@@ -1,0 +1,117 @@
+"""Trace comparison: quantify how faithfully a TG reproduced a core.
+
+Used to debug accuracy (Table-2 "Error") at transaction granularity: align
+the reference core's trace with the TG's trace and report per-transaction
+timing drift.  Polling sequences are collapsed before alignment, because a
+reactive TG legitimately issues a *different number* of polls — comparing
+them positionally would be meaningless.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ocp.types import OCPCommand
+from repro.stats.counters import LatencyStats
+from repro.trace.events import Transaction
+
+
+def collapse_polls(transactions: List[Transaction]) -> List[Transaction]:
+    """Drop all but the last of consecutive single reads to one address.
+
+    This canonicalises both a core's and a TG's stream to the same shape:
+    the surviving read is the successful poll (or the lone read, for
+    non-polled locations — harmless, since consecutive duplicate reads
+    carry no extra alignment information either way).
+    """
+    collapsed: List[Transaction] = []
+    for txn in transactions:
+        if (collapsed
+                and txn.cmd == OCPCommand.READ
+                and collapsed[-1].cmd == OCPCommand.READ
+                and collapsed[-1].addr == txn.addr):
+            collapsed[-1] = txn
+        else:
+            collapsed.append(txn)
+    return collapsed
+
+
+class TraceComparison:
+    """Result of :func:`compare_traces`."""
+
+    def __init__(self) -> None:
+        self.aligned = 0
+        self.ref_total = 0
+        self.tg_total = 0
+        self.structure_matches = False
+        self.first_mismatch: Optional[int] = None
+        self.drifts = LatencyStats()       # signed, in cycles
+        self.drift_series: List[int] = []
+
+    @property
+    def final_drift(self) -> int:
+        return self.drift_series[-1] if self.drift_series else 0
+
+    @property
+    def max_abs_drift(self) -> int:
+        return max((abs(value) for value in self.drift_series), default=0)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "structure_matches": self.structure_matches,
+            "aligned_transactions": self.aligned,
+            "ref_transactions": self.ref_total,
+            "tg_transactions": self.tg_total,
+            "first_mismatch": self.first_mismatch,
+            "final_drift_cycles": self.final_drift,
+            "max_abs_drift_cycles": self.max_abs_drift,
+            "mean_drift_cycles": round(self.drifts.mean, 2),
+        }
+
+
+def compare_traces(reference: List[Transaction],
+                   generated: List[Transaction],
+                   cycle_ns: int = 5) -> TraceComparison:
+    """Align two transaction streams and measure timing drift.
+
+    Both streams are poll-collapsed first.  ``structure_matches`` is True
+    when the collapsed streams agree on (command, address, burst length)
+    at every position; drift is ``tg_request - ref_request`` in cycles for
+    each aligned pair (positive = the TG ran late).
+    """
+    ref = collapse_polls(reference)
+    gen = collapse_polls(generated)
+    result = TraceComparison()
+    result.ref_total = len(reference)
+    result.tg_total = len(generated)
+    limit = min(len(ref), len(gen))
+    matches = True
+    for index in range(limit):
+        a, b = ref[index], gen[index]
+        if (a.cmd, a.addr, a.burst_len) != (b.cmd, b.addr, b.burst_len):
+            matches = False
+            if result.first_mismatch is None:
+                result.first_mismatch = index
+            break
+        drift = (b.req_ns - a.req_ns) // cycle_ns
+        result.drifts.add(drift)
+        result.drift_series.append(drift)
+        result.aligned += 1
+    if len(ref) != len(gen):
+        matches = False
+        if result.first_mismatch is None:
+            result.first_mismatch = limit
+    result.structure_matches = matches
+    return result
+
+
+def drift_report(comparison: TraceComparison,
+                 buckets: int = 8) -> List[Tuple[str, int]]:
+    """Down-sampled drift curve: ``(position label, drift)`` pairs."""
+    series = comparison.drift_series
+    if not series:
+        return []
+    step = max(1, len(series) // buckets)
+    report = []
+    for start in range(0, len(series), step):
+        report.append((f"txn {start}", series[start]))
+    report.append((f"txn {len(series) - 1}", series[-1]))
+    return report

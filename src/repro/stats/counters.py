@@ -1,0 +1,124 @@
+"""Latency statistics and trace summaries."""
+
+from typing import Dict, List, Optional
+
+from repro.ocp.types import OCPCommand
+from repro.trace.events import Transaction
+
+
+class LatencyStats:
+    """Streaming aggregation of integer samples (cycles)."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+
+    def add(self, value: int) -> None:
+        self._samples.append(value)
+
+    def extend(self, values) -> None:
+        self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> int:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> int:
+        return min(self._samples) if self._samples else 0
+
+    @property
+    def maximum(self) -> int:
+        return max(self._samples) if self._samples else 0
+
+    def percentile(self, q: float) -> int:
+        """q in [0, 100]; nearest-rank percentile."""
+        if not self._samples:
+            return 0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def median(self) -> int:
+        return self.percentile(50)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "min": self.minimum,
+            "p50": self.median,
+            "p95": self.percentile(95),
+            "max": self.maximum,
+        }
+
+
+class Histogram:
+    """Fixed-width-bin histogram over non-negative integer samples."""
+
+    def __init__(self, bin_width: int = 1):
+        if bin_width < 1:
+            raise ValueError("bin width must be >= 1")
+        self.bin_width = bin_width
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+
+    def add(self, value: int) -> None:
+        index = value // self.bin_width
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+
+    def items(self):
+        """Sorted ``(bin_start, count)`` pairs."""
+        return [(index * self.bin_width, count)
+                for index, count in sorted(self.bins.items())]
+
+    def mode_bin(self) -> Optional[int]:
+        """Start of the most populated bin, or None when empty."""
+        if not self.bins:
+            return None
+        index = max(self.bins, key=lambda i: (self.bins[i], -i))
+        return index * self.bin_width
+
+
+def trace_summary(transactions: List[Transaction],
+                  cycle_ns: int = 5) -> Dict[str, object]:
+    """Aggregate a master's trace: mix, latencies, idle time, bandwidth."""
+    reads = LatencyStats()
+    writes = LatencyStats()
+    gaps = LatencyStats()
+    counts = {cmd: 0 for cmd in OCPCommand}
+    beats = 0
+    previous: Optional[Transaction] = None
+    for txn in transactions:
+        counts[txn.cmd] += 1
+        beats += txn.burst_len
+        latency = (txn.unblock_ns - txn.req_ns) // cycle_ns
+        (reads if txn.cmd.is_read else writes).add(latency)
+        if previous is not None:
+            gaps.add(max(0, (txn.req_ns - previous.unblock_ns) // cycle_ns))
+        previous = txn
+    duration = (transactions[-1].unblock_ns // cycle_ns
+                if transactions else 0)
+    return {
+        "transactions": len(transactions),
+        "beats": beats,
+        "mix": {cmd.value: counts[cmd] for cmd in OCPCommand if counts[cmd]},
+        "read_latency": reads.summary(),
+        "write_latency": writes.summary(),
+        "idle_gaps": gaps.summary(),
+        "duration_cycles": duration,
+        "beats_per_kcycle": (round(1000 * beats / duration, 2)
+                             if duration else 0.0),
+    }

@@ -1,0 +1,56 @@
+"""Fixed-width table rendering for experiment reports."""
+
+from typing import List, Optional, Sequence
+
+
+class Table:
+    """A simple column-aligned text table (Table-2-style output)."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self._sections: List[int] = []  # row indices before which a rule goes
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, "
+                             f"got {len(cells)}")
+        self.rows.append([str(cell) for cell in cells])
+
+    def add_section(self, label: str) -> None:
+        """Start a labelled section (like Table 2's per-benchmark blocks)."""
+        self._sections.append(len(self.rows))
+        self.rows.append([label] + [""] * (len(self.headers) - 1))
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells):
+            return "  ".join(cell.ljust(width)
+                             for cell, width in zip(cells, widths)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = []
+        if self.title:
+            out.append(self.title)
+            out.append("=" * len(self.title))
+        out.append(line(self.headers))
+        out.append(rule)
+        for index, row in enumerate(self.rows):
+            if index in self._sections:
+                out.append(rule)
+            out.append(line(row))
+        return "\n".join(out)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """One-shot convenience wrapper over :class:`Table`."""
+    table = Table(headers, title)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

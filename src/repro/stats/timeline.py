@@ -1,0 +1,80 @@
+"""ASCII transaction timelines: a Gantt-style view of master activity.
+
+Renders what paper Figure 2 draws by hand: for each master, a lane of
+characters over time where ``R``/``W`` mark a read/write in flight
+(request → unblock), ``#`` marks burst transfers, and ``.`` is idle.
+Useful when debugging why a TG's traffic diverges from its core's.
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ocp.types import OCPCommand
+from repro.trace.events import Transaction
+
+_GLYPH = {
+    OCPCommand.READ: "R",
+    OCPCommand.WRITE: "W",
+    OCPCommand.BURST_READ: "#",
+    OCPCommand.BURST_WRITE: "#",
+}
+
+
+def render_timeline(lanes: Dict[str, List[Transaction]],
+                    width: int = 72,
+                    start_ns: Optional[int] = None,
+                    end_ns: Optional[int] = None,
+                    cycle_ns: int = 5) -> str:
+    """Render one lane per master.
+
+    Args:
+        lanes: ``{label: transactions}`` per master.
+        width: Characters available for the time axis.
+        start_ns / end_ns: Window to render (defaults to the full span).
+    """
+    all_txns = [txn for txns in lanes.values() for txn in txns]
+    if not all_txns:
+        return "(no transactions)"
+    lo = start_ns if start_ns is not None else min(t.req_ns
+                                                   for t in all_txns)
+    hi = end_ns if end_ns is not None else max(t.unblock_ns
+                                               for t in all_txns)
+    if hi <= lo:
+        hi = lo + 1
+    span = hi - lo
+    label_width = max(len(label) for label in lanes)
+
+    def column(time_ns: int) -> int:
+        return min(width - 1, max(0, (time_ns - lo) * width // span))
+
+    lines = []
+    header = " " * (label_width + 2) + _axis(lo, hi, width, cycle_ns)
+    lines.append(header)
+    for label, txns in lanes.items():
+        lane = ["."] * width
+        for txn in txns:
+            glyph = _GLYPH[txn.cmd]
+            first = column(txn.req_ns)
+            last = column(txn.unblock_ns)
+            for index in range(first, last + 1):
+                lane[index] = glyph
+        lines.append(f"{label.ljust(label_width)}  {''.join(lane)}")
+    legend = (" " * (label_width + 2)
+              + "R=read  W=write  #=burst  .=idle "
+              + f"({span // cycle_ns} cycles shown)")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _axis(lo: int, hi: int, width: int, cycle_ns: int) -> str:
+    left = f"|{lo // cycle_ns}"
+    right = f"{hi // cycle_ns}|"
+    middle = " " * max(1, width - len(left) - len(right))
+    return (left + middle + right)[:width + 2]
+
+
+def lanes_from_collectors(collectors, group) -> Dict[str, List[Transaction]]:
+    """Build render lanes from ``{master_id: TraceCollector}``."""
+    lanes = {}
+    for master_id, collector in sorted(collectors.items()):
+        lanes[f"M{master_id}"] = group(collector.events)
+    return lanes

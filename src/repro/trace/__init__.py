@@ -1,0 +1,43 @@
+"""Trace collection and trace→TG-program translation (the TG flow).
+
+The simulation flow of paper Section 5:
+
+1. attach a :class:`TraceCollector` to every master OCP port of the
+   reference simulation (``collect_traces`` wires a whole platform);
+2. run; each collector holds the master's communication events (request /
+   accept / response, with ns timestamps, commands, addresses, data);
+3. persist as ``.trc`` text (:mod:`repro.trace.trc_format`, the format of
+   paper Figure 3(a) extended with accept records and bursts);
+4. translate each trace into a TG program
+   (:class:`~repro.trace.translator.Translator` → ``.tgp``), recognising
+   polling accesses to pollable address ranges and collapsing them into
+   reactive loops;
+5. assemble to ``.bin`` (:mod:`repro.core.assembler`) and execute on
+   :class:`~repro.core.tg_master.TGMaster` against any interconnect.
+"""
+
+from repro.trace.events import Phase, TraceEvent, Transaction, group_events
+from repro.trace.trc_format import parse_trc, serialize_trc
+from repro.trace.collector import TraceCollector, collect_traces
+from repro.trace.translator import Translator, TranslatorOptions
+from repro.trace.manifest import (
+    load_trace_set,
+    save_trace_set,
+    translate_trace_set,
+)
+
+__all__ = [
+    "Phase",
+    "TraceCollector",
+    "TraceEvent",
+    "Transaction",
+    "Translator",
+    "TranslatorOptions",
+    "collect_traces",
+    "group_events",
+    "load_trace_set",
+    "parse_trc",
+    "save_trace_set",
+    "serialize_trc",
+    "translate_trace_set",
+]

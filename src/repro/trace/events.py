@@ -1,0 +1,112 @@
+"""Trace event and transaction datatypes."""
+
+import enum
+from typing import List, NamedTuple, Optional, Union
+
+from repro.ocp.types import OCPCommand, OCPError
+
+
+class Phase(enum.Enum):
+    """OCP protocol phases recorded in a trace."""
+
+    REQ = "REQ"    #: master presented the command
+    ACC = "ACC"    #: command accepted downstream (posted-write unblock)
+    RESP = "RESP"  #: read response arrived back (read unblock)
+
+
+class TraceEvent(NamedTuple):
+    """One recorded protocol phase.
+
+    ``time_ns`` is in nanoseconds (cycle × 5 ns, as in the paper's traces).
+    ``data`` carries write data on REQ events and read data on RESP events
+    (an int, or a list of ints for bursts).
+    """
+
+    phase: Phase
+    time_ns: int
+    cmd: OCPCommand
+    addr: int
+    burst_len: int = 1
+    data: Union[None, int, List[int]] = None
+    uid: int = 0
+
+    def __repr__(self) -> str:
+        data = "" if self.data is None else f" data={self.data!r}"
+        return (f"<{self.phase.value} {self.cmd.value} 0x{self.addr:08x}"
+                f"{data} @{self.time_ns}ns>")
+
+
+class Transaction:
+    """A whole transaction reassembled from its phases."""
+
+    __slots__ = ("cmd", "addr", "burst_len", "write_data", "read_data",
+                 "req_ns", "acc_ns", "resp_ns", "uid")
+
+    def __init__(self, cmd: OCPCommand, addr: int, burst_len: int,
+                 req_ns: int, uid: int = 0):
+        self.cmd = cmd
+        self.addr = addr
+        self.burst_len = burst_len
+        self.req_ns = req_ns
+        self.acc_ns: Optional[int] = None
+        self.resp_ns: Optional[int] = None
+        self.write_data: Union[None, int, List[int]] = None
+        self.read_data: Union[None, int, List[int]] = None
+        self.uid = uid
+
+    @property
+    def unblock_ns(self) -> int:
+        """When the master resumed: response for reads, accept for writes."""
+        if self.cmd.is_read:
+            if self.resp_ns is None:
+                raise OCPError(f"read {self!r} has no response record")
+            return self.resp_ns
+        if self.acc_ns is None:
+            raise OCPError(f"write {self!r} has no accept record")
+        return self.acc_ns
+
+    @property
+    def complete(self) -> bool:
+        if self.acc_ns is None:
+            return False
+        return self.resp_ns is not None if self.cmd.is_read else True
+
+    @property
+    def response_word(self) -> int:
+        """Single-word read data (last beat for bursts)."""
+        if isinstance(self.read_data, list):
+            return self.read_data[-1]
+        if self.read_data is None:
+            raise OCPError(f"{self!r} carries no read data")
+        return self.read_data
+
+    def __repr__(self) -> str:
+        return (f"<Txn {self.cmd.value} 0x{self.addr:08x} len={self.burst_len} "
+                f"req@{self.req_ns}ns>")
+
+
+def group_events(events: List[TraceEvent]) -> List[Transaction]:
+    """Reassemble a master's event stream into ordered transactions."""
+    transactions: List[Transaction] = []
+    by_uid = {}
+    for event in events:
+        if event.phase == Phase.REQ:
+            txn = Transaction(event.cmd, event.addr, event.burst_len,
+                              event.time_ns, event.uid)
+            if event.cmd.is_write:
+                txn.write_data = event.data
+            by_uid[event.uid] = txn
+            transactions.append(txn)
+            continue
+        txn = by_uid.get(event.uid)
+        if txn is None:
+            raise OCPError(f"{event!r} has no matching request")
+        if event.phase == Phase.ACC:
+            txn.acc_ns = event.time_ns
+        else:
+            txn.resp_ns = event.time_ns
+            txn.read_data = event.data
+    for txn in transactions:
+        if not txn.complete:
+            raise OCPError(f"incomplete transaction {txn!r} in trace")
+    return transactions

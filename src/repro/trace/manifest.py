@@ -1,0 +1,115 @@
+"""Trace-set directories: all of a platform's traces plus metadata.
+
+A reference simulation produces one trace per master; design-space
+exploration wants to archive them together with everything needed to
+re-translate later (pollable ranges, benchmark identity, the fabric they
+were collected on).  A *trace set* is a directory::
+
+    traceset/
+      manifest.json      metadata + file index
+      core0.trc
+      core1.trc
+      ...
+
+and, after :func:`translate_trace_set`, the derived programs::
+
+      core0.tgp  core0.bin  ...
+"""
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import TGProgram
+from repro.core.assembler import assemble_binary
+from repro.core.modes import ReplayMode
+from repro.trace.collector import TraceCollector
+from repro.trace.events import TraceEvent
+from repro.trace.translator import Translator, TranslatorOptions
+from repro.trace.trc_format import parse_trc
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def save_trace_set(directory, collectors: Dict[int, TraceCollector],
+                   benchmark: str = "",
+                   interconnect: str = "",
+                   pollable_ranges: Optional[List[Tuple[int, int]]] = None,
+                   extra: Optional[dict] = None) -> str:
+    """Write every collector's ``.trc`` plus ``manifest.json``.
+
+    Returns the manifest path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    files = {}
+    for master_id, collector in sorted(collectors.items()):
+        filename = f"core{master_id}.trc"
+        collector.save(os.path.join(directory, filename),
+                       header_comment=f"{benchmark} on {interconnect}"
+                       if benchmark else None)
+        files[str(master_id)] = filename
+    manifest = {
+        "version": FORMAT_VERSION,
+        "benchmark": benchmark,
+        "interconnect": interconnect,
+        "n_masters": len(collectors),
+        "pollable_ranges": [[base, size]
+                            for base, size in (pollable_ranges or [])],
+        "files": files,
+    }
+    if extra:
+        manifest["extra"] = extra
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_trace_set(directory) -> Tuple[dict, Dict[int, List[TraceEvent]]]:
+    """Read a trace set back; returns ``(manifest, {master_id: events})``."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace-set version "
+                         f"{manifest.get('version')!r}")
+    traces: Dict[int, List[TraceEvent]] = {}
+    for key, filename in manifest["files"].items():
+        with open(os.path.join(directory, filename)) as handle:
+            master_id, events = parse_trc(handle.read())
+        expected = int(key)
+        if master_id != expected:
+            raise ValueError(f"{filename}: header says master {master_id},"
+                             f" manifest says {expected}")
+        traces[expected] = events
+    return manifest, traces
+
+
+def translate_trace_set(directory,
+                        mode: ReplayMode = ReplayMode.REACTIVE,
+                        write_programs: bool = True,
+                        options: Optional[TranslatorOptions] = None,
+                        ) -> Dict[int, TGProgram]:
+    """Translate every trace of a set; optionally write .tgp/.bin files.
+
+    The pollable ranges default to the ones recorded in the manifest.
+    """
+    manifest, traces = load_trace_set(directory)
+    if options is None:
+        options = TranslatorOptions(
+            mode=mode,
+            pollable_ranges=[tuple(r)
+                             for r in manifest.get("pollable_ranges", [])])
+    translator = Translator(options)
+    programs: Dict[int, TGProgram] = {}
+    for master_id, events in sorted(traces.items()):
+        program = translator.translate_events(events, master_id)
+        programs[master_id] = program
+        if write_programs:
+            stem = os.path.join(directory, f"core{master_id}")
+            with open(stem + ".tgp", "w") as handle:
+                handle.write(program.to_tgp())
+            with open(stem + ".bin", "wb") as handle:
+                handle.write(assemble_binary(program))
+    return programs

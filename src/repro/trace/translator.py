@@ -1,0 +1,319 @@
+"""Trace → TG-program translation (paper Section 5 / Figure 3).
+
+The translator walks a master's transactions and rebuilds the core's
+*local* behaviour between them:
+
+* the gap between a transaction's unblock point (response for reads,
+  command accept for writes) and the next request is local computation —
+  it becomes ``SetRegister`` instructions (when the address/data registers
+  need new values) plus an ``Idle`` filling the remainder;
+* consecutive reads to a **pollable** address (semaphore bank, barrier
+  device, mailbox flags) are a polling sequence — in REACTIVE mode they
+  collapse into the paper's ``Semchk`` pattern::
+
+      SetRegister(addr, <location>)
+      SetRegister(tempreg, <success value>)
+    Semchk_1:
+      Read(addr)
+      Idle(<inner gap>)
+      If(rdreg != tempreg) Semchk_1
+
+  The success value is taken from the final read of the sequence (the one
+  that satisfied the core), so the same mechanism covers semaphores
+  (reads 1 on acquire), barriers (reads the full count) and mailbox flags
+  (reads the partner's value).  The *number* of polls is decided at TG run
+  time by the target interconnect — the reactive behaviour of Section 3.
+
+The translator's cycle accounting mirrors the TG's execution cost model
+(``SetRegister``/``If``/``Jump`` = 1 cycle, ``Idle(n)`` = n, OCP ops issue
+instantly): an emitted idle is ``gap - instruction_overhead``, clamped at
+zero.  Clamping is the "minimal timing mismatch caused by the conversion"
+the paper cites as its residual error source.
+"""
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.isa import (
+    ADDRREG,
+    Cond,
+    DATAREG,
+    TEMPREG,
+    TGInstruction,
+    TGOp,
+)
+from repro.core.modes import ReplayMode
+from repro.core.program import TGProgram
+from repro.kernel.simulator import CYCLE_NS
+from repro.ocp.types import OCPCommand, OCPError
+from repro.trace.events import TraceEvent, Transaction, group_events
+
+#: Fallback inner-loop idle when a poll succeeded first try in the
+#: reference run (cycles between a poll response and the next poll request;
+#: matches the armlet polling loop: CMPI + taken BNE + LDR base = 4).
+DEFAULT_POLL_GAP = 4
+
+
+class TranslatorOptions:
+    """Translation configuration.
+
+    Args:
+        mode: Replay fidelity (see :class:`~repro.core.modes.ReplayMode`).
+        pollable_ranges: ``(base, size)`` byte ranges whose reads are
+            polling accesses (the "knowledge of what addressing ranges
+            represent pollable resources" of Section 3).
+        default_poll_gap: Inner poll idle when the trace shows no failed
+            polls to learn it from.
+        cycle_ns: Trace timestamp resolution (ns per TG cycle).
+    """
+
+    def __init__(self, mode: ReplayMode = ReplayMode.REACTIVE,
+                 pollable_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+                 default_poll_gap: int = DEFAULT_POLL_GAP,
+                 cycle_ns: int = CYCLE_NS,
+                 address_registers: int = 1):
+        if not 1 <= address_registers <= 12:
+            raise ValueError("address_registers must be in [1, 12]")
+        self.mode = mode
+        self.pollable_ranges = list(pollable_ranges or [])
+        self.default_poll_gap = default_poll_gap
+        self.cycle_ns = cycle_ns
+        #: How many TG registers to allocate to addresses.  1 reproduces
+        #: the paper's minimal ``addr`` register; more registers cache
+        #: the hottest addresses (LRU), saving SetRegister cycles and
+        #: shrinking the clamped-idle conversion error (ablation E17).
+        self.address_registers = address_registers
+
+    def is_pollable(self, addr: int) -> bool:
+        return any(base <= addr < base + size
+                   for base, size in self.pollable_ranges)
+
+
+class Translator:
+    """Translates one master's trace into a :class:`TGProgram`."""
+
+    def __init__(self, options: Optional[TranslatorOptions] = None):
+        self.options = options or TranslatorOptions()
+
+    # ------------------------------------------------------------- public
+
+    def translate_events(self, events: List[TraceEvent],
+                         core_id: int = 0) -> TGProgram:
+        """Translate a raw event stream."""
+        return self.translate(group_events(events), core_id)
+
+    def translate(self, transactions: List[Transaction],
+                  core_id: int = 0) -> TGProgram:
+        """Translate reassembled transactions."""
+        state = _EmitState(self.options, core_id)
+        index = 0
+        while index < len(transactions):
+            cluster = self._poll_cluster(transactions, index)
+            if cluster is not None and self.options.mode is ReplayMode.REACTIVE:
+                consumed, polls, interleaved = cluster
+                # A cache refill can land in the middle of the core's very
+                # first loop iteration; emitting it before the collapsed
+                # loop keeps the program semantically correct (the success
+                # value is the value that actually ended the polling).
+                for txn in interleaved:
+                    state.emit_transaction(txn)
+                state.emit_poll_run(polls)
+                index += consumed
+                continue
+            state.emit_transaction(transactions[index])
+            index += 1
+        state.program.append(TGInstruction(TGOp.HALT))
+        state.program.validate()
+        return state.program
+
+    # ------------------------------------------------------------ helpers
+
+    #: Maximum refill-like transactions tolerated between two polls of the
+    #: same location before the cluster is considered broken.
+    MAX_INTERLEAVED = 2
+
+    def _poll_cluster(self, transactions: List[Transaction], start: int
+                      ) -> Optional[Tuple[int, List[Transaction],
+                                          List[Transaction]]]:
+        """Maximal polling cluster starting at ``start``.
+
+        A cluster is a sequence of reads to one pollable address, possibly
+        interrupted by a bounded number of refill-like reads to
+        *non-pollable* addresses (instruction-cache misses inside the
+        first loop iteration).  Returns ``(consumed, polls, interleaved)``
+        or None when ``start`` is not a polling access.
+        """
+        first = transactions[start]
+        if first.cmd != OCPCommand.READ:
+            return None
+        if not self.options.is_pollable(first.addr):
+            return None
+        polls = [first]
+        interleaved: List[Transaction] = []
+        pending: List[Transaction] = []
+        consumed = 1
+        index = start + 1
+        while index < len(transactions):
+            txn = transactions[index]
+            if txn.cmd == OCPCommand.READ and txn.addr == first.addr:
+                polls.append(txn)
+                interleaved.extend(pending)
+                pending = []
+                consumed = index - start + 1
+            elif (txn.cmd == OCPCommand.BURST_READ
+                  and not self.options.is_pollable(txn.addr)
+                  and len(pending) < self.MAX_INTERLEAVED):
+                pending.append(txn)
+            else:
+                break
+            index += 1
+        return consumed, polls, interleaved
+
+
+class _EmitState:
+    """Accumulates instructions while tracking the TG's timing cursor."""
+
+    def __init__(self, options: TranslatorOptions, core_id: int):
+        self.options = options
+        self.program = TGProgram(core_id=core_id, mode=options.mode)
+        #: TG-time cursor: cycle at which the previous transaction
+        #: unblocked the master (0 at program start).
+        self.cursor = 0
+        #: Cycles of instructions already emitted since the cursor (e.g.
+        #: the If that falls through after a successful poll).
+        self.pending_overhead = 0
+        # address-register allocation: ADDRREG plus generic registers
+        # r4.. as configured, LRU-replaced (maps address -> register)
+        self._addr_regs = [ADDRREG] + list(
+            range(4, 4 + options.address_registers - 1))
+        self._addr_map: "OrderedDict[int, int]" = OrderedDict()
+        self.data_value: Optional[int] = None
+        self.temp_value: Optional[int] = None
+        self._poll_counter = 0
+
+    def _cycles(self, time_ns: int) -> int:
+        return time_ns // self.options.cycle_ns
+
+    # ----------------------------------------------------------- emission
+
+    def _set_addr(self, addr: int) -> Tuple[int, int]:
+        """Ensure ``addr`` is in a register; returns (register, overhead)."""
+        reg = self._addr_map.get(addr)
+        if reg is not None:
+            self._addr_map.move_to_end(addr)
+            return reg, 0
+        if len(self._addr_map) < len(self._addr_regs):
+            used = set(self._addr_map.values())
+            reg = next(r for r in self._addr_regs if r not in used)
+        else:
+            _, reg = self._addr_map.popitem(last=False)  # evict LRU
+        self._addr_map[addr] = reg
+        self.program.append(TGInstruction(TGOp.SET_REGISTER, a=reg,
+                                          imm=addr))
+        return reg, 1
+
+    def _set_data(self, data: int) -> int:
+        if self.data_value != data:
+            self.program.append(TGInstruction(TGOp.SET_REGISTER, a=DATAREG,
+                                              imm=data))
+            self.data_value = data
+            return 1
+        return 0
+
+    def _set_temp(self, value: int) -> int:
+        if self.temp_value != value:
+            self.program.append(TGInstruction(TGOp.SET_REGISTER, a=TEMPREG,
+                                              imm=value))
+            self.temp_value = value
+            return 1
+        return 0
+
+    def _emit_idle(self, request_cycles: int, overhead: int) -> None:
+        gap = request_cycles - self.cursor - self.pending_overhead - overhead
+        if gap > 0:
+            self.program.append(TGInstruction(TGOp.IDLE, imm=gap))
+        self.pending_overhead = 0
+
+    def emit_transaction(self, txn: Transaction) -> None:
+        """Emit one ordinary transaction (setup + idle + OCP op)."""
+        addr_reg, overhead = self._set_addr(txn.addr)
+        if txn.cmd == OCPCommand.WRITE:
+            overhead += self._set_data(txn.write_data)
+        self._emit_idle(self._cycles(txn.req_ns), overhead)
+        if txn.cmd == OCPCommand.READ:
+            self.program.append(TGInstruction(TGOp.READ, a=addr_reg))
+        elif txn.cmd == OCPCommand.WRITE:
+            self.program.append(TGInstruction(TGOp.WRITE, a=addr_reg,
+                                              b=DATAREG))
+        elif txn.cmd == OCPCommand.BURST_READ:
+            self.program.append(TGInstruction(TGOp.BURST_READ, a=addr_reg,
+                                              b=txn.burst_len))
+        elif txn.cmd == OCPCommand.BURST_WRITE:
+            offset = self.program.add_pool(list(txn.write_data))
+            self.program.append(TGInstruction(TGOp.BURST_WRITE, a=addr_reg,
+                                              b=txn.burst_len, imm=offset))
+        else:  # pragma: no cover
+            raise OCPError(f"cannot translate {txn!r}")
+        if self.options.mode is ReplayMode.CLONING:
+            # the program never blocks: its own time advances only through
+            # idles, so the cursor is the issue instant
+            self.cursor = self._cycles(txn.req_ns)
+        else:
+            self.cursor = self._cycles(txn.unblock_ns)
+
+    def emit_poll_run(self, run: List[Transaction]) -> None:
+        """Collapse a polling sequence into reactive Semchk loop(s).
+
+        A consecutive-read run can contain *several* polling loops: if
+        the core acquired a semaphore and immediately started polling to
+        re-acquire it, the value sequence looks like ``1, 0, 0, 1`` —
+        one loop per success.  The CPU's wanted value is the same for
+        every loop over one location (same compare instruction), so the
+        run is split after each occurrence of the final (success) value
+        and each segment becomes its own loop.  A single merged loop
+        would exit at the first success and silently drop the later
+        acquisitions — corrupting device state, not just timing.
+        """
+        success_value = run[-1].response_word
+        segment: List[Transaction] = []
+        for txn in run:
+            segment.append(txn)
+            if txn.response_word == success_value:
+                self._emit_one_poll_loop(segment)
+                segment = []
+        # by construction the run ends with the success value, so no
+        # segment can be left over
+        assert not segment
+
+    def _emit_one_poll_loop(self, run: List[Transaction]) -> None:
+        first, last = run[0], run[-1]
+        success_value = last.response_word
+        inner_idle = self._inner_poll_idle(run)
+        addr_reg, overhead = self._set_addr(first.addr)
+        overhead += self._set_temp(success_value)
+        # The loop head's Idle also runs before the *first* poll, so the
+        # pre-loop idle is shortened by the same amount.
+        self._emit_idle(self._cycles(first.req_ns), overhead + inner_idle)
+        self._poll_counter += 1
+        label = f"Semchk_{self._poll_counter}"
+        loop_index = self.program.label_next(label)
+        if inner_idle > 0:
+            self.program.append(TGInstruction(TGOp.IDLE, imm=inner_idle))
+        self.program.append(TGInstruction(TGOp.READ, a=addr_reg))
+        self.program.append(TGInstruction(
+            TGOp.IF, a=0, b=TEMPREG, cond=int(Cond.NE), imm=loop_index))
+        # after the successful read the If still executes once
+        self.cursor = self._cycles(last.unblock_ns)
+        self.pending_overhead = 1
+
+    def _inner_poll_idle(self, run: List[Transaction]) -> int:
+        """Idle between a failed response and the retry (minus the If)."""
+        gaps = []
+        for prev, nxt in zip(run, run[1:]):
+            gaps.append(self._cycles(nxt.req_ns)
+                        - self._cycles(prev.unblock_ns))
+        if not gaps:
+            return self.options.default_poll_gap - 1
+        gaps.sort()
+        median = gaps[len(gaps) // 2]
+        return max(0, median - 1)

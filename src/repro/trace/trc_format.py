@@ -1,0 +1,114 @@
+"""The ``.trc`` text format (paper Figure 3(a), extended).
+
+The original trace format records request and response events with
+timestamps; ours adds explicit command-accept (``ACC``) records — the OCP
+``SCmdAccept`` instant — because posted-write gaps must be measured from
+the accept, and burst transfers.  Example::
+
+    ; repro .trc v1
+    ; master 0
+    REQ RD 0x00000104 @55ns
+    ACC RD 0x00000104 @60ns
+    RESP RD 0x00000104 0x088000f0 @75ns
+    REQ WR 0x00000020 0x00000111 @90ns
+    ACC WR 0x00000020 @95ns
+    REQ BRD 0x00001000 len=4 @140ns
+    ACC BRD 0x00001000 @145ns
+    RESP BRD 0x00001000 0x00000001,0x00000002,0x00000003,0x00000004 @165ns
+"""
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ocp.types import OCPCommand, OCPError
+from repro.trace.events import Phase, TraceEvent
+
+_CMD_BY_CODE = {cmd.value: cmd for cmd in OCPCommand}
+
+_LINE_RE = re.compile(
+    r"^(REQ|ACC|RESP)\s+(RD|WR|BRD|BWR)\s+(0x[0-9a-fA-F]+)"
+    r"(?:\s+len=(\d+))?"
+    r"(?:\s+((?:0x[0-9a-fA-F]+)(?:,0x[0-9a-fA-F]+)*))?"
+    r"\s+@(\d+)ns$")
+
+
+def _format_data(data) -> str:
+    if isinstance(data, list):
+        return ",".join(f"0x{word:08x}" for word in data)
+    return f"0x{data:08x}"
+
+
+def serialize_trc(events: List[TraceEvent], master_id: int = 0,
+                  header_comment: Optional[str] = None) -> str:
+    """Serialise a master's event stream to ``.trc`` text."""
+    lines = ["; repro .trc v1", f"; master {master_id}"]
+    if header_comment:
+        lines.append(f"; {header_comment}")
+    for event in events:
+        parts = [event.phase.value, event.cmd.value, f"0x{event.addr:08x}"]
+        if event.cmd.is_burst and event.phase == Phase.REQ:
+            parts.append(f"len={event.burst_len}")
+        if event.data is not None:
+            parts.append(_format_data(event.data))
+        parts.append(f"@{event.time_ns}ns")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def parse_trc(text: str) -> Tuple[int, List[TraceEvent]]:
+    """Parse ``.trc`` text; returns ``(master_id, events)``.
+
+    Request/accept/response records are re-linked by transaction order
+    (uids are regenerated: the *n*-th REQ gets uid *n*, and ACC/RESP
+    records attach to the most recent unsatisfied transaction of matching
+    address — sufficient because a master has one transaction in flight).
+    """
+    master_id = 0
+    events: List[TraceEvent] = []
+    open_uids: List[Tuple[int, OCPCommand, int, int]] = []
+    next_uid = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            match = re.match(r";\s*master\s+(\d+)", line)
+            if match:
+                master_id = int(match.group(1))
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise OCPError(f".trc line {line_no}: cannot parse {line!r}")
+        phase = Phase[match.group(1)]
+        cmd = _CMD_BY_CODE[match.group(2)]
+        addr = int(match.group(3), 16)
+        length = int(match.group(4)) if match.group(4) else 1
+        data_text = match.group(5)
+        time_ns = int(match.group(6))
+        data = None
+        if data_text:
+            words = [int(tok, 16) for tok in data_text.split(",")]
+            data = words if (cmd.is_burst and len(words) > 1) else words[0]
+            if cmd.is_burst and isinstance(data, int):
+                data = [data]
+        if phase == Phase.REQ:
+            uid = next_uid
+            next_uid += 1
+            burst_len = length if cmd.is_burst else 1
+            open_uids.append((uid, cmd, addr, burst_len))
+            events.append(TraceEvent(phase, time_ns, cmd, addr, burst_len,
+                                     data, uid))
+            continue
+        # attach to the oldest open transaction with this cmd+addr
+        for slot, (uid, open_cmd, open_addr, burst_len) in enumerate(open_uids):
+            if open_cmd == cmd and open_addr == addr:
+                break
+        else:
+            raise OCPError(f".trc line {line_no}: {phase.value} without "
+                           f"open request")
+        events.append(TraceEvent(phase, time_ns, cmd, addr, burst_len,
+                                 data, uid))
+        closes = (phase == Phase.RESP) if cmd.is_read else (phase == Phase.ACC)
+        if closes:
+            open_uids.pop(slot)
+    return master_id, events

@@ -1,0 +1,108 @@
+"""Property tests on the benchmark golden models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps import cacheloop, des, mp_matrix, sp_matrix
+from repro.ocp.types import WORD_MASK
+
+WORDS = st.integers(0, WORD_MASK)
+
+
+class TestDesModel:
+    @given(WORDS, WORDS)
+    def test_encrypt_decrypt_identity(self, left, right):
+        assert des.decrypt_block(*des.encrypt_block(left, right)) \
+            == (left, right)
+
+    @given(WORDS, WORDS)
+    def test_encryption_changes_block(self, left, right):
+        assert des.encrypt_block(left, right) != (left, right)
+
+    @given(WORDS, WORDS)
+    def test_outputs_are_32_bit(self, left, right):
+        out_l, out_r = des.encrypt_block(left, right)
+        assert 0 <= out_l <= WORD_MASK
+        assert 0 <= out_r <= WORD_MASK
+
+    def test_even_pipeline_is_identity(self):
+        for n_stages in (2, 4, 6):
+            for block, expected in zip(des.plaintext_blocks(3),
+                                       des.expected_output(n_stages, 3)):
+                assert block == expected
+
+    def test_odd_pipeline_is_single_encryption(self):
+        for block, expected in zip(des.plaintext_blocks(3),
+                                   des.expected_output(3, 3)):
+            assert expected == des.encrypt_block(*block)
+
+    @given(st.integers(2, 12))
+    def test_stage_keys_alternate(self, stage):
+        keys = des.key_schedule()
+        assert des.stage_keys(stage) == (
+            list(reversed(keys)) if stage % 2 else keys)
+
+    def test_sbox_is_deterministic_and_full(self):
+        table = des.sbox()
+        assert len(table) == 256
+        assert table == des.sbox()
+
+    @given(WORDS)
+    def test_feistel_f_is_32bit(self, x):
+        assert 0 <= des.feistel_f(x, des.sbox()) <= WORD_MASK
+
+
+class TestMatrixModels:
+    @given(st.integers(2, 8))
+    def test_sp_checksum_equals_sum_of_product(self, n):
+        product = sp_matrix.expected_product(n)
+        total = 0
+        for value in product:
+            total = (total + value) & WORD_MASK
+        assert total == sp_matrix.expected_checksum(n)
+
+    @given(st.integers(1, 12), st.integers(2, 8))
+    def test_mp_partials_sum_to_total(self, n_cores, n):
+        partials = mp_matrix.expected_partials(n_cores, n)
+        total = 0
+        for value in partials:
+            total = (total + value) & WORD_MASK
+        assert total == mp_matrix.expected_total(n_cores, n)
+
+    @given(st.integers(1, 12))
+    def test_mp_total_independent_of_partitioning(self, n_cores):
+        """The checksum covers every C element exactly once no matter how
+        many cores split the rows."""
+        assert (mp_matrix.expected_total(n_cores, 4)
+                == mp_matrix.expected_total(1, 4))
+
+    def test_mp_and_sp_use_different_inputs(self):
+        """Sanity: the two matrix benchmarks are distinct workloads."""
+        assert mp_matrix.matrix_a(4) != sp_matrix.matrix_a(4)
+
+
+class TestCacheloopModel:
+    @given(st.integers(1, 100_000))
+    def test_expected_result(self, iters):
+        assert cacheloop.expected_result(iters) == (3 * iters) & WORD_MASK
+
+
+class TestSourceGeneration:
+    def test_sources_assemble_for_every_core(self):
+        from repro.cpu import assemble
+        for n_cores in (2, 3):
+            for core_id in range(n_cores):
+                for app, params in ((cacheloop, {"iters": 10}),
+                                    (mp_matrix, {"n": 4}),
+                                    (des, {"blocks": 2})):
+                    source = app.source(core_id, n_cores, **params)
+                    program = assemble(source, base=core_id * 0x0100_0000)
+                    assert len(program.words) > 4
+
+    def test_des_only_first_core_has_plaintext(self):
+        assert "plaintext" in des.source(0, 3, blocks=2)
+        assert "plaintext" not in des.source(1, 3, blocks=2)
+
+    def test_sp_matrix_size_guard(self):
+        with pytest.raises(ValueError):
+            sp_matrix.source(0, 1, n=300)

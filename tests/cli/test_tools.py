@@ -1,0 +1,121 @@
+"""CLI toolchain tests (invoked in-process via main(argv))."""
+
+import json
+
+import pytest
+
+from repro.apps import mp_matrix
+from repro.cli import (
+    experiment_main,
+    tgasm_main,
+    tgdump_main,
+    trace_stats_main,
+    trc2tgp_main,
+)
+from repro.core import parse_tgp
+from repro.core.assembler import disassemble_binary
+from repro.harness import reference_run
+from repro.platform.config import SEM_BASE
+
+
+@pytest.fixture(scope="module")
+def trc_file(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    _, collectors, _ = reference_run(mp_matrix, 2, app_params={"n": 4})
+    path = tmp / "core0.trc"
+    collectors[0].save(path)
+    return path
+
+
+class TestTrc2Tgp:
+    def test_to_stdout(self, trc_file, capsys):
+        assert trc2tgp_main([str(trc_file)]) == 0
+        out = capsys.readouterr().out
+        assert "MASTER[0,0]" in out
+        assert "BEGIN" in out
+
+    def test_to_file(self, trc_file, tmp_path):
+        out = tmp_path / "core0.tgp"
+        assert trc2tgp_main([str(trc_file), "-o", str(out)]) == 0
+        program = parse_tgp(out.read_text())
+        assert len(program) > 10
+
+    def test_pollable_ranges_enable_collapse(self, trc_file, tmp_path):
+        out = tmp_path / "core0.tgp"
+        trc2tgp_main([str(trc_file), "-o", str(out),
+                      "--pollable", f"0x{SEM_BASE:x}:0x80",
+                      "--pollable", "0x1b000000:0x80",
+                      "--pollable", "0x19001000:0x100"])
+        assert "Semchk" in out.read_text()
+
+    def test_mode_flag(self, trc_file, tmp_path):
+        out = tmp_path / "clone.tgp"
+        trc2tgp_main([str(trc_file), "-o", str(out), "--mode", "cloning"])
+        assert "MODE cloning" in out.read_text()
+
+    def test_bad_pollable_syntax(self, trc_file):
+        with pytest.raises(SystemExit):
+            trc2tgp_main([str(trc_file), "--pollable", "nonsense"])
+
+
+class TestAsmDumpRoundTrip:
+    def test_tgp_bin_tgp(self, trc_file, tmp_path, capsys):
+        tgp = tmp_path / "a.tgp"
+        image = tmp_path / "a.bin"
+        back = tmp_path / "b.tgp"
+        trc2tgp_main([str(trc_file), "-o", str(tgp)])
+        assert tgasm_main([str(tgp), "-o", str(image)]) == 0
+        assert image.stat().st_size > 20
+        assert tgdump_main([str(image), "-o", str(back)]) == 0
+        assert parse_tgp(back.read_text()) == parse_tgp(tgp.read_text())
+
+    def test_dump_to_stdout(self, trc_file, tmp_path, capsys):
+        tgp = tmp_path / "a.tgp"
+        image = tmp_path / "a.bin"
+        trc2tgp_main([str(trc_file), "-o", str(tgp)])
+        tgasm_main([str(tgp), "-o", str(image)])
+        capsys.readouterr()
+        tgdump_main([str(image)])
+        assert "Halt" in capsys.readouterr().out
+
+
+class TestTraceStats:
+    def test_human_output(self, trc_file, capsys):
+        assert trace_stats_main([str(trc_file)]) == 0
+        out = capsys.readouterr().out
+        assert "transactions" in out
+        assert "read latency" in out
+
+    def test_json_output(self, trc_file, capsys):
+        trace_stats_main([str(trc_file), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["master"] == 0
+        assert data["transactions"] > 0
+        assert "read_latency" in data
+
+
+class TestExperiment:
+    def test_row_output(self, capsys):
+        assert experiment_main(["cacheloop", "-n", "2",
+                                "--param", "iters=100"]) == 0
+        out = capsys.readouterr().out
+        assert "Error=" in out
+        assert "Gain=" in out
+
+    def test_json_output(self, capsys):
+        experiment_main(["mp_matrix", "-n", "2", "--param", "n=4",
+                         "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "mp_matrix"
+        assert data["error"] < 0.05
+        assert data["ref_cycles"] > 0
+
+    def test_dse_flag(self, capsys):
+        experiment_main(["cacheloop", "-n", "2", "--param", "iters=50",
+                         "--tg-interconnect", "stbus", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["interconnect"] == "ahb"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            experiment_main(["quake", "-n", "2"])

@@ -1,0 +1,53 @@
+"""CLI tests for repro-traceset and the timeline flag."""
+
+import pytest
+
+from repro.apps import mp_matrix
+from repro.apps.common import pollable_ranges
+from repro.cli import trace_stats_main, traceset_main
+from repro.harness import reference_run
+from repro.trace import save_trace_set
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("tset")
+    _, collectors, _ = reference_run(mp_matrix, 2, app_params={"n": 4})
+    directory = tmp / "set"
+    save_trace_set(directory, collectors, benchmark="mp_matrix",
+                   interconnect="ahb",
+                   pollable_ranges=pollable_ranges(2))
+    return directory
+
+
+class TestTracesetCli:
+    def test_info(self, trace_dir, capsys):
+        assert traceset_main(["info", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "mp_matrix" in out
+        assert "core 0" in out and "core 1" in out
+
+    def test_translate(self, trace_dir, capsys):
+        assert traceset_main(["translate", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "TG instructions" in out
+        assert (trace_dir / "core0.tgp").exists()
+        assert (trace_dir / "core1.bin").exists()
+
+    def test_translate_mode(self, trace_dir):
+        traceset_main(["translate", str(trace_dir), "--mode",
+                       "timeshifting"])
+        assert "MODE timeshifting" in (trace_dir / "core0.tgp").read_text()
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            traceset_main([])
+
+
+class TestTimelineFlag:
+    def test_timeline_render(self, trace_dir, capsys):
+        assert trace_stats_main([str(trace_dir / "core0.trc"),
+                                 "--timeline", "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "M0" in out
+        assert "cycles shown" in out

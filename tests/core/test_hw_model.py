@@ -1,0 +1,169 @@
+"""Behavioural-vs-microarchitectural TG equivalence (co-simulation).
+
+``TGMaster`` is the specification; ``TGHardwareModel`` executes the raw
+``.bin`` image.  Both run the same program on identical platforms and
+must produce identical OCP event streams and completion times.
+"""
+
+import pytest
+
+from repro.apps import des, mp_matrix
+from repro.core import (
+    ReplayMode,
+    TGError,
+    TGHardwareModel,
+    TGInstruction,
+    TGMaster,
+    TGOp,
+    TGProgram,
+)
+from repro.core.assembler import assemble_binary
+from repro.core.isa import ADDRREG, DATAREG
+from repro.harness import reference_run, translate_traces
+from repro.ocp import RecordingMonitor
+from repro.platform import MparmPlatform, PlatformConfig, SHARED_BASE
+
+
+def I(op, **kwargs):  # noqa: E743
+    return TGInstruction(op, **kwargs)
+
+
+def run_with(master_cls_or_factory, program):
+    platform = MparmPlatform(PlatformConfig(n_masters=1))
+    if master_cls_or_factory is TGMaster:
+        master = TGMaster(platform.sim, "dut", program)
+    else:
+        master = TGHardwareModel(platform.sim, "dut",
+                                 assemble_binary(program))
+    monitor = RecordingMonitor()
+    master.port.attach_monitor(monitor)
+    platform.add_master(master)
+    platform.run()
+    return master, monitor
+
+
+def event_signature(monitor):
+    out = []
+    for event in monitor.events:
+        kind, time, request = event[0], event[1], event[2]
+        out.append((kind, time, request.cmd, request.addr,
+                    request.burst_len))
+    return out
+
+
+def assert_equivalent(program):
+    behavioural, b_monitor = run_with(TGMaster, program)
+    hardware, h_monitor = run_with(TGHardwareModel, program)
+    assert event_signature(b_monitor) == event_signature(h_monitor)
+    assert behavioural.completion_time == hardware.completion_time
+    assert behavioural.instructions_executed == hardware.instructions_executed
+
+
+class TestImageValidation:
+    def test_bad_magic(self):
+        image = bytearray(assemble_binary(TGProgram(
+            instructions=[I(TGOp.HALT)])))
+        image[3] ^= 0xFF
+        with pytest.raises(TGError):
+            TGHardwareModel(MparmPlatform(PlatformConfig(1)).sim, "x",
+                            bytes(image))
+
+    def test_truncated(self):
+        with pytest.raises(TGError):
+            TGHardwareModel(MparmPlatform(PlatformConfig(1)).sim, "x",
+                            b"\x00" * 8)
+
+    def test_cloning_rejected(self):
+        program = TGProgram(instructions=[I(TGOp.HALT)],
+                            mode=ReplayMode.CLONING)
+        with pytest.raises(TGError):
+            TGHardwareModel(MparmPlatform(PlatformConfig(1)).sim, "x",
+                            assemble_binary(program))
+
+    def test_header_fields_parsed(self):
+        program = TGProgram(core_id=5, thread_id=2,
+                            instructions=[I(TGOp.HALT)])
+        model = TGHardwareModel(MparmPlatform(PlatformConfig(1)).sim, "x",
+                                assemble_binary(program))
+        assert model.core_id == 5
+        assert model.n_instructions == 1
+
+
+class TestEquivalenceSynthetic:
+    def test_simple_traffic(self):
+        program = TGProgram(instructions=[
+            I(TGOp.IDLE, imm=7),
+            I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
+            I(TGOp.SET_REGISTER, a=DATAREG, imm=0xAB),
+            I(TGOp.WRITE, a=ADDRREG, b=DATAREG),
+            I(TGOp.IDLE, imm=3),
+            I(TGOp.READ, a=ADDRREG),
+            I(TGOp.HALT),
+        ])
+        assert_equivalent(program)
+
+    def test_bursts_from_pool(self):
+        program = TGProgram(instructions=[
+            I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE + 0x40),
+            I(TGOp.BURST_WRITE, a=ADDRREG, b=4, imm=0),
+            I(TGOp.BURST_READ, a=ADDRREG, b=4),
+            I(TGOp.HALT),
+        ], pool=[5, 6, 7, 8])
+        assert_equivalent(program)
+
+    def test_loops(self):
+        program = TGProgram(instructions=[
+            I(TGOp.SET_REGISTER, a=5, imm=0),
+            I(TGOp.SET_REGISTER, a=6, imm=0),
+            I(TGOp.IDLE, imm=4),                       # 2: loop body
+            I(TGOp.IF, a=5, b=6, cond=1, imm=2),       # never taken (5==6)
+            I(TGOp.HALT),
+        ])
+        assert_equivalent(program)
+
+    def test_ooo_reads(self):
+        program = TGProgram(instructions=[
+            I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
+            I(TGOp.READ_NB, a=ADDRREG),
+            I(TGOp.READ_NB, a=ADDRREG),
+            I(TGOp.FENCE),
+            I(TGOp.HALT),
+        ])
+        assert_equivalent(program)
+
+
+class TestEquivalenceTranslated:
+    @pytest.mark.parametrize("app,params", [
+        (mp_matrix, {"n": 4}),
+        (des, {"blocks": 2}),
+    ])
+    def test_translated_system_equivalence(self, app, params):
+        """Whole TG systems (all sockets) behave identically whether built
+        from behavioural or microarchitectural TGs."""
+        _, collectors, _ = reference_run(app, 2, app_params=params)
+        programs = translate_traces(collectors, 2)
+
+        def run_system(use_hardware):
+            platform = MparmPlatform(PlatformConfig(n_masters=2))
+            monitors = []
+            for master_id in range(2):
+                if use_hardware:
+                    master = TGHardwareModel(
+                        platform.sim, f"hw{master_id}",
+                        assemble_binary(programs[master_id]))
+                else:
+                    master = TGMaster(platform.sim, f"tg{master_id}",
+                                      programs[master_id])
+                monitor = RecordingMonitor()
+                master.port.attach_monitor(monitor)
+                platform.add_master(master)
+                monitors.append(monitor)
+            platform.run()
+            return platform, monitors
+
+        b_platform, b_monitors = run_system(use_hardware=False)
+        h_platform, h_monitors = run_system(use_hardware=True)
+        for b_monitor, h_monitor in zip(b_monitors, h_monitors):
+            assert event_signature(b_monitor) == event_signature(h_monitor)
+        assert (b_platform.cumulative_execution_time
+                == h_platform.cumulative_execution_time)

@@ -1,0 +1,112 @@
+"""Priority scheduling policy for the multitask TG."""
+
+import pytest
+
+from repro.core import (
+    MultitaskTGMaster,
+    TGError,
+    TGInstruction,
+    TGMaster,
+    TGOp,
+    TGProgram,
+)
+from repro.core.isa import ADDRREG, DATAREG
+from repro.platform import MparmPlatform, PlatformConfig, SHARED_BASE
+
+
+def I(op, **kwargs):  # noqa: E743
+    return TGInstruction(op, **kwargs)
+
+
+def writer_task(slot, count, gap):
+    instrs = []
+    for index in range(count):
+        instrs.append(I(TGOp.SET_REGISTER, a=ADDRREG,
+                        imm=SHARED_BASE + slot * 0x100 + index * 4))
+        instrs.append(I(TGOp.SET_REGISTER, a=DATAREG, imm=index + 1))
+        instrs.append(I(TGOp.WRITE, a=ADDRREG, b=DATAREG))
+        if gap:
+            instrs.append(I(TGOp.IDLE, imm=gap))
+    instrs.append(I(TGOp.HALT))
+    return TGProgram(core_id=0, instructions=instrs)
+
+
+def build(programs, priorities, **kwargs):
+    platform = MparmPlatform(PlatformConfig(n_masters=2))
+    multitask = MultitaskTGMaster(platform.sim, "mt0", programs,
+                                  scheduler="priority",
+                                  priorities=priorities, **kwargs)
+    platform.add_master(multitask)
+    platform.add_master(TGMaster(platform.sim, "filler", TGProgram(
+        core_id=1, instructions=[I(TGOp.HALT)])))
+    platform.run()
+    return multitask
+
+
+class TestPriorityPolicy:
+    def test_priorities_length_checked(self):
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        with pytest.raises(TGError):
+            MultitaskTGMaster(platform.sim, "mt",
+                              [writer_task(0, 1, 0)],
+                              scheduler="priority", priorities=[1, 2])
+
+    def test_high_priority_finishes_first(self):
+        """With no sleeps, the high-priority task runs to completion
+        before the low-priority one starts."""
+        multitask = build(
+            [writer_task(0, 5, gap=0), writer_task(1, 5, gap=0)],
+            priorities=[0, 10], context_switch_cycles=0)
+        times = multitask.task_completion_times
+        assert times[1] < times[0]
+
+    def test_equal_priorities_tie_break_by_id(self):
+        multitask = build(
+            [writer_task(0, 3, gap=0), writer_task(1, 3, gap=0)],
+            priorities=[5, 5], context_switch_cycles=0)
+        times = multitask.task_completion_times
+        assert times[0] < times[1]
+
+    def test_low_priority_runs_while_high_sleeps(self):
+        """A long Idle in the high-priority task is a sleep; the low
+        task fills the gap instead of the processor idling."""
+        high = TGProgram(core_id=0, instructions=[
+            I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
+            I(TGOp.SET_REGISTER, a=DATAREG, imm=1),
+            I(TGOp.WRITE, a=ADDRREG, b=DATAREG),
+            I(TGOp.IDLE, imm=400),           # sleeps
+            I(TGOp.WRITE, a=ADDRREG, b=DATAREG),
+            I(TGOp.HALT),
+        ])
+        low = writer_task(1, 10, gap=2)
+        multitask = build([high, low], priorities=[10, 0],
+                          sleep_threshold=50, context_switch_cycles=1)
+        times = multitask.task_completion_times
+        # low finished inside high's sleep window
+        assert times[1] < times[0]
+        assert times[0] >= 400
+
+    def test_wakeup_preempts_low_priority(self):
+        """When the high task wakes, the low task is preempted promptly."""
+        high = TGProgram(core_id=0, instructions=[
+            I(TGOp.IDLE, imm=100),           # sleep first
+            I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
+            I(TGOp.SET_REGISTER, a=DATAREG, imm=7),
+            I(TGOp.WRITE, a=ADDRREG, b=DATAREG),
+            I(TGOp.HALT),
+        ])
+        low = TGProgram(core_id=0, instructions=(
+            [I(TGOp.SET_REGISTER, a=5, imm=0)] * 600 + [I(TGOp.HALT)]))
+        multitask = build([high, low], priorities=[10, 0],
+                          sleep_threshold=50, context_switch_cycles=1)
+        times = multitask.task_completion_times
+        # high wakes at ~100 and completes well before low's 600 setregs
+        assert times[0] < times[1]
+        assert times[0] < 200
+
+    def test_all_tasks_complete(self):
+        multitask = build(
+            [writer_task(0, 4, gap=30), writer_task(1, 4, gap=30)],
+            priorities=[1, 2], sleep_threshold=10)
+        assert multitask.finished
+        assert all(t is not None for t in multitask.task_completion_times)

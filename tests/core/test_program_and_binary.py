@@ -1,0 +1,181 @@
+"""TGProgram container, .tgp text round-trip, .bin round-trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Cond,
+    ReplayMode,
+    TGError,
+    TGInstruction,
+    TGOp,
+    TGProgram,
+    assemble_binary,
+    disassemble_binary,
+    parse_tgp,
+)
+from repro.core.isa import ADDRREG, DATAREG, TEMPREG
+
+
+def sample_program():
+    program = TGProgram(core_id=3, thread_id=1)
+    program.append(TGInstruction(TGOp.IDLE, imm=11))
+    program.append(TGInstruction(TGOp.SET_REGISTER, a=ADDRREG, imm=0x104))
+    program.append(TGInstruction(TGOp.READ, a=ADDRREG))
+    program.append(TGInstruction(TGOp.SET_REGISTER, a=ADDRREG, imm=0x20))
+    program.append(TGInstruction(TGOp.SET_REGISTER, a=DATAREG, imm=0x111))
+    program.append(TGInstruction(TGOp.WRITE, a=ADDRREG, b=DATAREG))
+    program.append(TGInstruction(TGOp.SET_REGISTER, a=TEMPREG, imm=1))
+    loop = program.label_next("Semchk_1")
+    program.append(TGInstruction(TGOp.READ, a=ADDRREG))
+    program.append(TGInstruction(TGOp.IDLE, imm=3))
+    program.append(TGInstruction(TGOp.IF, a=0, b=TEMPREG,
+                                 cond=int(Cond.NE), imm=loop))
+    pool_off = program.add_pool([1, 2, 3, 4])
+    program.append(TGInstruction(TGOp.BURST_WRITE, a=ADDRREG, b=4,
+                                 imm=pool_off))
+    program.append(TGInstruction(TGOp.BURST_READ, a=ADDRREG, b=4))
+    program.append(TGInstruction(TGOp.HALT))
+    return program
+
+
+class TestProgramContainer:
+    def test_append_returns_index(self):
+        program = TGProgram()
+        assert program.append(TGInstruction(TGOp.HALT)) == 0
+
+    def test_validate_empty_rejected(self):
+        with pytest.raises(TGError):
+            TGProgram().validate()
+
+    def test_validate_requires_halt(self):
+        program = TGProgram()
+        program.append(TGInstruction(TGOp.IDLE, imm=1))
+        with pytest.raises(TGError):
+            program.validate()
+
+    def test_valid_program_passes(self):
+        sample_program().validate()
+
+    def test_equality_semantics(self):
+        assert sample_program() == sample_program()
+        other = sample_program()
+        other.instructions[0] = TGInstruction(TGOp.IDLE, imm=12)
+        assert other != sample_program()
+
+    def test_equality_ignores_labels(self):
+        a = sample_program()
+        b = sample_program()
+        b.labels = {}
+        assert a == b
+
+    def test_mode_in_equality(self):
+        a = sample_program()
+        b = sample_program()
+        b.mode = ReplayMode.CLONING
+        assert a != b
+
+    def test_add_pool_offsets(self):
+        program = TGProgram()
+        assert program.add_pool([1, 2]) == 0
+        assert program.add_pool([3]) == 2
+        assert program.pool == [1, 2, 3]
+
+
+class TestTgpText:
+    def test_roundtrip(self):
+        program = sample_program()
+        text = program.to_tgp()
+        parsed = parse_tgp(text)
+        assert parsed == program
+
+    def test_text_contains_paper_style_lines(self):
+        text = sample_program().to_tgp()
+        assert "MASTER[3,1]" in text
+        assert "REGISTER rdreg 0" in text
+        assert "Semchk_1:" in text
+        assert "If(rdreg != tempreg) Semchk_1" in text
+        assert "BEGIN" in text and "END" in text
+
+    def test_emitted_text_is_stable(self):
+        program = sample_program()
+        assert program.to_tgp() == parse_tgp(program.to_tgp()).to_tgp()
+
+    def test_parse_bad_instruction(self):
+        with pytest.raises(TGError):
+            parse_tgp("MASTER[0,0]\nBEGIN\n    Frobnicate(r1)\nEND\n")
+
+    def test_parse_undefined_label(self):
+        with pytest.raises(TGError):
+            parse_tgp("MASTER[0,0]\nBEGIN\n    Jump(nowhere)\n    Halt\nEND\n")
+
+    def test_parse_duplicate_label(self):
+        text = ("MASTER[0,0]\nBEGIN\nx:\n    Idle(1)\nx:\n    Halt\nEND\n")
+        with pytest.raises(TGError):
+            parse_tgp(text)
+
+    def test_mode_header_roundtrip(self):
+        program = sample_program()
+        program.mode = ReplayMode.TIMESHIFTING
+        assert parse_tgp(program.to_tgp()).mode == ReplayMode.TIMESHIFTING
+
+
+class TestBinary:
+    def test_roundtrip(self):
+        program = sample_program()
+        image = assemble_binary(program)
+        assert disassemble_binary(image) == program
+
+    def test_magic_checked(self):
+        image = bytearray(assemble_binary(sample_program()))
+        image[0] ^= 0xFF
+        with pytest.raises(TGError):
+            disassemble_binary(bytes(image))
+
+    def test_truncated_rejected(self):
+        image = assemble_binary(sample_program())
+        with pytest.raises(TGError):
+            disassemble_binary(image[:-4])
+
+    def test_size_matches_header(self):
+        program = sample_program()
+        image = assemble_binary(program)
+        expected_words = 5 + 2 * len(program.instructions) + len(program.pool)
+        assert len(image) == expected_words * 4
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(TGError):
+            disassemble_binary(b"")
+
+
+def _program_strategy():
+    """Random valid programs exercising the full round-trip chain."""
+    body = st.lists(st.one_of(
+        st.builds(lambda i: TGInstruction(TGOp.IDLE, imm=i),
+                  st.integers(0, 10_000)),
+        st.builds(lambda r, v: TGInstruction(TGOp.SET_REGISTER, a=r, imm=v),
+                  st.integers(0, 15), st.integers(0, 0xFFFF_FFFF)),
+        st.builds(lambda r: TGInstruction(TGOp.READ, a=r),
+                  st.integers(0, 15)),
+        st.builds(lambda a, d: TGInstruction(TGOp.WRITE, a=a, b=d),
+                  st.integers(0, 15), st.integers(0, 15)),
+    ), min_size=0, max_size=30)
+
+    def finish(instrs):
+        program = TGProgram(core_id=1)
+        for instr in instrs:
+            program.append(instr)
+        program.append(TGInstruction(TGOp.HALT))
+        return program
+
+    return body.map(finish)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=50)
+    @given(_program_strategy())
+    def test_text_binary_text(self, program):
+        via_text = parse_tgp(program.to_tgp())
+        via_binary = disassemble_binary(assemble_binary(program))
+        assert via_text == program
+        assert via_binary == program

@@ -1,0 +1,103 @@
+"""Stochastic TG baseline tests: fitting, determinism, inferiority."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps import mp_matrix
+from repro.core import SeededRandom, StochasticTGMaster, TrafficProfile
+from repro.harness import reference_run
+from repro.ocp.types import OCPCommand
+from repro.platform import MparmPlatform, PlatformConfig
+from repro.trace import group_events
+
+
+class TestSeededRandom:
+    def test_deterministic_by_seed(self):
+        a = SeededRandom(42)
+        b = SeededRandom(42)
+        assert [a.randint(0, 100) for _ in range(20)] \
+            == [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRandom(1)
+        b = SeededRandom(2)
+        assert [a.randint(0, 10**6) for _ in range(5)] \
+            != [b.randint(0, 10**6) for _ in range(5)]
+
+    @given(st.integers(0, 2**32), st.integers(0, 50),
+           st.integers(51, 100))
+    def test_randint_in_range(self, seed, lo, hi):
+        rng = SeededRandom(seed)
+        for _ in range(10):
+            assert lo <= rng.randint(lo, hi) <= hi
+
+    @given(st.integers(0, 2**32))
+    def test_uniform_in_unit_interval(self, seed):
+        rng = SeededRandom(seed)
+        for _ in range(10):
+            assert 0.0 <= rng.uniform() < 1.0
+
+    def test_geometric_gap_mean_roughly_matches(self):
+        rng = SeededRandom(7)
+        samples = [rng.geometric_gap(20.0) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert 15 < mean < 25
+
+    def test_choice_respects_weights(self):
+        rng = SeededRandom(3)
+        picks = [rng.choice([("a", 0.95), ("b", 0.05)])
+                 for _ in range(200)]
+        assert picks.count("a") > picks.count("b")
+
+
+@pytest.fixture(scope="module")
+def reference_trace():
+    _, collectors, _ = reference_run(mp_matrix, 2, app_params={"n": 4})
+    return group_events(collectors[0].events)
+
+
+class TestProfileFitting:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficProfile.fit([])
+
+    def test_fit_fields(self, reference_trace):
+        profile = TrafficProfile.fit(reference_trace)
+        assert profile.transactions == len(reference_trace)
+        assert abs(sum(profile.mix.values()) - 1.0) < 1e-9
+        assert profile.mean_gap >= 0
+        assert OCPCommand.READ in profile.address_pools
+
+    def test_pools_only_real_addresses(self, reference_trace):
+        profile = TrafficProfile.fit(reference_trace)
+        traced = {txn.addr for txn in reference_trace}
+        for pool in profile.address_pools.values():
+            assert set(pool) <= traced
+
+
+class TestStochasticMaster:
+    def run_stochastic(self, profile, seed):
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        master = StochasticTGMaster(platform.sim, "stg", profile,
+                                    seed=seed)
+        platform.add_master(master)
+        platform.run()
+        return platform, master
+
+    def test_generates_profile_count(self, reference_trace):
+        profile = TrafficProfile.fit(reference_trace)
+        _, master = self.run_stochastic(profile, seed=5)
+        assert master.finished
+        assert master.transactions_generated == profile.transactions
+
+    def test_seed_reproducible(self, reference_trace):
+        profile = TrafficProfile.fit(reference_trace)
+        _, a = self.run_stochastic(profile, seed=9)
+        _, b = self.run_stochastic(profile, seed=9)
+        assert a.completion_time == b.completion_time
+
+    def test_seeds_vary_timing(self, reference_trace):
+        profile = TrafficProfile.fit(reference_trace)
+        times = {self.run_stochastic(profile, seed=s)[1].completion_time
+                 for s in range(4)}
+        assert len(times) > 1

@@ -1,0 +1,132 @@
+"""TG ISA tests: encoding round-trips and validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.isa import (
+    Cond,
+    TGError,
+    TGInstruction,
+    TGOp,
+    decode_instruction,
+    encode_instruction,
+    reg_index,
+    reg_name,
+)
+
+
+class TestRegisters:
+    def test_special_names(self):
+        assert reg_name(0) == "rdreg"
+        assert reg_name(1) == "tempreg"
+        assert reg_name(2) == "addr"
+        assert reg_name(3) == "data"
+        assert reg_name(7) == "r7"
+
+    def test_reg_index_inverse(self):
+        for index in range(16):
+            assert reg_index(reg_name(index)) == index
+
+    def test_bad_name(self):
+        with pytest.raises(TGError):
+            reg_index("bogus")
+        with pytest.raises(TGError):
+            reg_index("r16")
+
+
+class TestCond:
+    def test_symbols_roundtrip(self):
+        for cond in Cond:
+            assert Cond.from_symbol(cond.symbol) == cond
+
+    def test_unknown_symbol(self):
+        with pytest.raises(TGError):
+            Cond.from_symbol("<>")
+
+    @pytest.mark.parametrize("cond,a,b,expected", [
+        (Cond.EQ, 5, 5, True), (Cond.EQ, 5, 6, False),
+        (Cond.NE, 5, 6, True), (Cond.NE, 5, 5, False),
+        (Cond.LT, 4, 5, True), (Cond.LT, 5, 5, False),
+        (Cond.GE, 5, 5, True), (Cond.GE, 4, 5, False),
+        (Cond.GT, 6, 5, True), (Cond.GT, 5, 5, False),
+        (Cond.LE, 5, 5, True), (Cond.LE, 6, 5, False),
+    ])
+    def test_evaluate(self, cond, a, b, expected):
+        assert cond.evaluate(a, b) is expected
+
+
+class TestValidation:
+    def test_read_register_range(self):
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.READ, a=16).validate(1, 0)
+
+    def test_burst_count_range(self):
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.BURST_READ, a=2, b=1).validate(1, 0)
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.BURST_READ, a=2, b=256).validate(1, 0)
+
+    def test_burst_write_pool_bounds(self):
+        instr = TGInstruction(TGOp.BURST_WRITE, a=2, b=4, imm=2)
+        with pytest.raises(TGError):
+            instr.validate(1, 4)  # needs pool[2:6], pool has 4
+        instr.validate(1, 6)
+
+    def test_branch_target_bounds(self):
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.JUMP, imm=5).validate(5, 0)
+        TGInstruction(TGOp.JUMP, imm=4).validate(5, 0)
+
+    def test_if_condition_code(self):
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.IF, a=0, b=1, cond=99, imm=0).validate(1, 0)
+
+    def test_set_register_value_32bit(self):
+        with pytest.raises(TGError):
+            TGInstruction(TGOp.SET_REGISTER, a=0,
+                          imm=1 << 32).validate(1, 0)
+
+
+def _tg_instruction_strategy():
+    regs = st.integers(0, 15)
+    imm32 = st.integers(0, 0xFFFF_FFFF)
+    count = st.integers(2, 255)
+    return st.one_of(
+        st.builds(lambda a: TGInstruction(TGOp.READ, a=a), regs),
+        st.builds(lambda a, b: TGInstruction(TGOp.WRITE, a=a, b=b),
+                  regs, regs),
+        st.builds(lambda a, c: TGInstruction(TGOp.BURST_READ, a=a, b=c),
+                  regs, count),
+        st.builds(lambda a, c, i: TGInstruction(TGOp.BURST_WRITE, a=a, b=c,
+                                                imm=i),
+                  regs, count, imm32),
+        st.builds(lambda a, i: TGInstruction(TGOp.SET_REGISTER, a=a, imm=i),
+                  regs, imm32),
+        st.builds(lambda i: TGInstruction(TGOp.IDLE, imm=i), imm32),
+        st.builds(lambda a, b, c, i: TGInstruction(TGOp.IF, a=a, b=b,
+                                                   cond=int(c), imm=i),
+                  regs, regs, st.sampled_from(list(Cond)), imm32),
+        st.builds(lambda i: TGInstruction(TGOp.JUMP, imm=i), imm32),
+        st.just(TGInstruction(TGOp.HALT)),
+    )
+
+
+class TestEncoding:
+    @given(_tg_instruction_strategy())
+    def test_roundtrip(self, instr):
+        word0, word1 = encode_instruction(instr)
+        assert decode_instruction(word0, word1) == instr
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(TGError):
+            encode_instruction(TGInstruction(TGOp.READ, a=256))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(TGError):
+            decode_instruction(0xFF << 24, 0)
+
+    def test_repr_smoke(self):
+        assert "Read(addr)" == repr(TGInstruction(TGOp.READ, a=2))
+        assert "Halt" == repr(TGInstruction(TGOp.HALT))
+        assert "!=" in repr(TGInstruction(TGOp.IF, a=0, b=1,
+                                          cond=int(Cond.NE), imm=3))

@@ -1,0 +1,220 @@
+"""Assembler tests: syntax, directives, labels, branch resolution."""
+
+import pytest
+
+from repro.cpu import AsmError, Op, assemble, decode
+
+
+class TestBasicAssembly:
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.words == []
+        assert program.size_bytes == 0
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full line comment
+            NOP        ; trailing
+            // other comment style
+            NOP
+        """)
+        assert len(program.words) == 2
+
+    def test_simple_instructions(self):
+        program = assemble("""
+            ADD r1, r2, r3
+            SUBI r4, r4, #1
+            MOV r5, r6
+            CMP r1, r2
+            HALT
+        """)
+        ops = [decode(word).op for word in program.words]
+        assert ops == [Op.ADD, Op.SUBI, Op.MOV, Op.CMP, Op.HALT]
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("add r1, r2, r3\nAdD r1, r2, r3")
+        assert all(decode(w).op == Op.ADD for w in program.words)
+
+    def test_register_aliases(self):
+        program = assemble("MOV sp, lr")
+        instr = decode(program.words[0])
+        assert instr.rd == 13
+        assert instr.rm == 14
+
+    def test_immediate_with_and_without_hash(self):
+        a = assemble("ADDI r1, r1, #5").words
+        b = assemble("ADDI r1, r1, 5").words
+        assert a == b
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("ADDI r1, r1, #-12\nADDI r2, r2, 0x1F")
+        assert decode(program.words[0]).imm == -12
+        assert decode(program.words[1]).imm == 0x1F
+
+    def test_memory_operands(self):
+        program = assemble("LDR r1, [r2]\nSTR r3, [r4, #8]\nLDR r5, [r6, #-4]")
+        assert decode(program.words[0]).imm == 0
+        assert decode(program.words[1]).imm == 8
+        assert decode(program.words[2]).imm == -4
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("FROB r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble("ADD r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("MOV r16, r0")
+        with pytest.raises(AsmError):
+            assemble("MOV rx, r0")
+
+
+class TestDirectives:
+    def test_equ_constants(self):
+        program = assemble("""
+            .equ BASE 0x1000
+            .equ OFFSET 8
+            ADDI r1, r0, BASE+OFFSET
+        """)
+        assert decode(program.words[0]).imm == 0x1008
+
+    def test_equ_references_earlier_equ(self):
+        program = assemble("""
+            .equ A 4
+            .equ B A+4
+            ADDI r1, r0, B
+        """)
+        assert decode(program.words[0]).imm == 8
+
+    def test_word_directive(self):
+        program = assemble(".word 0xDEADBEEF\n.word -1")
+        assert program.words == [0xDEADBEEF, 0xFFFFFFFF]
+
+    def test_space_directive(self):
+        program = assemble(".space 12")
+        assert program.words == [0, 0, 0]
+
+    def test_space_must_be_word_multiple(self):
+        with pytest.raises(AsmError):
+            assemble(".space 6")
+
+    def test_duplicate_equ_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".equ X 1\n.equ X 2")
+
+    def test_word_with_label_reference(self):
+        program = assemble("""
+            target: NOP
+            ptr: .word target
+        """, base=0x100)
+        assert program.words[1] == 0x100
+
+
+class TestLabelsAndBranches:
+    def test_label_addresses_absolute(self):
+        program = assemble("""
+            first: NOP
+            second: NOP
+        """, base=0x2000)
+        assert program.address_of("first") == 0x2000
+        assert program.address_of("second") == 0x2004
+
+    def test_unknown_label(self):
+        program = assemble("NOP")
+        with pytest.raises(AsmError):
+            program.address_of("nope")
+
+    def test_backward_branch_offset(self):
+        program = assemble("""
+            loop: NOP
+            B loop
+        """)
+        branch = decode(program.words[1])
+        # branch at word 1, next is word 2, target word 0 -> offset -2
+        assert branch.imm == -2
+
+    def test_forward_branch_offset(self):
+        program = assemble("""
+            B done
+            NOP
+            NOP
+            done: HALT
+        """)
+        branch = decode(program.words[0])
+        assert branch.imm == 2
+
+    def test_branch_to_next_is_zero(self):
+        program = assemble("""
+            B next
+            next: HALT
+        """)
+        assert decode(program.words[0]).imm == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x: NOP\nx: NOP")
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+            alone:
+                NOP
+            B alone
+        """)
+        assert decode(program.words[1]).imm == -2
+
+    def test_branch_offsets_independent_of_base(self):
+        source = "loop: NOP\nB loop"
+        a = assemble(source, base=0)
+        b = assemble(source, base=0x4_0000)
+        assert a.words == b.words
+
+
+class TestLiPseudo:
+    def test_li_expands_to_two_words(self):
+        program = assemble("LI r1, 0x12345678")
+        assert len(program.words) == 2
+        movi = decode(program.words[0])
+        movt = decode(program.words[1])
+        assert movi.op == Op.MOVI and movi.imm == 0x5678
+        assert movt.op == Op.MOVT and movt.imm == 0x1234
+
+    def test_li_small_value_still_two_words(self):
+        assert len(assemble("LI r1, 1").words) == 2
+
+    def test_li_with_label(self):
+        program = assemble("""
+            LI r1, data
+            HALT
+            data: .word 42
+        """, base=0x1000)
+        movi = decode(program.words[0])
+        movt = decode(program.words[1])
+        value = (movt.imm << 16) | movi.imm
+        assert value == program.address_of("data")
+
+    def test_li_affects_following_label_addresses(self):
+        program = assemble("""
+            LI r1, 0
+            after: HALT
+        """, base=0)
+        assert program.address_of("after") == 8
+
+
+class TestProgramIntrospection:
+    def test_source_map(self):
+        program = assemble("NOP\nNOP")
+        assert program.source_map == [(0, 1), (1, 2)]
+
+    def test_disassemble_listing(self):
+        program = assemble("ADD r1, r2, r3\n.word 0xFC000000", base=0x40)
+        listing = program.disassemble()
+        assert "0x00000040" in listing[0]
+        assert "ADD" in listing[0]
+        assert ".word" in listing[1]
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("NOP", base=2)

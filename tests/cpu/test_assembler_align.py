@@ -1,0 +1,108 @@
+""".align directive and remaining assembler edge cases."""
+
+import pytest
+
+from repro.cpu import AsmError, Op, assemble, decode
+
+
+class TestAlign:
+    def test_pads_to_boundary(self):
+        program = assemble("""
+            NOP
+            .align 16
+        target: NOP
+        """)
+        assert program.address_of("target") == 16
+        # padding words are zeros (NOPs)
+        assert program.words[1:4] == [0, 0, 0]
+
+    def test_no_padding_when_aligned(self):
+        program = assemble("""
+            NOP
+            NOP
+            NOP
+            NOP
+            .align 16
+        target: NOP
+        """)
+        assert program.address_of("target") == 16
+        assert len(program.words) == 5
+
+    def test_align_must_be_word_multiple(self):
+        with pytest.raises(AsmError):
+            assemble(".align 6")
+        with pytest.raises(AsmError):
+            assemble(".align 2")
+
+    def test_align_with_expression(self):
+        program = assemble("""
+            .equ LINE 16
+            NOP
+            .align LINE
+        target: NOP
+        """)
+        assert program.address_of("target") == 16
+
+    def test_align_affects_branch_offsets(self):
+        program = assemble("""
+            B target
+            .align 16
+        target: HALT
+        """)
+        branch = decode(program.words[0])
+        assert branch.imm == 3  # words 1..3 are padding, target at word 4
+
+    def test_padding_executes_as_nops(self):
+        """Falling through .align padding is harmless (NOP words)."""
+        from repro.platform import MparmPlatform, PlatformConfig
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        core = platform.add_core("""
+            MOVI r1, 5
+            .align 16
+            ADDI r1, r1, 1
+            HALT
+        """)
+        platform.run()
+        assert core.cpu.regs[1] == 6
+
+
+class TestAssemblerEdgeCases:
+    def test_equ_bad_name(self):
+        with pytest.raises(AsmError):
+            assemble(".equ 9bad 1")
+
+    def test_equ_needs_value(self):
+        with pytest.raises(AsmError):
+            assemble(".equ ONLYNAME")
+
+    def test_unknown_symbol_in_expression(self):
+        with pytest.raises(AsmError):
+            assemble("ADDI r1, r1, MYSTERY")
+
+    def test_multiplication_in_expressions(self):
+        program = assemble("""
+            .equ N 6
+            ADDI r1, r0, N*4
+            ADDI r2, r0, 2*N*2
+        """)
+        assert decode(program.words[0]).imm == 24
+        assert decode(program.words[1]).imm == 24
+
+    def test_label_then_equ_collision(self):
+        with pytest.raises(AsmError):
+            assemble("x: NOP\n.equ x 5")
+
+    def test_branch_immediate_out_of_range(self):
+        # a numeric target absurdly far away overflows the 26-bit field
+        with pytest.raises(AsmError):
+            assemble("B 0x30000000", base=0)
+
+    def test_memory_operand_syntax_errors(self):
+        with pytest.raises(AsmError):
+            assemble("LDR r1, r2")        # missing brackets
+        with pytest.raises(AsmError):
+            assemble("LDR r1, [r2, #4, #5]")
+
+    def test_imm_without_word_multiple_space(self):
+        with pytest.raises(AsmError):
+            assemble(".space -4")

@@ -1,0 +1,192 @@
+"""Cache model unit tests: geometry, refills, eviction, write-through."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.cpu.cache import Cache, CacheConfig
+from repro.interconnect import AddressMap, TlmFabric
+from repro.memory import MemorySlave, SlaveTimings
+from repro.ocp import OCPError, OCPMasterPort, OCPSlavePort
+
+
+def make_cached_system(lines=4, line_words=4):
+    sim = Simulator()
+    amap = AddressMap()
+    mem = MemorySlave(sim, "mem", 0x0, 0x10000, SlaveTimings(1, 1))
+    amap.add(mem.base, mem.size_bytes,
+             OCPSlavePort(sim, "mem.port", mem), "mem")
+    fabric = TlmFabric(sim, address_map=amap)
+    port = OCPMasterPort(sim, "cpu.port")
+    port.bind(fabric, 0)
+    cache = Cache(sim, "dcache", CacheConfig(lines=lines,
+                                             line_words=line_words), port)
+    return sim, cache, mem
+
+
+def drive(sim, gen):
+    process = sim.spawn(gen)
+    sim.run()
+    return process.result
+
+
+class TestGeometry:
+    def test_power_of_two_required(self):
+        with pytest.raises(OCPError):
+            CacheConfig(lines=3)
+        with pytest.raises(OCPError):
+            CacheConfig(line_words=6)
+
+    def test_sizes(self):
+        config = CacheConfig(lines=64, line_words=4)
+        assert config.line_bytes == 16
+        assert config.size_bytes == 1024
+
+    def test_negative_hit_cycles(self):
+        with pytest.raises(OCPError):
+            CacheConfig(hit_cycles=-1)
+
+
+class TestReadBehaviour:
+    def test_miss_then_hits_within_line(self):
+        sim, cache, mem = make_cached_system()
+        mem.load(0x100, [10, 11, 12, 13])
+
+        def script():
+            a = yield from cache.read(0x100)
+            b = yield from cache.read(0x104)
+            c = yield from cache.read(0x10C)
+            return [a, b, c]
+
+        assert drive(sim, script()) == [10, 11, 13]
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_refill_is_one_burst(self):
+        sim, cache, mem = make_cached_system(line_words=8)
+
+        def script():
+            yield from cache.read(0x200)
+
+        drive(sim, script())
+        assert mem.reads == 8  # one 8-beat refill
+
+    def test_unaligned_access_within_line(self):
+        sim, cache, mem = make_cached_system()
+        mem.load(0x110, [77])
+
+        def script():
+            value = yield from cache.read(0x110)  # middle of line 0x100
+            return value
+
+        assert drive(sim, script()) == 77
+
+    def test_conflict_eviction(self):
+        """Two lines mapping to the same index evict each other."""
+        sim, cache, mem = make_cached_system(lines=4, line_words=4)
+        stride = 4 * 16  # lines * line_bytes: same index, different tag
+        mem.load(0x0, [1])
+        mem.load(stride, [2])
+
+        def script():
+            a = yield from cache.read(0x0)       # miss
+            b = yield from cache.read(stride)    # miss, evicts
+            c = yield from cache.read(0x0)       # miss again
+            return [a, b, c]
+
+        assert drive(sim, script()) == [1, 2, 1]
+        assert cache.misses == 3
+        assert not cache.contains(stride)
+
+    def test_hit_cycles_cost(self):
+        sim, cache, mem = make_cached_system()
+        cache.config.hit_cycles = 2
+
+        def script():
+            yield from cache.read(0x0)
+            start = sim.now
+            yield from cache.read(0x0)
+            return sim.now - start
+
+        assert drive(sim, script()) == 2
+
+    def test_invalidate_drops_lines(self):
+        sim, cache, mem = make_cached_system()
+
+        def warm():
+            yield from cache.read(0x0)
+
+        drive(sim, warm())
+        assert cache.contains(0x0)
+        cache.invalidate()
+        assert not cache.contains(0x0)
+
+
+class TestWriteBehaviour:
+    def test_write_through_updates_memory(self):
+        sim, cache, mem = make_cached_system()
+
+        def script():
+            yield from cache.write(0x40, 99)
+
+        drive(sim, script())
+        assert mem.peek(0x40) == 99
+
+    def test_write_hit_updates_cached_copy(self):
+        sim, cache, mem = make_cached_system()
+        mem.load(0x80, [5])
+
+        def script():
+            yield from cache.read(0x80)     # allocate
+            yield from cache.write(0x80, 6)
+            value = yield from cache.read(0x80)  # must hit with new value
+            return value
+
+        assert drive(sim, script()) == 6
+        assert cache.write_hits == 1
+        assert cache.misses == 1
+
+    def test_write_miss_does_not_allocate(self):
+        sim, cache, mem = make_cached_system()
+
+        def script():
+            yield from cache.write(0xC0, 1)
+
+        drive(sim, script())
+        assert not cache.contains(0xC0)
+        assert cache.write_misses == 1
+
+    def test_hit_rate(self):
+        sim, cache, mem = make_cached_system()
+
+        def script():
+            yield from cache.read(0x0)
+            yield from cache.read(0x0)
+            yield from cache.read(0x0)
+            yield from cache.read(0x0)
+
+        drive(sim, script())
+        assert cache.hit_rate == 0.75
+
+
+class TestCacheCoherenceProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 63),
+                              st.integers(0, 2**32 - 1)),
+                    min_size=1, max_size=40))
+    def test_cache_matches_flat_memory_model(self, ops):
+        """Reads through the cache always equal a flat reference model."""
+        sim, cache, mem = make_cached_system(lines=2, line_words=2)
+        model = {}
+
+        def script():
+            for is_write, word_index, value in ops:
+                addr = word_index * 4
+                if is_write:
+                    model[addr] = value
+                    yield from cache.write(addr, value)
+                else:
+                    observed = yield from cache.read(addr)
+                    assert observed == model.get(addr, 0)
+
+        drive(sim, script())

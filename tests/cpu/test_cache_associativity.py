@@ -1,0 +1,162 @@
+"""Set-associative cache behaviour (LRU replacement)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Simulator
+from repro.cpu.cache import Cache, CacheConfig
+from repro.interconnect import AddressMap, TlmFabric
+from repro.memory import MemorySlave, SlaveTimings
+from repro.ocp import OCPError, OCPMasterPort, OCPSlavePort
+
+
+def make(lines=4, line_words=4, ways=1):
+    sim = Simulator()
+    amap = AddressMap()
+    mem = MemorySlave(sim, "mem", 0x0, 0x100000, SlaveTimings(1, 1))
+    amap.add(mem.base, mem.size_bytes,
+             OCPSlavePort(sim, "mem.port", mem), "mem")
+    fabric = TlmFabric(sim, address_map=amap)
+    port = OCPMasterPort(sim, "cpu.port")
+    port.bind(fabric, 0)
+    cache = Cache(sim, "dcache",
+                  CacheConfig(lines=lines, line_words=line_words,
+                              ways=ways), port)
+    return sim, cache, mem
+
+
+def drive(sim, gen):
+    process = sim.spawn(gen)
+    sim.run()
+    return process.result
+
+
+class TestGeometry:
+    def test_ways_power_of_two(self):
+        with pytest.raises(OCPError):
+            CacheConfig(lines=8, ways=3)
+
+    def test_ways_bounded_by_lines(self):
+        with pytest.raises(OCPError):
+            CacheConfig(lines=4, ways=8)
+
+    def test_sets_computation(self):
+        config = CacheConfig(lines=8, ways=2)
+        assert config.sets == 4
+        assert CacheConfig(lines=8, ways=8).sets == 1  # fully associative
+
+    def test_repr_mentions_ways(self):
+        assert "ways=2" in repr(CacheConfig(lines=8, ways=2))
+
+
+class TestAssociativityBehaviour:
+    def conflict_addrs(self, cache, count):
+        """Addresses mapping to set 0 with distinct tags."""
+        stride = cache.config.sets * cache.config.line_bytes
+        return [i * stride for i in range(count)]
+
+    def test_two_way_survives_conflict_that_kills_direct_mapped(self):
+        # direct-mapped: A, B, A with same index -> 3 misses
+        sim, dm, _ = make(lines=4, ways=1)
+        a, b = self.conflict_addrs(dm, 2)
+
+        def script(cache):
+            yield from cache.read(a)
+            yield from cache.read(b)
+            yield from cache.read(a)
+
+        drive(sim, script(dm))
+        assert dm.misses == 3
+        # two-way: both lines coexist -> final read hits
+        sim2, sa, _ = make(lines=4, ways=2)
+
+        def script2():
+            yield from sa.read(a)
+            yield from sa.read(b)
+            yield from sa.read(a)
+
+        drive(sim2, script2())
+        assert sa.misses == 2
+        assert sa.hits == 1
+
+    def test_lru_evicts_least_recent(self):
+        sim, cache, _ = make(lines=4, ways=2)
+        a, b, c = self.conflict_addrs(cache, 3)
+
+        def script():
+            yield from cache.read(a)   # miss: {a}
+            yield from cache.read(b)   # miss: {a, b}
+            yield from cache.read(a)   # hit: a is now MRU
+            yield from cache.read(c)   # miss: evicts b (LRU)
+
+        drive(sim, script())
+        assert cache.contains(a)
+        assert cache.contains(c)
+        assert not cache.contains(b)
+        assert cache.evictions == 1
+
+    def test_write_hit_refreshes_lru(self):
+        sim, cache, _ = make(lines=4, ways=2)
+        a, b, c = self.conflict_addrs(cache, 3)
+
+        def script():
+            yield from cache.read(a)
+            yield from cache.read(b)
+            yield from cache.write(a, 99)  # refreshes a
+            yield from cache.read(c)       # evicts b
+
+        drive(sim, script())
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_fully_associative_no_conflicts(self):
+        sim, cache, _ = make(lines=4, ways=4)
+        addrs = self.conflict_addrs(cache, 4)
+
+        def script():
+            for addr in addrs:
+                yield from cache.read(addr)
+            for addr in addrs:
+                yield from cache.read(addr)
+
+        drive(sim, script())
+        assert cache.misses == 4
+        assert cache.hits == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1), st.lists(
+        st.tuples(st.booleans(), st.integers(0, 31),
+                  st.integers(0, 2**32 - 1)),
+        min_size=1, max_size=40))
+    def test_associative_cache_still_coherent(self, ways_exp, ops):
+        """Reads through any geometry equal a flat reference model."""
+        sim, cache, _ = make(lines=4, line_words=2, ways=2 ** ways_exp)
+        model = {}
+
+        def script():
+            for is_write, word_index, value in ops:
+                addr = word_index * 4
+                if is_write:
+                    model[addr] = value
+                    yield from cache.write(addr, value)
+                else:
+                    observed = yield from cache.read(addr)
+                    assert observed == model.get(addr, 0)
+
+        drive(sim, script())
+
+    def test_higher_associativity_never_more_misses_on_scan(self):
+        """On a repeated conflict scan, more ways => fewer misses."""
+        def misses(ways):
+            sim, cache, _ = make(lines=4, ways=ways)
+            addrs = self.conflict_addrs(cache, 3)
+
+            def script():
+                for _ in range(4):
+                    for addr in addrs:
+                        yield from cache.read(addr)
+
+            drive(sim, script())
+            return cache.misses
+
+        assert misses(4) <= misses(2) <= misses(1)

@@ -1,0 +1,158 @@
+"""Randomised co-simulation: the armlet core vs a golden interpreter.
+
+Hypothesis generates random straight-line programs (arithmetic, logic,
+moves and private-memory load/stores); both the cycle-true processor and
+a direct Python interpreter execute them, and the architectural state
+(registers + touched memory) must agree exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.isa import Instruction, LR, Op, encode
+from repro.ocp.types import WORD_MASK
+from repro.platform import MparmPlatform, PlatformConfig
+
+#: Scratch memory window inside core 0's private RAM (past the code).
+SCRATCH_BASE = 0x8000
+SCRATCH_WORDS = 16
+
+
+def golden_execute(instructions):
+    """Reference interpreter for straight-line armlet code."""
+    regs = [0] * 16
+    memory = {}
+    flag_z = flag_lt = False
+
+    def signed(value):
+        return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+    for instr in instructions:
+        op = instr.op
+        if op == Op.ADD:
+            regs[instr.rd] = (regs[instr.rn] + regs[instr.rm]) & WORD_MASK
+        elif op == Op.ADDI:
+            regs[instr.rd] = (regs[instr.rn] + instr.imm) & WORD_MASK
+        elif op == Op.SUB:
+            regs[instr.rd] = (regs[instr.rn] - regs[instr.rm]) & WORD_MASK
+        elif op == Op.SUBI:
+            regs[instr.rd] = (regs[instr.rn] - instr.imm) & WORD_MASK
+        elif op == Op.MUL:
+            regs[instr.rd] = (regs[instr.rn] * regs[instr.rm]) & WORD_MASK
+        elif op == Op.AND:
+            regs[instr.rd] = regs[instr.rn] & regs[instr.rm]
+        elif op == Op.ANDI:
+            regs[instr.rd] = regs[instr.rn] & (instr.imm & WORD_MASK)
+        elif op == Op.ORR:
+            regs[instr.rd] = regs[instr.rn] | regs[instr.rm]
+        elif op == Op.ORRI:
+            regs[instr.rd] = regs[instr.rn] | (instr.imm & WORD_MASK)
+        elif op == Op.EOR:
+            regs[instr.rd] = regs[instr.rn] ^ regs[instr.rm]
+        elif op == Op.EORI:
+            regs[instr.rd] = regs[instr.rn] ^ (instr.imm & WORD_MASK)
+        elif op == Op.LSL:
+            regs[instr.rd] = (regs[instr.rn]
+                              << (regs[instr.rm] & 31)) & WORD_MASK
+        elif op == Op.LSLI:
+            regs[instr.rd] = (regs[instr.rn]
+                              << (instr.imm & 31)) & WORD_MASK
+        elif op == Op.LSR:
+            regs[instr.rd] = regs[instr.rn] >> (regs[instr.rm] & 31)
+        elif op == Op.LSRI:
+            regs[instr.rd] = regs[instr.rn] >> (instr.imm & 31)
+        elif op == Op.MOV:
+            regs[instr.rd] = regs[instr.rm]
+        elif op == Op.MOVI:
+            regs[instr.rd] = instr.imm & 0xFFFF
+        elif op == Op.MOVT:
+            regs[instr.rd] = (regs[instr.rd] & 0xFFFF) | (instr.imm << 16)
+        elif op == Op.CMP:
+            flag_z = regs[instr.rn] == regs[instr.rm]
+            flag_lt = signed(regs[instr.rn]) < signed(regs[instr.rm])
+        elif op == Op.CMPI:
+            other = instr.imm & WORD_MASK
+            flag_z = regs[instr.rn] == other
+            flag_lt = signed(regs[instr.rn]) < signed(other)
+        elif op == Op.LDR:
+            addr = (regs[instr.rn] + instr.imm) & WORD_MASK
+            regs[instr.rd] = memory.get(addr, 0)
+        elif op == Op.STR:
+            addr = (regs[instr.rn] + instr.imm) & WORD_MASK
+            memory[addr] = regs[instr.rd]
+        elif op == Op.NOP:
+            pass
+    return regs, memory, flag_z, flag_lt
+
+
+_REG = st.integers(1, 12)  # avoid r0 (kept as scratch base) and sp/lr
+_IMM = st.integers(-(1 << 17), (1 << 17) - 1)
+_U16 = st.integers(0, 0xFFFF)
+_SHIFT = st.integers(0, 31)
+_SCRATCH_OFF = st.integers(0, SCRATCH_WORDS - 1).map(lambda w: w * 4)
+
+_R_OPS = st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.ORR, Op.EOR])
+_I_OPS = st.sampled_from([Op.ADDI, Op.SUBI, Op.ANDI, Op.ORRI, Op.EORI])
+
+
+def _instruction():
+    return st.one_of(
+        st.builds(lambda op, d, n, m: Instruction(op, rd=d, rn=n, rm=m),
+                  _R_OPS, _REG, _REG, _REG),
+        st.builds(lambda op, d, n, i: Instruction(op, rd=d, rn=n, imm=i),
+                  _I_OPS, _REG, _REG, _IMM),
+        st.builds(lambda d, n, i: Instruction(Op.LSLI, rd=d, rn=n, imm=i),
+                  _REG, _REG, _SHIFT),
+        st.builds(lambda d, n, i: Instruction(Op.LSRI, rd=d, rn=n, imm=i),
+                  _REG, _REG, _SHIFT),
+        st.builds(lambda d, m: Instruction(Op.MOV, rd=d, rm=m), _REG, _REG),
+        st.builds(lambda d, i: Instruction(Op.MOVI, rd=d, imm=i),
+                  _REG, _U16),
+        st.builds(lambda d, i: Instruction(Op.MOVT, rd=d, imm=i),
+                  _REG, _U16),
+        st.builds(lambda n, m: Instruction(Op.CMP, rn=n, rm=m), _REG, _REG),
+        st.builds(lambda n, i: Instruction(Op.CMPI, rn=n, imm=i),
+                  _REG, _IMM),
+        # loads/stores relative to r0 = SCRATCH_BASE, word-aligned
+        st.builds(lambda d, off: Instruction(Op.LDR, rd=d, rn=0, imm=off),
+                  _REG, _SCRATCH_OFF),
+        st.builds(lambda d, off: Instruction(Op.STR, rd=d, rn=0, imm=off),
+                  _REG, _SCRATCH_OFF),
+        st.just(Instruction(Op.NOP)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_instruction(), min_size=1, max_size=30))
+def test_processor_matches_golden_interpreter(body):
+    # prologue establishes r0 = scratch base in both worlds
+    prologue = [Instruction(Op.MOVI, rd=0, imm=SCRATCH_BASE)]
+    program_instrs = prologue + body
+    words = [encode(instr) for instr in program_instrs] \
+        + [encode(Instruction(Op.HALT))]
+
+    from repro.cpu.assembler import AssembledProgram
+    platform = MparmPlatform(PlatformConfig(n_masters=1))
+    core = platform.add_core(AssembledProgram(words, 0, {}, []))
+    platform.run()
+
+    golden_regs, golden_mem, _, _ = golden_execute(program_instrs)
+    assert core.cpu.regs[:13] == golden_regs[:13]
+    for addr, value in golden_mem.items():
+        assert platform.private_mems[0].peek(addr) == value
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_instruction(), min_size=1, max_size=20))
+def test_execution_time_is_deterministic(body):
+    def run_once():
+        from repro.cpu.assembler import AssembledProgram
+        words = [encode(Instruction(Op.MOVI, rd=0, imm=SCRATCH_BASE))] \
+            + [encode(instr) for instr in body] \
+            + [encode(Instruction(Op.HALT))]
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        core = platform.add_core(AssembledProgram(words, 0, {}, []))
+        platform.run()
+        return core.completion_time
+
+    assert run_once() == run_once()

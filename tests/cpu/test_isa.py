@@ -1,0 +1,120 @@
+"""ISA encoding/decoding tests, including exhaustive round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.isa import (
+    AsmError,
+    Format,
+    Instruction,
+    OP_FORMAT,
+    Op,
+    decode,
+    encode,
+)
+
+
+class TestEncodeValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.ADD, rd=16, rn=0, rm=0))
+
+    def test_imm18_overflow(self):
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.ADDI, rd=0, rn=0, imm=1 << 17))
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.ADDI, rd=0, rn=0, imm=-(1 << 17) - 1))
+
+    def test_imm18_bounds_ok(self):
+        encode(Instruction(Op.ADDI, rd=0, rn=0, imm=(1 << 17) - 1))
+        encode(Instruction(Op.ADDI, rd=0, rn=0, imm=-(1 << 17)))
+
+    def test_u16_range(self):
+        encode(Instruction(Op.MOVI, rd=1, imm=0xFFFF))
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.MOVI, rd=1, imm=0x1_0000))
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.MOVI, rd=1, imm=-1))
+
+    def test_branch_offset_range(self):
+        encode(Instruction(Op.B, imm=(1 << 25) - 1))
+        with pytest.raises(AsmError):
+            encode(Instruction(Op.B, imm=1 << 25))
+
+
+class TestDecodeValidation:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError):
+            decode(63 << 26)
+
+    def test_non_32bit_word(self):
+        with pytest.raises(AsmError):
+            decode(1 << 32)
+        with pytest.raises(AsmError):
+            decode(-1)
+
+    def test_nop_is_zero_word(self):
+        assert encode(Instruction(Op.NOP)) == 0
+        assert decode(0).op == Op.NOP
+
+
+def _instruction_strategy():
+    regs = st.integers(0, 15)
+    imm18 = st.integers(-(1 << 17), (1 << 17) - 1)
+    imm16 = st.integers(0, 0xFFFF)
+    imm26 = st.integers(-(1 << 25), (1 << 25) - 1)
+
+    def build(op):
+        fmt = OP_FORMAT[op]
+        if fmt == Format.N:
+            return st.just(Instruction(op))
+        if fmt == Format.R:
+            return st.builds(lambda a, b, c: Instruction(op, rd=a, rn=b, rm=c),
+                             regs, regs, regs)
+        if fmt == Format.R2:
+            return st.builds(lambda a, b: Instruction(op, rd=a, rm=b),
+                             regs, regs)
+        if fmt == Format.CR:
+            return st.builds(lambda a, b: Instruction(op, rn=a, rm=b),
+                             regs, regs)
+        if fmt in (Format.I, Format.MEM):
+            return st.builds(lambda a, b, i: Instruction(op, rd=a, rn=b, imm=i),
+                             regs, regs, imm18)
+        if fmt == Format.CI:
+            return st.builds(lambda a, i: Instruction(op, rn=a, imm=i),
+                             regs, imm18)
+        if fmt == Format.U16:
+            return st.builds(lambda a, i: Instruction(op, rd=a, imm=i),
+                             regs, imm16)
+        return st.builds(lambda i: Instruction(op, imm=i), imm26)
+
+    return st.sampled_from(list(Op)).flatmap(build)
+
+
+class TestRoundTrip:
+    @given(_instruction_strategy())
+    def test_encode_decode_roundtrip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    @given(_instruction_strategy())
+    def test_encoding_is_32_bit(self, instr):
+        word = encode(instr)
+        assert 0 <= word <= 0xFFFF_FFFF
+
+    def test_every_opcode_roundtrips_at_defaults(self):
+        for op in Op:
+            fmt = OP_FORMAT[op]
+            instr = Instruction(op)
+            assert decode(encode(instr)).op == op
+
+    def test_distinct_instructions_distinct_words(self):
+        a = encode(Instruction(Op.ADD, rd=1, rn=2, rm=3))
+        b = encode(Instruction(Op.ADD, rd=1, rn=2, rm=4))
+        c = encode(Instruction(Op.SUB, rd=1, rn=2, rm=3))
+        assert len({a, b, c}) == 3
+
+    def test_repr_forms(self):
+        assert repr(Instruction(Op.NOP)) == "NOP"
+        assert "r1" in repr(Instruction(Op.ADD, rd=1, rn=2, rm=3))
+        assert "[r2" in repr(Instruction(Op.LDR, rd=1, rn=2, imm=8))
+        assert "#" in repr(Instruction(Op.B, imm=-4))

@@ -1,0 +1,289 @@
+"""Processor execution tests on a single-core AHB platform."""
+
+import pytest
+
+from repro.platform import MparmPlatform, PlatformConfig, SEM_BASE, SHARED_BASE
+
+
+def run_program(source, interconnect="ahb", until=None, **config_kwargs):
+    platform = MparmPlatform(PlatformConfig(
+        n_masters=1, interconnect=interconnect, **config_kwargs))
+    core = platform.add_core(source)
+    platform.run(until=until)
+    return platform, core
+
+
+class TestArithmetic:
+    def test_add_chain(self):
+        _, core = run_program("""
+            MOVI r1, 10
+            MOVI r2, 32
+            ADD r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 42
+
+    def test_sub_wraps(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            SUBI r1, r1, 1
+            HALT
+        """)
+        assert core.cpu.regs[1] == 0xFFFF_FFFF
+
+    def test_mul(self):
+        _, core = run_program("""
+            MOVI r1, 7
+            MOVI r2, 6
+            MUL r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 42
+
+    def test_mul_masks_to_32_bits(self):
+        _, core = run_program("""
+            LI r1, 0x10000
+            LI r2, 0x10000
+            MUL r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 0
+
+    def test_logical_ops(self):
+        _, core = run_program("""
+            MOVI r1, 0xF0F0
+            MOVI r2, 0xFF00
+            AND r3, r1, r2
+            ORR r4, r1, r2
+            EOR r5, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 0xF000
+        assert core.cpu.regs[4] == 0xFFF0
+        assert core.cpu.regs[5] == 0x0FF0
+
+    def test_shifts(self):
+        _, core = run_program("""
+            MOVI r1, 1
+            LSLI r2, r1, 8
+            LSRI r3, r2, 4
+            MOVI r4, 3
+            LSL r5, r1, r4
+            HALT
+        """)
+        assert core.cpu.regs[2] == 256
+        assert core.cpu.regs[3] == 16
+        assert core.cpu.regs[5] == 8
+
+    def test_movt_builds_high_half(self):
+        _, core = run_program("""
+            MOVI r1, 0x5678
+            MOVT r1, 0x1234
+            HALT
+        """)
+        assert core.cpu.regs[1] == 0x12345678
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            MOVI r2, 5
+        loop:
+            ADDI r1, r1, 1
+            SUBI r2, r2, 1
+            CMPI r2, 0
+            BNE loop
+            HALT
+        """)
+        assert core.cpu.regs[1] == 5
+
+    def test_signed_branches(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            SUBI r1, r1, 5      ; r1 = -5
+            MOVI r2, 3
+            CMP r1, r2
+            BLT less
+            MOVI r3, 0
+            HALT
+        less:
+            MOVI r3, 1
+            HALT
+        """)
+        assert core.cpu.regs[3] == 1
+
+    def test_bgt_and_ble(self):
+        _, core = run_program("""
+            MOVI r1, 9
+            MOVI r2, 4
+            CMP r1, r2
+            BGT greater
+            MOVI r3, 0
+            HALT
+        greater:
+            CMP r2, r1
+            BLE both_work
+            MOVI r3, 1
+            HALT
+        both_work:
+            MOVI r3, 2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 2
+
+    def test_bl_and_ret(self):
+        _, core = run_program("""
+            MOVI r1, 1
+            BL sub
+            ADDI r1, r1, 100
+            HALT
+        sub:
+            ADDI r1, r1, 10
+            RET
+        """)
+        assert core.cpu.regs[1] == 111
+
+    def test_taken_branch_costs_extra_cycle(self):
+        _, taken = run_program("""
+            MOVI r1, 1
+            CMPI r1, 1
+            BEQ target
+        target:
+            HALT
+        """)
+        _, fallthrough = run_program("""
+            MOVI r1, 1
+            CMPI r1, 2
+            BEQ target
+        target:
+            HALT
+        """)
+        assert taken.completion_time == fallthrough.completion_time + 1
+
+
+class TestMemoryAccess:
+    def test_private_store_load(self):
+        _, core = run_program("""
+            LI r1, buffer
+            MOVI r2, 77
+            STR r2, [r1]
+            LDR r3, [r1]
+            HALT
+            buffer: .word 0
+        """)
+        assert core.cpu.regs[3] == 77
+
+    def test_data_word_initialisation(self):
+        _, core = run_program("""
+            LI r1, value
+            LDR r2, [r1]
+            HALT
+            value: .word 0xBEEF
+        """)
+        assert core.cpu.regs[2] == 0xBEEF
+
+    def test_shared_memory_access(self):
+        platform, core = run_program(f"""
+            .equ SHARED {SHARED_BASE}
+            LI r1, SHARED
+            MOVI r2, 55
+            STR r2, [r1, #16]
+            LDR r3, [r1, #16]
+            HALT
+        """)
+        assert core.cpu.regs[3] == 55
+        assert platform.shared_mem.peek(SHARED_BASE + 16) == 55
+
+    def test_semaphore_acquire_via_cpu(self):
+        platform, core = run_program(f"""
+            .equ SEM {SEM_BASE}
+            LI r1, SEM
+            LDR r2, [r1]      ; acquires: reads 1
+            LDR r3, [r1]      ; fails: reads 0
+            HALT
+        """)
+        assert core.cpu.regs[2] == 1
+        assert core.cpu.regs[3] == 0
+
+    def test_dcache_hit_avoids_bus(self):
+        platform, core = run_program("""
+            LI r1, buffer
+            LDR r2, [r1]       ; miss: refill
+            LDR r3, [r1]       ; hit
+            LDR r4, [r1, #4]   ; hit (same line)
+            HALT
+            .space 8           ; align buffer to a 16-byte line boundary
+            buffer: .word 11
+            .word 22
+        """)
+        assert core.dcache.misses == 1
+        assert core.dcache.hits == 2
+        assert core.cpu.regs[2] == 11
+        assert core.cpu.regs[4] == 22
+
+    def test_shared_accesses_are_uncached(self):
+        platform, core = run_program(f"""
+            .equ SHARED {SHARED_BASE}
+            LI r1, SHARED
+            LDR r2, [r1]
+            LDR r3, [r1]
+            HALT
+        """)
+        assert core.dcache.hits == 0
+        assert core.dcache.misses == 0
+
+    def test_write_through_reaches_memory(self):
+        platform, core = run_program("""
+            LI r1, buffer
+            LDR r2, [r1]       ; bring line into D$
+            MOVI r3, 99
+            STR r3, [r1]       ; write-through
+            HALT
+            buffer: .word 1
+        """)
+        addr = core.cpu.regs[1]
+        assert platform.private_mems[0].peek(addr) == 99
+
+
+class TestExecutionAccounting:
+    def test_instruction_count(self):
+        _, core = run_program("""
+            MOVI r1, 1
+            MOVI r2, 2
+            ADD r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.instructions_executed == 4
+
+    def test_halt_records_time(self):
+        platform, core = run_program("NOP\nHALT")
+        assert core.finished
+        assert core.completion_time == platform.sim.now
+
+    def test_icache_reused_across_loop(self):
+        _, core = run_program("""
+            MOVI r1, 50
+        loop:
+            SUBI r1, r1, 1
+            CMPI r1, 0
+            BNE loop
+            HALT
+        """)
+        # 5 instructions fit in at most 2 lines -> misses bounded
+        assert core.icache.misses <= 2
+        assert core.icache.hits > 100
+
+    def test_deterministic_execution(self):
+        source = """
+            MOVI r1, 30
+        loop:
+            SUBI r1, r1, 1
+            CMPI r1, 0
+            BNE loop
+            HALT
+        """
+        _, a = run_program(source)
+        _, b = run_program(source)
+        assert a.completion_time == b.completion_time
+        assert a.cpu.instructions_executed == b.cpu.instructions_executed

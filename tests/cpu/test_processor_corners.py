@@ -1,0 +1,184 @@
+"""Processor corner cases: signed flags, shifts, subroutines, fetch paths."""
+
+import pytest
+
+from repro.platform import MparmPlatform, PlatformConfig, SHARED_BASE
+
+
+def run_program(source, **config_kwargs):
+    platform = MparmPlatform(PlatformConfig(n_masters=1, **config_kwargs))
+    core = platform.add_core(source)
+    platform.run()
+    return platform, core
+
+
+class TestSignedComparisons:
+    def test_bge_with_negatives(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            SUBI r1, r1, 3       ; -3
+            MOVI r2, 0
+            SUBI r2, r2, 7       ; -7
+            CMP r1, r2           ; -3 >= -7
+            BGE good
+            MOVI r3, 0
+            HALT
+        good:
+            MOVI r3, 1
+            HALT
+        """)
+        assert core.cpu.regs[3] == 1
+
+    def test_blt_unsigned_wraparound_is_signed(self):
+        """0xFFFFFFFF compares as -1, i.e. less than 1."""
+        _, core = run_program("""
+            MOVI r1, 0
+            SUBI r1, r1, 1       ; 0xFFFFFFFF
+            MOVI r2, 1
+            CMP r1, r2
+            BLT good
+            MOVI r3, 0
+            HALT
+        good:
+            MOVI r3, 1
+            HALT
+        """)
+        assert core.cpu.regs[3] == 1
+
+    def test_ble_equal_taken(self):
+        _, core = run_program("""
+            MOVI r1, 5
+            CMPI r1, 5
+            BLE good
+            MOVI r3, 0
+            HALT
+        good:
+            MOVI r3, 1
+            HALT
+        """)
+        assert core.cpu.regs[3] == 1
+
+    def test_cmpi_with_negative_immediate(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            SUBI r1, r1, 4       ; -4
+            CMPI r1, -4
+            BEQ good
+            MOVI r3, 0
+            HALT
+        good:
+            MOVI r3, 1
+            HALT
+        """)
+        assert core.cpu.regs[3] == 1
+
+
+class TestShiftsAndMoves:
+    def test_shift_amount_masked_to_31(self):
+        _, core = run_program("""
+            MOVI r1, 1
+            MOVI r2, 33          ; shifts by 33 & 31 = 1
+            LSL r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 2
+
+    def test_lsr_register(self):
+        _, core = run_program("""
+            MOVI r1, 0x80
+            MOVI r2, 4
+            LSR r3, r1, r2
+            HALT
+        """)
+        assert core.cpu.regs[3] == 8
+
+    def test_movi_clears_high_half(self):
+        _, core = run_program("""
+            LI r1, 0xFFFFFFFF
+            MOVI r1, 0x1234      ; MOVI overwrites the whole register
+            HALT
+        """)
+        assert core.cpu.regs[1] == 0x1234
+
+
+class TestSubroutines:
+    def test_nested_bl_with_saved_lr(self):
+        _, core = run_program("""
+            MOVI r1, 0
+            BL outer
+            HALT
+        outer:
+            MOV r8, lr
+            ADDI r1, r1, 1
+            BL inner
+            ADDI r1, r1, 100
+            MOV lr, r8
+            RET
+        inner:
+            ADDI r1, r1, 10
+            RET
+        """)
+        assert core.cpu.regs[1] == 111
+
+    def test_mul_extra_cycles(self):
+        _, with_mul = run_program("""
+            MOVI r1, 3
+            MOVI r2, 4
+            MUL r3, r1, r2
+            HALT
+        """)
+        _, with_add = run_program("""
+            MOVI r1, 3
+            MOVI r2, 4
+            ADD r3, r1, r2
+            HALT
+        """)
+        assert (with_mul.completion_time
+                == with_add.completion_time + 2)
+
+
+class TestFetchPaths:
+    def test_execute_from_uncached_memory(self):
+        """Code placed in shared memory executes (uncached I-fetch path).
+
+        The boot stub in private memory copies a tiny routine into shared
+        memory and jumps there via BL/RET-style address in lr.
+        """
+        from repro.cpu import Instruction, Op, encode
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        boot = f"""
+            .equ SHARED {SHARED_BASE}
+            LI r6, back
+            MOV lr, r6            ; routine returns here
+            LI r7, SHARED
+            MOV r9, r7            ; scratch: jump target
+            ; indirect jump: swap pc via RET with lr=target, saving return
+            MOV r8, lr            ; r8 = back
+            MOV lr, r9
+            RET                   ; pc := SHARED
+        back:
+            HALT
+        """
+        core = platform.add_core(boot)
+        # place "MOVI r5, 7 ; MOV lr, r8 ; RET" at SHARED
+        words = [
+            encode(Instruction(Op.MOVI, rd=5, imm=7)),
+            encode(Instruction(Op.MOV, rd=14, rm=8)),
+            encode(Instruction(Op.RET)),
+        ]
+        platform.shared_mem.load(SHARED_BASE, words)
+        platform.run()
+        assert core.cpu.regs[5] == 7
+        # uncached fetches generated read traffic to shared memory
+        assert platform.shared_mem.reads >= 3
+
+    def test_icache_line_boundary_execution(self):
+        """Straight-line code crossing many cache lines still executes."""
+        body = "\n".join("    ADDI r1, r1, 1" for _ in range(64))
+        _, core = run_program(f"""
+            MOVI r1, 0
+{body}
+            HALT
+        """)
+        assert core.cpu.regs[1] == 64
+        assert core.icache.misses >= 4  # several line refills

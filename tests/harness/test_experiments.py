@@ -1,0 +1,114 @@
+"""Harness unit tests: flow plumbing, result metrics, formatting."""
+
+import pytest
+
+from repro.apps import cacheloop, sp_matrix
+from repro.core import ReplayMode
+from repro.harness import (
+    TGFlowResult,
+    build_tg_platform,
+    reference_run,
+    table2_row,
+    tg_flow,
+    translate_traces,
+)
+
+
+class TestReferenceRun:
+    def test_returns_platform_collectors_wall(self):
+        platform, collectors, wall = reference_run(
+            cacheloop, 2, app_params={"iters": 50})
+        assert platform.all_finished
+        assert set(collectors) == {0, 1}
+        assert all(len(c) > 0 for c in collectors.values())
+        assert wall > 0
+
+    def test_collect_false_skips_monitors(self):
+        platform, collectors, _ = reference_run(
+            cacheloop, 1, app_params={"iters": 50}, collect=False)
+        assert collectors == {}
+
+    def test_config_overrides_forwarded(self):
+        platform, _, _ = reference_run(
+            cacheloop, 1, app_params={"iters": 50},
+            config_overrides={"private_size": 0x2_0000},
+            collect=False)
+        assert platform.config.private_size == 0x2_0000
+
+
+class TestTranslateTraces:
+    def test_binary_roundtrip_included(self):
+        """Programs pass through assemble/disassemble inside the helper."""
+        _, collectors, _ = reference_run(cacheloop, 1,
+                                         app_params={"iters": 50})
+        programs = translate_traces(collectors, 1)
+        assert programs[0].core_id == 0
+        assert len(programs[0]) > 2
+
+    def test_mode_forwarded(self):
+        _, collectors, _ = reference_run(cacheloop, 1,
+                                         app_params={"iters": 50})
+        programs = translate_traces(collectors, 1, ReplayMode.CLONING)
+        assert programs[0].mode is ReplayMode.CLONING
+
+
+class TestResultMetrics:
+    def test_error_property(self):
+        result = TGFlowResult()
+        result.ref_cycles = 1000
+        result.tg_cycles = 1010
+        assert result.error == pytest.approx(0.01)
+
+    def test_error_zero_reference(self):
+        result = TGFlowResult()
+        assert result.error == 0.0
+
+    def test_gain_property(self):
+        result = TGFlowResult()
+        result.ref_wall = 2.0
+        result.tg_wall = 0.5
+        assert result.gain == 4.0
+        result.tg_wall = 0.0
+        assert result.gain == 0.0
+
+    def test_event_gain(self):
+        result = TGFlowResult()
+        result.ref_events = 300
+        result.tg_events = 100
+        assert result.event_gain == 3.0
+
+    def test_repr_and_row(self):
+        result = tg_flow(sp_matrix, 1, app_params={"n": 4})
+        text = table2_row(result)
+        assert "1P" in text
+        assert "Error=" in text
+        assert "Gain=" in text
+        assert "sp_matrix" in repr(result)
+
+
+class TestFlowWiring:
+    def test_flow_populates_everything(self):
+        result = tg_flow(cacheloop, 2, app_params={"iters": 60})
+        assert result.n_cores == 2
+        assert result.ref_platform is not None
+        assert result.tg_platform is not None
+        assert set(result.programs) == {0, 1}
+        assert set(result.traces) == {0, 1}
+        assert result.ref_cycles > 0
+        assert result.tg_cycles > 0
+
+    def test_tg_interconnect_override(self):
+        result = tg_flow(cacheloop, 1, interconnect="ahb",
+                         tg_interconnect="tlm",
+                         app_params={"iters": 60})
+        assert result.tg_platform.config.interconnect == "tlm"
+        assert result.ref_platform.config.interconnect == "ahb"
+
+    def test_build_tg_platform_socket_count(self):
+        _, collectors, _ = reference_run(cacheloop, 2,
+                                         app_params={"iters": 50})
+        programs = translate_traces(collectors, 2)
+        platform = build_tg_platform(programs, 2)
+        assert len(platform.masters) == 2
+        platform.run()
+        assert platform.all_finished

@@ -1,0 +1,100 @@
+"""Sweep utility and repro-sweep CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import sweep_main
+from repro.core import ReplayMode
+from repro.harness import SweepSpec, run_sweep, sweep_csv, sweep_table
+
+
+class TestSweepSpec:
+    def test_validates_benchmark(self):
+        with pytest.raises(ValueError):
+            SweepSpec("quake", [2])
+
+    def test_requires_cores(self):
+        with pytest.raises(ValueError):
+            SweepSpec("cacheloop", [])
+
+    def test_defaults(self):
+        spec = SweepSpec("cacheloop", [2])
+        assert spec.interconnects == ["ahb"]
+        assert spec.modes == [ReplayMode.REACTIVE]
+        assert spec.points == 1
+
+    def test_points_product(self):
+        spec = SweepSpec("cacheloop", [2, 4],
+                         interconnects=["ahb", "tlm"],
+                         modes=["reactive", "cloning"])
+        assert spec.points == 8
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            SweepSpec.from_dict({"benchmark": "cacheloop", "cores": [2],
+                                 "bogus": 1})
+
+    def test_from_dict(self):
+        spec = SweepSpec.from_dict({
+            "benchmark": "mp_matrix", "cores": [2],
+            "interconnects": ["tlm"], "app_params": {"n": 4}})
+        assert spec.benchmark == "mp_matrix"
+        assert spec.app_params == {"n": 4}
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = SweepSpec("cacheloop", [1, 2],
+                         interconnects=["ahb", "tlm"],
+                         app_params={"iters": 60})
+        return run_sweep(spec)
+
+    def test_grid_size(self, results):
+        assert len(results) == 4
+
+    def test_all_accurate(self, results):
+        for result in results:
+            assert result.error < 0.01
+
+    def test_grid_order(self, results):
+        fabrics = [result.interconnect for result in results]
+        assert fabrics == ["ahb", "ahb", "tlm", "tlm"]
+        cores = [result.n_cores for result in results]
+        assert cores == [1, 2, 1, 2]
+
+    def test_table_render(self, results):
+        text = sweep_table(results, title="demo")
+        assert "demo" in text
+        assert "cacheloop" in text
+        assert "1P" in text and "2P" in text
+
+    def test_csv_render(self, results):
+        text = sweep_csv(results)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("benchmark,")
+        assert len(lines) == 5
+
+
+class TestSweepCli:
+    def test_end_to_end(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "benchmark": "cacheloop",
+            "cores": [2],
+            "app_params": {"iters": 50},
+        }))
+        csv_path = tmp_path / "out.csv"
+        assert sweep_main([str(spec_path), "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: cacheloop" in out
+        assert csv_path.exists()
+        assert "cacheloop" in csv_path.read_text()
+
+    def test_bad_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"benchmark": "nope",
+                                         "cores": [1]}))
+        with pytest.raises(ValueError):
+            sweep_main([str(spec_path)])

@@ -1,0 +1,63 @@
+"""All-TG test-chip configuration (paper Figure 1(b))."""
+
+import pytest
+
+from repro.apps import des, mp_matrix
+from repro.core import TGDummySlave, TGSharedMemorySlave
+from repro.harness import (
+    build_testchip_platform,
+    build_tg_platform,
+    reference_run,
+    translate_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    platform, collectors, _ = reference_run(mp_matrix, 2,
+                                            app_params={"n": 4})
+    programs = translate_traces(collectors, 2)
+    return platform.cumulative_execution_time, programs
+
+
+class TestTestchip:
+    def test_memories_are_tg_entities(self, traced):
+        _, programs = traced
+        platform = build_testchip_platform(programs, 2)
+        assert isinstance(platform.shared_mem, TGSharedMemorySlave)
+        private_port = platform.address_map.find(0x0).slave_port
+        assert isinstance(private_port.slave, TGDummySlave)
+
+    def test_testchip_runs_to_completion(self, traced):
+        _, programs = traced
+        platform = build_testchip_platform(programs, 2)
+        platform.run()
+        assert platform.all_finished
+
+    def test_testchip_timing_matches_full_slave_models(self, traced):
+        """Dummy private memories and the shared-memory TG must not
+        change timing: the slave TGs carry the same access-time model."""
+        ref_cycles, programs = traced
+        normal = build_tg_platform(programs, 2)
+        normal.run()
+        testchip = build_testchip_platform(programs, 2)
+        testchip.run()
+        assert (testchip.cumulative_execution_time
+                == normal.cumulative_execution_time)
+
+    def test_testchip_accuracy_vs_reference(self, traced):
+        ref_cycles, programs = traced
+        platform = build_testchip_platform(programs, 2)
+        platform.run()
+        error = abs(platform.cumulative_execution_time - ref_cycles) \
+            / ref_cycles
+        assert error < 0.02
+
+    def test_shared_memory_tg_carries_real_data(self, traced):
+        """Mailbox/flag state must behave, so DES still synchronises."""
+        _, collectors, _ = reference_run(des, 3, app_params={"blocks": 2})
+        programs = translate_traces(collectors, 3)
+        platform = build_testchip_platform(programs, 3)
+        platform.run()
+        assert platform.all_finished
+        assert platform.shared_mem.transactions_served > 0

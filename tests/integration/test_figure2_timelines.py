@@ -1,0 +1,148 @@
+"""E1: the two transaction scenarios of paper Figure 2.
+
+(a) a master talking to a private slave: posted write, blocking read, and
+    a read stalled behind an unfinished write at the slave interface;
+(b) two masters polling a hardware semaphore: M1 locks, M2's polls fail
+    until M1's unlocking write propagates.
+"""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.interconnect import AddressMap, AmbaAhbBus
+from repro.memory import MemorySlave, SemaphoreBank, SlaveTimings
+from repro.ocp import OCPMasterPort, OCPSlavePort, RecordingMonitor
+
+
+def build_fig2_system(slave_first_beat=6):
+    sim = Simulator()
+    amap = AddressMap()
+    slave = MemorySlave(sim, "slave", 0x0, 0x1000,
+                        SlaveTimings(first_beat=slave_first_beat))
+    sem = SemaphoreBank(sim, "sem", 0x8000, 2, SlaveTimings(1, 1))
+    amap.add(slave.base, slave.size_bytes,
+             OCPSlavePort(sim, "slave.port", slave), "slave")
+    amap.add(sem.base, sem.size_bytes,
+             OCPSlavePort(sim, "sem.port", sem), "sem")
+    bus = AmbaAhbBus(sim, address_map=amap, arbiter_policy="round_robin")
+    ports = []
+    for master_id in range(2):
+        port = OCPMasterPort(sim, f"m{master_id}")
+        port.bind(bus, master_id)
+        ports.append(port)
+    return sim, ports, slave, sem
+
+
+class TestFigure2a:
+    """Master to exclusively-owned slave."""
+
+    def test_wr_then_rd_sequence(self):
+        sim, ports, slave, _ = build_fig2_system()
+        monitor = RecordingMonitor()
+        ports[0].attach_monitor(monitor)
+        log = []
+
+        def master(port):
+            yield from port.write(0x100, 0xAA)       # posted WR
+            log.append(("wr_done", sim.now))
+            yield 5                                   # local processing
+            value = yield from port.read(0x100)       # blocking RD
+            log.append(("rd_done", sim.now, value))
+
+        sim.spawn(master(ports[0]))
+        sim.run()
+        wr_done = log[0][1]
+        rd_done = log[1][1]
+        # WR returns at accept (before the slave finished servicing it)
+        assert wr_done < 6
+        # RD pays the full round trip
+        assert log[1][2] == 0xAA
+        assert rd_done > wr_done + 5
+
+    def test_rd_closely_following_wr_is_stalled_at_slave(self):
+        """Figure 2(a), second transaction pair: the RD reaches the slave
+        before the WR is serviced and the stall appears as response time."""
+        sim, ports, _, _ = build_fig2_system(slave_first_beat=10)
+        latencies = []
+
+        def master(port):
+            # isolated read: no pending write at the slave
+            start = sim.now
+            yield from port.read(0x200)
+            latencies.append(("isolated", sim.now - start))
+            yield 20
+            # read right behind a posted write
+            yield from port.write(0x200, 1)
+            start = sim.now
+            yield from port.read(0x200)
+            latencies.append(("stalled", sim.now - start))
+
+        sim.spawn(master(ports[0]))
+        sim.run()
+        isolated = dict(latencies)["isolated"]
+        stalled = dict(latencies)["stalled"]
+        assert stalled > isolated  # the write's service time is in the way
+
+    def test_from_master_view_only_wait_times_matter(self):
+        """The trace needs just command/response times: the slave's
+        internal stall is invisible except as response latency."""
+        sim, ports, _, _ = build_fig2_system()
+        monitor = RecordingMonitor()
+        ports[0].attach_monitor(monitor)
+
+        def master(port):
+            yield from port.write(0x100, 1)
+            yield from port.read(0x100)
+
+        sim.spawn(master(ports[0]))
+        sim.run()
+        kinds = [event[0] for event in monitor.events]
+        assert kinds == ["REQ", "ACC", "REQ", "ACC", "RESP"]
+
+
+class TestFigure2b:
+    """Two masters and a hardware semaphore."""
+
+    def run_scenario(self, unlock_delay):
+        sim, ports, _, sem = build_fig2_system()
+        m2_polls = []
+
+        def m1(port):
+            value = yield from port.read(0x8000)      # locks (reads 1)
+            assert value == 1
+            yield unlock_delay                        # critical section
+            yield from port.write(0x8000, 1)          # unlock
+
+        def m2(port):
+            yield 6  # arrive after M1
+            while True:
+                value = yield from port.read(0x8000)
+                m2_polls.append((sim.now, value))
+                if value == 1:
+                    return
+                yield 3
+
+        sim.spawn(m1(ports[0]))
+        sim.spawn(m2(ports[1]))
+        sim.run()
+        return m2_polls, sem
+
+    def test_m2_fails_then_succeeds(self):
+        polls, sem = self.run_scenario(unlock_delay=50)
+        values = [value for _, value in polls]
+        assert values[-1] == 1
+        assert all(value == 0 for value in values[:-1])
+        assert len(values) > 1
+        assert sem.acquisitions == 2
+
+    def test_poll_count_depends_on_unlock_timing(self):
+        """The amount of traffic at M2's interface is timing-dependent —
+        the core observation motivating reactive TGs."""
+        short, _ = self.run_scenario(unlock_delay=20)
+        long, _ = self.run_scenario(unlock_delay=120)
+        assert len(long) > len(short)
+
+    def test_mutual_exclusion_always_holds(self):
+        for delay in (10, 35, 80):
+            polls, sem = self.run_scenario(unlock_delay=delay)
+            assert sem.acquisitions == 2  # exactly M1 then M2

@@ -1,0 +1,81 @@
+"""The TG methodology under unusual platform configurations.
+
+The flow must stay accurate whatever the reference platform looks like —
+different arbitration, different cache geometry, different slave speeds —
+because the translator only relies on the OCP-boundary contract.
+"""
+
+import pytest
+
+from repro.core import TGProgram
+from repro.apps import des, mp_matrix
+from repro.cpu.cache import CacheConfig
+from repro.harness import tg_flow
+from repro.memory import SlaveTimings
+
+
+class TestUnusualConfigurations:
+    def test_tdma_arbitrated_reference(self):
+        """Trace on a TDMA bus, replay on the same TDMA bus."""
+        overrides = {"fabric_kwargs": {
+            "arbiter_policy": "tdma",
+            "arbiter_kwargs": {"slot_table": [0, 1, 2], "slot_cycles": 16},
+        }}
+        result = tg_flow(mp_matrix, 3, app_params={"n": 4},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+
+    def test_fixed_priority_two_cores(self):
+        overrides = {"fabric_kwargs": {"arbiter_policy": "fixed"}}
+        result = tg_flow(des, 2, app_params={"blocks": 2},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+
+    def test_slow_shared_memory(self):
+        overrides = {"shared_timings": SlaveTimings(first_beat=8,
+                                                    per_beat=2)}
+        result = tg_flow(mp_matrix, 2, app_params={"n": 4},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+
+    def test_tiny_caches(self):
+        """Heavy refill traffic (tiny I/D caches) still translates."""
+        overrides = {"icache": CacheConfig(lines=8, line_words=4),
+                     "dcache": CacheConfig(lines=8, line_words=4)}
+        result = tg_flow(mp_matrix, 2, app_params={"n": 4},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+        # tiny caches => far more burst refills in the programs
+        refills = sum(
+            1 for program in result.programs.values()
+            for instr in program.instructions
+            if instr.op.name == "BURST_READ")
+        assert refills > 50
+
+    def test_associative_caches(self):
+        overrides = {"icache": CacheConfig(lines=64, line_words=4, ways=4),
+                     "dcache": CacheConfig(lines=64, line_words=4, ways=2)}
+        result = tg_flow(mp_matrix, 2, app_params={"n": 4},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+
+    def test_wide_cache_lines(self):
+        overrides = {"icache": CacheConfig(lines=32, line_words=8),
+                     "dcache": CacheConfig(lines=32, line_words=8)}
+        result = tg_flow(mp_matrix, 2, app_params={"n": 4},
+                         config_overrides=overrides)
+        assert result.error < 0.04
+        # refills are 8-beat bursts now
+        bursts = {instr.b for program in result.programs.values()
+                  for instr in program.instructions
+                  if instr.op.name == "BURST_READ"}
+        assert bursts == {8}
+
+    def test_program_footprints_are_small(self):
+        """The paper wants TGs deployable with small instruction
+        memories; translated programs stay in the tens of KiB."""
+        result = tg_flow(mp_matrix, 2, app_params={"n": 4})
+        for program in result.programs.values():
+            stats = program.stats()
+            assert stats["image_bytes"] < 64 * 1024
+            assert stats["instructions"] == len(program)

@@ -1,0 +1,93 @@
+"""Remaining error paths and unit-level checks across packages."""
+
+import pytest
+
+from repro.cpu.core_ip import CoreIP
+from repro.kernel import Simulator
+from repro.kernel.simulator import CYCLE_NS
+from repro.ocp.types import OCPCommand, Request
+from repro.platform import MparmPlatform, PlatformConfig
+from repro.trace import TraceCollector
+
+
+class TestCoreIP:
+    def test_start_without_program_raises(self):
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        core = CoreIP(platform.sim, "corex", 0, platform.config.uncached)
+        with pytest.raises(RuntimeError):
+            core.start()
+
+    def test_set_program_records_entry(self):
+        from repro.cpu import assemble
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        core = CoreIP(platform.sim, "corex", 0, platform.config.uncached)
+        program = assemble("HALT", base=0x40)
+        core.set_program(program)
+        assert core._entry == 0x40
+
+
+class TestTraceCollectorUnits:
+    def test_timestamps_in_nanoseconds(self):
+        sim = Simulator()
+        collector = TraceCollector(master_id=3)
+        request = Request(OCPCommand.WRITE, 0x100, 7)
+        collector.on_request(11, request)
+        collector.on_accept(13, request)
+        assert collector.events[0].time_ns == 11 * CYCLE_NS
+        assert collector.events[1].time_ns == 13 * CYCLE_NS
+        assert len(collector) == 2
+
+    def test_burst_data_copied_not_aliased(self):
+        collector = TraceCollector()
+        data = [1, 2, 3]
+        request = Request(OCPCommand.BURST_WRITE, 0x100, data, burst_len=3)
+        collector.on_request(0, request)
+        data[0] = 99
+        assert collector.events[0].data == [1, 2, 3]
+
+    def test_to_trc_header(self):
+        collector = TraceCollector(master_id=5)
+        text = collector.to_trc(header_comment="hello")
+        assert "; master 5" in text
+        assert "; hello" in text
+
+
+class TestEnergyErrors:
+    def test_unknown_fabric_rejected(self):
+        from repro.stats import estimate_energy
+
+        class FakePlatform:
+            fabric = object()
+            address_map = None
+
+        with pytest.raises(TypeError):
+            estimate_energy(FakePlatform)
+
+
+class TestStochasticErrors:
+    def test_stochastic_master_surface(self):
+        """Before start: not finished, no completion time."""
+        from repro.core import StochasticTGMaster, TrafficProfile
+        from repro.ocp.types import OCPCommand as C
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        profile = TrafficProfile(
+            mix={C.READ: 1.0}, mean_gap=5.0,
+            address_pools={C.READ: [0x1900_0000]},
+            burst_len=4, transactions=3)
+        master = StochasticTGMaster(platform.sim, "stg", profile)
+        assert not master.finished
+        assert master.completion_time is None
+        platform.add_master(master)
+        platform.run()
+        assert master.finished
+
+
+class TestVersionMetadata:
+    def test_package_version(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_exports_importable(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,62 @@
+"""The on-disk flow: .trc and .tgp/.bin files round-trip through the
+filesystem exactly as the paper's toolchain does."""
+
+import pytest
+
+from repro.apps import mp_matrix
+from repro.apps.common import pollable_ranges
+from repro.core import TGMaster, parse_tgp
+from repro.core.assembler import assemble_binary, disassemble_binary
+from repro.harness import build_tg_platform, reference_run
+from repro.trace import Translator, TranslatorOptions, parse_trc
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    platform, collectors, _ = reference_run(mp_matrix, 2,
+                                            app_params={"n": 4})
+    return platform, collectors
+
+
+class TestFileFlow:
+    def test_trc_file_roundtrip(self, reference, tmp_path):
+        platform, collectors = reference
+        for master_id, collector in collectors.items():
+            path = tmp_path / f"core{master_id}.trc"
+            collector.save(path, header_comment="mp_matrix 2P on AHB")
+            master, events = parse_trc(path.read_text())
+            assert master == master_id
+            assert len(events) == len(collector.events)
+
+    def test_full_disk_pipeline_reproduces_run(self, reference, tmp_path):
+        """trace -> .trc file -> parse -> translate -> .tgp file ->
+        parse -> .bin file -> load -> run -> accuracy."""
+        platform, collectors = reference
+        options = TranslatorOptions(pollable_ranges=pollable_ranges(2))
+        programs = {}
+        for master_id, collector in collectors.items():
+            trc_path = tmp_path / f"core{master_id}.trc"
+            collector.save(trc_path)
+            _, events = parse_trc(trc_path.read_text())
+            program = Translator(options).translate_events(events, master_id)
+            tgp_path = tmp_path / f"core{master_id}.tgp"
+            tgp_path.write_text(program.to_tgp())
+            reparsed = parse_tgp(tgp_path.read_text())
+            bin_path = tmp_path / f"core{master_id}.bin"
+            bin_path.write_bytes(assemble_binary(reparsed))
+            programs[master_id] = disassemble_binary(bin_path.read_bytes())
+        tg_platform = build_tg_platform(programs, 2)
+        tg_platform.run()
+        ref_cycles = platform.cumulative_execution_time
+        tg_cycles = tg_platform.cumulative_execution_time
+        assert abs(tg_cycles - ref_cycles) / ref_cycles < 0.02
+
+    def test_tgp_file_is_human_readable(self, reference, tmp_path):
+        _, collectors = reference
+        options = TranslatorOptions(pollable_ranges=pollable_ranges(2))
+        program = Translator(options).translate_events(
+            collectors[0].events, 0)
+        text = program.to_tgp()
+        assert text.startswith("; Master Core")
+        assert "MASTER[0,0]" in text
+        assert "BEGIN" in text and text.rstrip().endswith("END")

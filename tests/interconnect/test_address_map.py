@@ -1,0 +1,83 @@
+"""Unit tests for address decoding."""
+
+import pytest
+
+from repro.interconnect import AddressMap
+from repro.ocp import OCPCommand, OCPError, Request
+
+
+class FakePort:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestAddressMap:
+    def make(self):
+        amap = AddressMap()
+        self.ram = FakePort("ram")
+        self.dev = FakePort("dev")
+        amap.add(0x0000, 0x1000, self.ram, "ram")
+        amap.add(0x8000, 0x100, self.dev, "dev")
+        return amap
+
+    def test_find_hits(self):
+        amap = self.make()
+        assert amap.find(0x0).slave_port is self.ram
+        assert amap.find(0x0FFC).slave_port is self.ram
+        assert amap.find(0x8000).slave_port is self.dev
+
+    def test_find_miss(self):
+        amap = self.make()
+        assert amap.find(0x1000) is None
+        assert amap.find(0x8100) is None
+
+    def test_decode_request(self):
+        amap = self.make()
+        req = Request(OCPCommand.READ, 0x8000)
+        assert amap.decode(req).slave_port is self.dev
+
+    def test_decode_unmapped_raises(self):
+        amap = self.make()
+        with pytest.raises(OCPError):
+            amap.decode(Request(OCPCommand.READ, 0x7000))
+
+    def test_burst_crossing_boundary_raises(self):
+        amap = self.make()
+        req = Request(OCPCommand.BURST_READ, 0x0FF8, burst_len=4)
+        with pytest.raises(OCPError):
+            amap.decode(req)
+
+    def test_burst_inside_range_ok(self):
+        amap = self.make()
+        req = Request(OCPCommand.BURST_READ, 0x0FF0, burst_len=4)
+        assert amap.decode(req).slave_port is self.ram
+
+    def test_overlap_rejected(self):
+        amap = self.make()
+        with pytest.raises(OCPError):
+            amap.add(0x0800, 0x1000, FakePort("bad"))
+
+    def test_adjacent_ranges_ok(self):
+        amap = self.make()
+        amap.add(0x1000, 0x1000, FakePort("next"))
+        assert amap.find(0x1000).name == "next"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(OCPError):
+            AddressMap().add(0x0, 0, FakePort("zero"))
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(OCPError):
+            AddressMap().add(0x2, 0x100, FakePort("odd"))
+
+    def test_ranges_sorted(self):
+        amap = self.make()
+        bases = [r.base for r in amap.ranges]
+        assert bases == sorted(bases)
+
+    def test_slave_ports_deduplicated(self):
+        amap = AddressMap()
+        port = FakePort("two_windows")
+        amap.add(0x0, 0x100, port)
+        amap.add(0x1000, 0x100, port)
+        assert amap.slave_ports() == [port]

@@ -1,0 +1,144 @@
+"""×pipes NoC-specific tests: routing, wormhole, back-pressure."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import MEM_BASE, MEM2_BASE, TinySystem
+
+from repro.interconnect.xpipes import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    xy_route,
+)
+from repro.ocp import OCPError
+
+
+class TestXYRouting:
+    def test_local_delivery(self):
+        assert xy_route((1, 1), (1, 1)) == LOCAL
+
+    def test_x_first(self):
+        assert xy_route((0, 0), (2, 2)) == EAST
+        assert xy_route((3, 0), (1, 2)) == WEST
+
+    def test_y_after_x(self):
+        assert xy_route((2, 0), (2, 3)) == SOUTH
+        assert xy_route((2, 3), (2, 0)) == NORTH
+
+    def test_route_is_progress(self):
+        """Every hop strictly decreases Manhattan distance."""
+        for src in [(0, 0), (3, 1), (2, 2)]:
+            for dst in [(0, 0), (1, 3), (3, 3)]:
+                pos = src
+                steps = 0
+                while pos != dst:
+                    port = xy_route(pos, dst)
+                    dx, dy = {EAST: (1, 0), WEST: (-1, 0),
+                              SOUTH: (0, 1), NORTH: (0, -1)}[port]
+                    pos = (pos[0] + dx, pos[1] + dy)
+                    steps += 1
+                    assert steps <= 12
+                assert steps == abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+class TestXpipesFabric:
+    def test_mesh_autosizing_fits_endpoints(self):
+        system = TinySystem("xpipes", masters=3)
+        noc = system.fabric
+        endpoints = 3 + 4  # masters + slaves
+        assert noc.width * noc.height >= endpoints
+
+    def test_flits_counted(self):
+        system = TinySystem("xpipes", masters=1)
+
+        def script(port):
+            yield from port.read(MEM_BASE)
+
+        system.sim.spawn(script(system.ports[0]))
+        system.run()
+        assert system.fabric.total_flits_routed > 0
+
+    def test_distance_affects_latency(self):
+        """A read to a farther slave takes longer than to a nearer one."""
+        system = TinySystem("xpipes", masters=1)
+        noc = system.fabric
+        port = system.ports[0]
+        src = noc.node_of_master(0)
+        latencies = {}
+
+        def measure(base, tag):
+            def script():
+                start = system.sim.now
+                yield from port.read(base)
+                latencies[tag] = system.sim.now - start
+            return script
+
+        system.sim.spawn(measure(MEM_BASE, "mem0")())
+        system.run()
+        system.sim.spawn(measure(MEM2_BASE, "mem1")())
+        system.run()
+
+        def hops(a, b):
+            return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+        d0 = hops(src, noc.node_of_slave(noc.address_map.ranges[0].slave_port))
+        d1 = hops(src, noc.node_of_slave(noc.address_map.ranges[1].slave_port))
+        if d0 != d1:
+            nearer, farther = (("mem0", "mem1") if d0 < d1 else ("mem1", "mem0"))
+            assert latencies[nearer] < latencies[farther]
+
+    def test_concurrent_disjoint_paths(self):
+        """Two masters to two different slaves overlap in time on the NoC."""
+        system = TinySystem("xpipes", masters=2)
+        finish = {}
+
+        def script(port, base, tag):
+            for i in range(4):
+                yield from port.write(base + 4 * i, i)
+            value = yield from port.read(base)
+            finish[tag] = system.sim.now
+            return value
+
+        system.sim.spawn(script(system.ports[0], MEM_BASE, "a"))
+        system.sim.spawn(script(system.ports[1], MEM2_BASE, "b"))
+        system.run()
+        serial_estimate = 2 * min(finish.values())
+        assert max(finish.values()) < serial_estimate
+
+    def test_many_outstanding_reads_same_slave(self):
+        """Responses are matched to the right requesters under contention."""
+        system = TinySystem("xpipes", masters=2)
+        system.mem.load(MEM_BASE + 0x80, [100, 200])
+        results = {}
+
+        def script(port, offset, tag):
+            value = yield from port.read(MEM_BASE + 0x80 + offset)
+            results[tag] = value
+
+        system.sim.spawn(script(system.ports[0], 0, "a"))
+        system.sim.spawn(script(system.ports[1], 4, "b"))
+        system.run()
+        assert results == {"a": 100, "b": 200}
+
+    def test_forced_mesh_too_small_raises(self):
+        with pytest.raises(OCPError):
+            TinySystem("xpipes", masters=3, mesh=(2, 2))
+
+    def test_request_flit_counts(self):
+        from repro.ocp import OCPCommand, Request
+        system = TinySystem("xpipes", masters=1)
+        noc = system.fabric
+        read = Request(OCPCommand.READ, MEM_BASE)
+        write = Request(OCPCommand.WRITE, MEM_BASE, 1)
+        burst_write = Request(OCPCommand.BURST_WRITE, MEM_BASE, [1, 2, 3, 4],
+                              burst_len=4)
+        assert noc.request_flit_count(read) == 2
+        assert noc.request_flit_count(write) == 3
+        assert noc.request_flit_count(burst_write) == 6
+        assert noc.response_flit_count(read) == 2

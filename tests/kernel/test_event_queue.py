@@ -1,0 +1,103 @@
+"""Unit tests for the event queue ordering guarantees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.event import EventQueue
+
+
+def drain(queue):
+    events = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return events
+        events.append(event)
+
+
+class TestEventQueueBasics:
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop() is None
+
+    def test_empty_queue_peek_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_tracks_pushes(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(i, 0, lambda: None)
+        assert len(queue) == 5
+
+    def test_pop_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(30, 0, lambda: None)
+        queue.push(10, 0, lambda: None)
+        queue.push(20, 0, lambda: None)
+        assert [e.time for e in drain(queue)] == [10, 20, 30]
+
+    def test_same_time_orders_by_priority(self):
+        queue = EventQueue()
+        queue.push(5, 2, lambda: None)
+        queue.push(5, 0, lambda: None)
+        queue.push(5, 1, lambda: None)
+        assert [e.priority for e in drain(queue)] == [0, 1, 2]
+
+    def test_same_time_same_priority_is_fifo(self):
+        queue = EventQueue()
+        order = []
+        for i in range(10):
+            queue.push(7, 0, lambda i=i: order.append(i))
+        for event in drain(queue):
+            event.fn()
+        assert order == list(range(10))
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(9, 0, lambda: None)
+        queue.push(4, 0, lambda: None)
+        assert queue.peek_time() == 4
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        victim = queue.push(1, 0, lambda: None)
+        queue.push(2, 0, lambda: None)
+        victim.cancel()
+        assert [e.time for e in drain(queue)] == [2]
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        victim = queue.push(1, 0, lambda: None)
+        queue.push(2, 0, lambda: None)
+        victim.cancel()
+        assert queue.peek_time() == 2
+
+    def test_event_repr_mentions_state(self):
+        queue = EventQueue()
+        event = queue.push(3, 1, lambda: None)
+        assert "t=3" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 3)),
+                    max_size=200))
+    def test_pop_order_is_sorted_by_time_priority(self, entries):
+        queue = EventQueue()
+        for time, priority in entries:
+            queue.push(time, priority, lambda: None)
+        popped = [(e.time, e.priority) for e in drain(queue)]
+        assert popped == sorted(popped)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_fifo_within_identical_keys(self, times):
+        queue = EventQueue()
+        for index, time in enumerate(times):
+            queue.push(time, 0, lambda: None)
+        popped = drain(queue)
+        # sequence numbers must be increasing within each (time, priority) key
+        by_key = {}
+        for event in popped:
+            by_key.setdefault((event.time, event.priority), []).append(event.seq)
+        for seqs in by_key.values():
+            assert seqs == sorted(seqs)

@@ -1,0 +1,135 @@
+"""Kernel edge cases: kill semantics, component base, signal cleanup."""
+
+import pytest
+
+from repro.kernel import (
+    Component,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestKillSemantics:
+    def test_kill_removes_signal_waiter(self):
+        sim = Simulator()
+        sig = sim.signal()
+
+        def waiter():
+            yield sig
+
+        process = sim.spawn(waiter())
+        sim.run()
+        assert sig.waiter_count == 1
+        process.kill()
+        assert sig.waiter_count == 0
+        assert not process.alive
+
+    def test_kill_is_idempotent(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100
+
+        process = sim.spawn(proc())
+        sim.run(until=1)
+        process.kill()
+        process.kill()  # no error
+        assert not process.alive
+
+    def test_killed_process_result_is_none(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100
+            return 42
+
+        process = sim.spawn(proc())
+        sim.run(until=1)
+        process.kill()
+        assert process.result is None
+
+    def test_join_on_killed_process_resumes(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 1000
+
+        def parent(target):
+            value = yield target
+            log.append((sim.now, value))
+
+        target = sim.spawn(child())
+        sim.spawn(parent(target))
+        sim.schedule_after(5, target.kill)
+        sim.run()
+        assert log == [(5, None)]
+
+    def test_process_can_catch_kill(self):
+        sim = Simulator()
+        log = []
+
+        def stubborn():
+            try:
+                yield 1000
+            except ProcessKilled:
+                log.append("cleaned up")
+
+        process = sim.spawn(stubborn())
+        sim.run(until=1)
+        process.kill()
+        assert log == ["cleaned up"]
+        assert not process.alive
+
+
+class TestComponent:
+    def test_holds_sim_and_name(self):
+        sim = Simulator()
+        component = Component(sim, "uart0")
+        assert component.sim is sim
+        assert component.name == "uart0"
+        assert "uart0" in repr(component)
+        component.start()  # default no-op must not raise
+
+
+class TestRunStates:
+    def test_nested_run_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            with pytest.raises(SimulationError):
+                sim.run()
+            yield 0
+
+        sim.spawn(proc())
+        sim.run()
+
+    def test_repr_mentions_state(self):
+        sim = Simulator()
+        sim.schedule_after(5, lambda: None)
+        text = repr(sim)
+        assert "t=0" in text
+        assert "queued=1" in text
+
+    def test_signal_repr(self):
+        sim = Simulator()
+        sig = sim.signal("irq")
+        assert "irq" in repr(sig)
+
+    def test_fifo_repr(self):
+        sim = Simulator()
+        fifo = sim.fifo(capacity=2, name="link")
+        fifo.try_put(1)
+        assert "1/2" in repr(fifo)
+        assert "link" in repr(fifo)
+
+    def test_events_fire_inside_until_window_after_resume(self):
+        sim = Simulator()
+        seen = []
+        for t in (1, 5, 9, 13):
+            sim.schedule_at(t, lambda t=t: seen.append(t))
+        sim.run(until=6)
+        assert seen == [1, 5]
+        sim.run(until=20)
+        assert seen == [1, 5, 9, 13]

@@ -1,0 +1,162 @@
+"""Unit tests for the semaphore bank and barrier device."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.memory import BarrierDevice, SemaphoreBank, SlaveTimings
+from repro.memory.semaphore import SEM_FREE, SEM_LOCKED
+from repro.ocp import OCPCommand, Request
+
+
+def drive(sim, gen):
+    process = sim.spawn(gen)
+    sim.run()
+    return process.result
+
+
+def make_bank(count=4):
+    sim = Simulator()
+    bank = SemaphoreBank(sim, "sems", 0x2000, count, SlaveTimings(1, 1))
+    return sim, bank
+
+
+def make_barrier(count=2):
+    sim = Simulator()
+    barrier = BarrierDevice(sim, "bar", 0x3000, count, SlaveTimings(1, 1))
+    return sim, barrier
+
+
+class TestSemaphoreBank:
+    def test_initially_free(self):
+        _, bank = make_bank()
+        for index in range(4):
+            assert bank.is_free(index)
+
+    def test_read_acquires(self):
+        sim, bank = make_bank()
+
+        def script():
+            resp = yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            return resp.word
+
+        assert drive(sim, script()) == SEM_FREE
+        assert not bank.is_free(0)
+
+    def test_second_read_fails(self):
+        sim, bank = make_bank()
+
+        def script():
+            first = yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            second = yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            return first.word, second.word
+
+        assert drive(sim, script()) == (SEM_FREE, SEM_LOCKED)
+
+    def test_write_releases(self):
+        sim, bank = make_bank()
+
+        def script():
+            yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            yield from bank.access(Request(OCPCommand.WRITE, 0x2000, SEM_FREE))
+            retry = yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            return retry.word
+
+        assert drive(sim, script()) == SEM_FREE
+
+    def test_semaphores_are_independent(self):
+        sim, bank = make_bank()
+
+        def script():
+            yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            other = yield from bank.access(Request(OCPCommand.READ, 0x2004))
+            return other.word
+
+        assert drive(sim, script()) == SEM_FREE
+        assert not bank.is_free(0)
+        assert not bank.is_free(1)
+
+    def test_semaphore_addr_helper(self):
+        _, bank = make_bank()
+        assert bank.semaphore_addr(0) == 0x2000
+        assert bank.semaphore_addr(3) == 0x200C
+
+    def test_poll_statistics(self):
+        sim, bank = make_bank()
+
+        def script():
+            yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            yield from bank.access(Request(OCPCommand.READ, 0x2000))
+
+        drive(sim, script())
+        assert bank.acquisitions == 1
+        assert bank.failed_polls == 2
+
+    def test_exclusion_between_two_processes(self):
+        """Only one of two same-cycle contenders may acquire."""
+        sim, bank = make_bank()
+        results = []
+
+        def contender():
+            resp = yield from bank.access(Request(OCPCommand.READ, 0x2000))
+            results.append(resp.word)
+
+        sim.spawn(contender())
+        sim.spawn(contender())
+        sim.run()
+        assert sorted(results) == [SEM_LOCKED, SEM_FREE]
+
+
+class TestBarrierDevice:
+    def test_counts_start_at_zero(self):
+        _, barrier = make_barrier()
+        assert barrier.value(0) == 0
+
+    def test_write_adds(self):
+        sim, barrier = make_barrier()
+
+        def script():
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3000, 1))
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3000, 1))
+            resp = yield from barrier.access(Request(OCPCommand.READ, 0x3000))
+            return resp.word
+
+        assert drive(sim, script()) == 2
+
+    def test_control_word_sets(self):
+        sim, barrier = make_barrier()
+
+        def script():
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3000, 5))
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3004, 0))
+            resp = yield from barrier.access(Request(OCPCommand.READ, 0x3000))
+            return resp.word
+
+        assert drive(sim, script()) == 0
+
+    def test_control_read_returns_count(self):
+        sim, barrier = make_barrier()
+
+        def script():
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3000, 3))
+            resp = yield from barrier.access(Request(OCPCommand.READ, 0x3004))
+            return resp.word
+
+        assert drive(sim, script()) == 3
+
+    def test_counters_independent(self):
+        sim, barrier = make_barrier()
+
+        def script():
+            yield from barrier.access(Request(OCPCommand.WRITE, 0x3000, 1))
+            resp = yield from barrier.access(
+                Request(OCPCommand.READ, barrier.counter_addr(1)))
+            return resp.word
+
+        assert drive(sim, script()) == 0
+
+    def test_addr_helpers(self):
+        _, barrier = make_barrier()
+        assert barrier.counter_addr(0) == 0x3000
+        assert barrier.control_addr(0) == 0x3004
+        assert barrier.counter_addr(1) == 0x3008

@@ -1,0 +1,155 @@
+"""Unit tests for the word store and generic memory slave."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import Simulator
+from repro.memory import MemorySlave, SlaveTimings, WordStore
+from repro.ocp import OCPCommand, OCPError, Request
+
+
+def drive(sim, gen):
+    """Run a generator to completion inside the simulator."""
+    process = sim.spawn(gen)
+    sim.run()
+    return process.result
+
+
+class TestWordStore:
+    def test_default_zero(self):
+        assert WordStore(64).read_word(0) == 0
+
+    def test_write_read_roundtrip(self):
+        store = WordStore(64)
+        store.write_word(8, 0xDEADBEEF)
+        assert store.read_word(8) == 0xDEADBEEF
+
+    def test_value_masked_to_32_bits(self):
+        store = WordStore(64)
+        store.write_word(0, 0x1_2345_6789)
+        assert store.read_word(0) == 0x2345_6789
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(OCPError):
+            WordStore(64).read_word(2)
+
+    def test_out_of_bounds_rejected(self):
+        store = WordStore(64)
+        with pytest.raises(OCPError):
+            store.read_word(64)
+        with pytest.raises(OCPError):
+            store.write_word(-4, 1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(OCPError):
+            WordStore(0)
+        with pytest.raises(OCPError):
+            WordStore(6)
+
+    def test_load_and_dump(self):
+        store = WordStore(64)
+        store.load_words(4, [1, 2, 3])
+        assert store.dump_words(4, 3) == [1, 2, 3]
+
+    @given(st.dictionaries(st.integers(0, 15), st.integers(0, 2**32 - 1),
+                           max_size=16))
+    def test_store_behaves_like_dict_of_words(self, model):
+        store = WordStore(64)
+        for word_index, value in model.items():
+            store.write_word(word_index * 4, value)
+        for word_index in range(16):
+            assert store.read_word(word_index * 4) == model.get(word_index, 0)
+
+
+class TestSlaveTimings:
+    def test_single_beat(self):
+        assert SlaveTimings(first_beat=3, per_beat=1).cycles(1) == 3
+
+    def test_burst(self):
+        assert SlaveTimings(first_beat=3, per_beat=2).cycles(4) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(OCPError):
+            SlaveTimings(first_beat=-1)
+
+
+class TestMemorySlave:
+    def make(self, first_beat=2, per_beat=1):
+        sim = Simulator()
+        slave = MemorySlave(sim, "ram", 0x1000, 0x100,
+                            SlaveTimings(first_beat, per_beat))
+        return sim, slave
+
+    def test_contains(self):
+        _, slave = self.make()
+        assert slave.contains(0x1000)
+        assert slave.contains(0x10FC)
+        assert not slave.contains(0x1100)
+        assert not slave.contains(0xFFC)
+
+    def test_write_then_read(self):
+        sim, slave = self.make()
+
+        def script():
+            yield from slave.access(Request(OCPCommand.WRITE, 0x1010, 77))
+            resp = yield from slave.access(Request(OCPCommand.READ, 0x1010))
+            return resp.word
+
+        assert drive(sim, script()) == 77
+
+    def test_access_consumes_time(self):
+        sim, slave = self.make(first_beat=5)
+
+        def script():
+            yield from slave.access(Request(OCPCommand.READ, 0x1000))
+
+        drive(sim, script())
+        assert sim.now == 5
+
+    def test_burst_read_time(self):
+        sim, slave = self.make(first_beat=2, per_beat=1)
+
+        def script():
+            resp = yield from slave.access(
+                Request(OCPCommand.BURST_READ, 0x1000, burst_len=4))
+            return resp.words
+
+        slave.load(0x1000, [10, 11, 12, 13])
+        assert drive(sim, script()) == [10, 11, 12, 13]
+        assert sim.now == 5  # 2 + 3*1
+
+    def test_burst_write(self):
+        sim, slave = self.make()
+
+        def script():
+            yield from slave.access(
+                Request(OCPCommand.BURST_WRITE, 0x1020, [1, 2, 3], burst_len=3))
+
+        drive(sim, script())
+        assert slave.peek_block(0x1020, 3) == [1, 2, 3]
+
+    def test_out_of_range_access_raises(self):
+        sim, slave = self.make()
+
+        def script():
+            yield from slave.access(Request(OCPCommand.READ, 0x2000))
+
+        with pytest.raises(OCPError):
+            drive(sim, script())
+
+    def test_peek_poke(self):
+        _, slave = self.make()
+        slave.poke(0x1004, 99)
+        assert slave.peek(0x1004) == 99
+
+    def test_counters(self):
+        sim, slave = self.make()
+
+        def script():
+            yield from slave.access(Request(OCPCommand.WRITE, 0x1000, 1))
+            yield from slave.access(
+                Request(OCPCommand.BURST_READ, 0x1000, burst_len=2))
+
+        drive(sim, script())
+        assert slave.writes == 1
+        assert slave.reads == 2

@@ -1,0 +1,135 @@
+"""Trace-comparison (drift analysis) tests."""
+
+import pytest
+
+from repro.ocp.types import OCPCommand
+from repro.stats import collapse_polls, compare_traces, drift_report
+from repro.trace.events import Transaction
+
+
+def txn(cmd, addr, req, burst_len=1):
+    t = Transaction(cmd, addr, burst_len, req)
+    t.acc_ns = req + 10
+    if cmd.is_read:
+        t.resp_ns = req + 20
+        t.read_data = 0
+    else:
+        t.write_data = 0
+    return t
+
+
+class TestCollapsePolls:
+    def test_consecutive_reads_same_addr_collapse(self):
+        txns = [txn(OCPCommand.READ, 0x100, t) for t in (0, 40, 80)]
+        collapsed = collapse_polls(txns)
+        assert len(collapsed) == 1
+        assert collapsed[0].req_ns == 80  # the last (successful) poll
+
+    def test_different_addresses_not_collapsed(self):
+        txns = [txn(OCPCommand.READ, 0x100, 0),
+                txn(OCPCommand.READ, 0x104, 40)]
+        assert len(collapse_polls(txns)) == 2
+
+    def test_writes_break_runs(self):
+        txns = [txn(OCPCommand.READ, 0x100, 0),
+                txn(OCPCommand.WRITE, 0x100, 40),
+                txn(OCPCommand.READ, 0x100, 80)]
+        assert len(collapse_polls(txns)) == 3
+
+    def test_burst_reads_not_collapsed(self):
+        txns = [txn(OCPCommand.BURST_READ, 0x100, 0, 4),
+                txn(OCPCommand.BURST_READ, 0x100, 40, 4)]
+        assert len(collapse_polls(txns)) == 2
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        ref = [txn(OCPCommand.READ, 0x100, 0),
+               txn(OCPCommand.WRITE, 0x200, 100)]
+        gen = [txn(OCPCommand.READ, 0x100, 0),
+               txn(OCPCommand.WRITE, 0x200, 100)]
+        result = compare_traces(ref, gen)
+        assert result.structure_matches
+        assert result.final_drift == 0
+        assert result.max_abs_drift == 0
+
+    def test_measures_drift(self):
+        ref = [txn(OCPCommand.READ, 0x100, 0),
+               txn(OCPCommand.WRITE, 0x200, 100)]
+        gen = [txn(OCPCommand.READ, 0x100, 5),
+               txn(OCPCommand.WRITE, 0x200, 90)]
+        result = compare_traces(ref, gen)
+        assert result.structure_matches
+        assert result.drift_series == [1, -2]  # ns/5
+        assert result.final_drift == -2
+        assert result.max_abs_drift == 2
+
+    def test_structure_mismatch_detected(self):
+        ref = [txn(OCPCommand.READ, 0x100, 0)]
+        gen = [txn(OCPCommand.WRITE, 0x100, 0)]
+        result = compare_traces(ref, gen)
+        assert not result.structure_matches
+        assert result.first_mismatch == 0
+
+    def test_length_mismatch_detected(self):
+        ref = [txn(OCPCommand.READ, 0x100, 0),
+               txn(OCPCommand.WRITE, 0x300, 50)]
+        gen = [txn(OCPCommand.READ, 0x100, 0)]
+        result = compare_traces(ref, gen)
+        assert not result.structure_matches
+        assert result.first_mismatch == 1
+
+    def test_polls_do_not_break_alignment(self):
+        """Different poll counts still align after collapsing."""
+        ref = [txn(OCPCommand.READ, 0x100, t) for t in (0, 40, 80)] \
+            + [txn(OCPCommand.WRITE, 0x200, 120)]
+        gen = [txn(OCPCommand.READ, 0x100, t) for t in (0, 80)] \
+            + [txn(OCPCommand.WRITE, 0x200, 125)]
+        result = compare_traces(ref, gen)
+        assert result.structure_matches
+        assert result.aligned == 2
+
+    def test_summary_keys(self):
+        result = compare_traces([], [])
+        summary = result.summary()
+        assert summary["structure_matches"]
+        assert summary["aligned_transactions"] == 0
+
+
+class TestDriftReport:
+    def test_empty(self):
+        assert drift_report(compare_traces([], [])) == []
+
+    def test_downsampled(self):
+        ref = [txn(OCPCommand.WRITE, 0x100 + 4 * i, 50 * i)
+               for i in range(32)]
+        gen = [txn(OCPCommand.WRITE, 0x100 + 4 * i, 50 * i + 5 * i)
+               for i in range(32)]
+        result = compare_traces(ref, gen)
+        report = drift_report(result, buckets=4)
+        assert report[0] == ("txn 0", 0)
+        assert report[-1][1] == 31  # 5*31 ns / 5
+
+
+class TestOnRealFlow:
+    def test_tg_drift_is_small(self):
+        """End to end: the reactive TG's drift stays tiny."""
+        from repro.apps import mp_matrix
+        from repro.harness import (
+            build_tg_platform,
+            reference_run,
+            translate_traces,
+        )
+        from repro.trace import collect_traces, group_events
+        _, ref_collectors, _ = reference_run(mp_matrix, 2,
+                                             app_params={"n": 4})
+        programs = translate_traces(ref_collectors, 2)
+        tg_platform = build_tg_platform(programs, 2)
+        tg_collectors = collect_traces(tg_platform)
+        tg_platform.run()
+        for core_id in range(2):
+            result = compare_traces(
+                group_events(ref_collectors[core_id].events),
+                group_events(tg_collectors[core_id].events))
+            assert result.structure_matches
+            assert result.max_abs_drift < 100

@@ -1,0 +1,66 @@
+"""ASCII timeline renderer tests."""
+
+import pytest
+
+from repro.ocp.types import OCPCommand
+from repro.stats import lanes_from_collectors, render_timeline
+from repro.trace.events import Transaction, group_events
+
+
+def txn(cmd, addr, req, unblock, burst_len=1):
+    t = Transaction(cmd, addr, burst_len, req)
+    t.acc_ns = unblock if cmd.is_write else req + 5
+    if cmd.is_read:
+        t.resp_ns = unblock
+        t.read_data = [0] * burst_len if burst_len > 1 else 0
+    else:
+        t.write_data = [0] * burst_len if burst_len > 1 else 0
+    return t
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline({}) == "(no transactions)"
+
+    def test_glyphs_present(self):
+        lanes = {
+            "M0": [txn(OCPCommand.READ, 0x0, 0, 50),
+                   txn(OCPCommand.WRITE, 0x4, 100, 120)],
+            "M1": [txn(OCPCommand.BURST_READ, 0x10, 30, 90, 4)],
+        }
+        text = render_timeline(lanes, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 4  # axis + 2 lanes + legend
+        assert "R" in lines[1] and "W" in lines[1]
+        assert "#" in lines[2]
+        assert "M0" in lines[1] and "M1" in lines[2]
+
+    def test_idle_dots(self):
+        lanes = {"M0": [txn(OCPCommand.READ, 0x0, 0, 10),
+                        txn(OCPCommand.READ, 0x0, 500, 510)]}
+        text = render_timeline(lanes, width=50)
+        lane_line = text.splitlines()[1]
+        assert lane_line.count(".") > 30
+
+    def test_window_clamps(self):
+        lanes = {"M0": [txn(OCPCommand.READ, 0x0, 0, 1000)]}
+        text = render_timeline(lanes, width=20, start_ns=0, end_ns=100)
+        assert "R" in text
+
+    def test_axis_shows_cycles(self):
+        lanes = {"M0": [txn(OCPCommand.READ, 0x0, 0, 500)]}
+        text = render_timeline(lanes, width=40)
+        axis = text.splitlines()[0]
+        assert "|0" in axis
+        assert "100|" in axis  # 500 ns = 100 cycles
+
+    def test_lanes_from_collectors(self):
+        from repro.apps import cacheloop
+        from repro.harness import reference_run
+        _, collectors, _ = reference_run(cacheloop, 2,
+                                         app_params={"iters": 30})
+        lanes = lanes_from_collectors(collectors, group_events)
+        assert set(lanes) == {"M0", "M1"}
+        text = render_timeline(lanes, width=60)
+        assert "M0" in text and "M1" in text
+        assert "#" in text  # cache refills

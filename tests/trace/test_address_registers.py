@@ -1,0 +1,110 @@
+"""Multi-register address allocation in the translator."""
+
+import pytest
+
+from repro.core import TGOp
+from repro.core.isa import ADDRREG
+from repro.ocp.types import OCPCommand
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+
+def txn(addr, req):
+    t = Transaction(OCPCommand.READ, addr, 1, req)
+    t.acc_ns = req + 5
+    t.resp_ns = req + 20
+    t.read_data = 0
+    return t
+
+
+def alternating_trace(addresses, count, gap=60):
+    transactions = []
+    time = gap  # leave room for the first register setup
+    for index in range(count):
+        transactions.append(txn(addresses[index % len(addresses)], time))
+        time += gap
+    return transactions
+
+
+def setregs(program):
+    return [i for i in program.instructions if i.op == TGOp.SET_REGISTER]
+
+
+class TestAllocation:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            TranslatorOptions(address_registers=0)
+        with pytest.raises(ValueError):
+            TranslatorOptions(address_registers=13)
+
+    def test_single_register_matches_legacy(self):
+        trace = alternating_trace([0x100, 0x200], 6)
+        program = Translator(TranslatorOptions(
+            address_registers=1)).translate(trace)
+        # every transaction needs a fresh SetRegister(addr, ...)
+        assert len(setregs(program)) == 6
+        assert all(instr.a == ADDRREG for instr in setregs(program))
+
+    def test_two_registers_cache_alternating_addresses(self):
+        trace = alternating_trace([0x100, 0x200], 6)
+        program = Translator(TranslatorOptions(
+            address_registers=2)).translate(trace)
+        # two setups total, then both addresses stay registered
+        assert len(setregs(program)) == 2
+
+    def test_lru_eviction_order(self):
+        # three addresses, two registers: round-robin evicts the LRU
+        trace = alternating_trace([0x100, 0x200, 0x300], 6)
+        program = Translator(TranslatorOptions(
+            address_registers=2)).translate(trace)
+        assert len(setregs(program)) == 6  # every access misses
+
+    def test_read_uses_allocated_register(self):
+        trace = alternating_trace([0x100, 0x200], 4)
+        program = Translator(TranslatorOptions(
+            address_registers=2)).translate(trace)
+        reads = [i for i in program.instructions if i.op == TGOp.READ]
+        regs_used = {read.a for read in reads}
+        assert len(regs_used) == 2
+
+    def test_fewer_instructions_with_more_registers(self):
+        trace = alternating_trace([0x100, 0x200, 0x300, 0x400], 24)
+        small = Translator(TranslatorOptions(
+            address_registers=1)).translate(trace)
+        large = Translator(TranslatorOptions(
+            address_registers=4)).translate(trace)
+        assert len(large) < len(small)
+
+    def test_timing_reconstruction_still_exact(self):
+        """With roomy gaps, request times reconstruct exactly at any
+        register count (same invariant as the base translator)."""
+        import sys
+        from pathlib import Path
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from test_translator_properties import symbolic_execute
+        trace = alternating_trace([0x100, 0x200, 0x300], 12, gap=80)
+        for n_regs in (1, 2, 4):
+            program = Translator(TranslatorOptions(
+                address_registers=n_regs)).translate(trace)
+            latencies = [(t.unblock_ns - t.req_ns) // 5 for t in trace]
+            issue_times = symbolic_execute(program, latencies)
+            assert issue_times == [t.req_ns // 5 for t in trace], n_regs
+
+    def test_accuracy_not_worse_end_to_end(self):
+        from repro.apps import mp_matrix
+        from repro.apps.common import pollable_ranges
+        from repro.core.modes import ReplayMode
+        from repro.harness import build_tg_platform, reference_run
+        from repro.trace import Translator as T
+        platform, collectors, _ = reference_run(mp_matrix, 2,
+                                                app_params={"n": 4})
+        ref = platform.cumulative_execution_time
+        for n_regs in (1, 8):
+            options = TranslatorOptions(pollable_ranges=pollable_ranges(2),
+                                        address_registers=n_regs)
+            programs = {mid: T(options).translate_events(c.events, mid)
+                        for mid, c in collectors.items()}
+            tg_platform = build_tg_platform(programs, 2)
+            tg_platform.run()
+            error = abs(tg_platform.cumulative_execution_time - ref) / ref
+            assert error < 0.02, n_regs

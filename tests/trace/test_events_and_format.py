@@ -1,0 +1,141 @@
+"""Trace event grouping and .trc serialisation round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ocp.types import OCPCommand, OCPError
+from repro.trace import (
+    Phase,
+    TraceEvent,
+    group_events,
+    parse_trc,
+    serialize_trc,
+)
+
+
+def read_txn_events(uid, addr, req, acc, resp, data=7):
+    return [
+        TraceEvent(Phase.REQ, req, OCPCommand.READ, addr, 1, None, uid),
+        TraceEvent(Phase.ACC, acc, OCPCommand.READ, addr, 1, None, uid),
+        TraceEvent(Phase.RESP, resp, OCPCommand.READ, addr, 1, data, uid),
+    ]
+
+
+def write_txn_events(uid, addr, req, acc, data=9):
+    return [
+        TraceEvent(Phase.REQ, req, OCPCommand.WRITE, addr, 1, data, uid),
+        TraceEvent(Phase.ACC, acc, OCPCommand.WRITE, addr, 1, None, uid),
+    ]
+
+
+class TestGroupEvents:
+    def test_read_transaction(self):
+        txns = group_events(read_txn_events(0, 0x104, 55, 60, 75))
+        assert len(txns) == 1
+        txn = txns[0]
+        assert txn.cmd == OCPCommand.READ
+        assert txn.req_ns == 55
+        assert txn.acc_ns == 60
+        assert txn.resp_ns == 75
+        assert txn.unblock_ns == 75
+        assert txn.response_word == 7
+
+    def test_write_unblocks_at_accept(self):
+        txns = group_events(write_txn_events(0, 0x20, 90, 95))
+        assert txns[0].unblock_ns == 95
+        assert txns[0].write_data == 9
+
+    def test_order_preserved(self):
+        events = (read_txn_events(0, 0x100, 10, 12, 20)
+                  + write_txn_events(1, 0x200, 30, 33))
+        txns = group_events(events)
+        assert [t.cmd for t in txns] == [OCPCommand.READ, OCPCommand.WRITE]
+
+    def test_incomplete_read_rejected(self):
+        events = read_txn_events(0, 0x100, 10, 12, 20)[:2]  # no RESP
+        with pytest.raises(OCPError):
+            group_events(events)
+
+    def test_response_without_request_rejected(self):
+        with pytest.raises(OCPError):
+            group_events([TraceEvent(Phase.RESP, 10, OCPCommand.READ,
+                                     0x0, 1, 1, 99)])
+
+    def test_burst_read_data_list(self):
+        events = [
+            TraceEvent(Phase.REQ, 0, OCPCommand.BURST_READ, 0x100, 4,
+                       None, 0),
+            TraceEvent(Phase.ACC, 5, OCPCommand.BURST_READ, 0x100, 4,
+                       None, 0),
+            TraceEvent(Phase.RESP, 20, OCPCommand.BURST_READ, 0x100, 4,
+                       [1, 2, 3, 4], 0),
+        ]
+        txn = group_events(events)[0]
+        assert txn.read_data == [1, 2, 3, 4]
+        assert txn.response_word == 4
+
+
+class TestTrcFormat:
+    def paper_like_events(self):
+        events = []
+        events += read_txn_events(0, 0x104, 55, 60, 75, data=0x088000F0)
+        events += write_txn_events(1, 0x20, 90, 95, data=0x111)
+        events += [
+            TraceEvent(Phase.REQ, 140, OCPCommand.BURST_READ, 0x1000, 4,
+                       None, 2),
+            TraceEvent(Phase.ACC, 145, OCPCommand.BURST_READ, 0x1000, 4,
+                       None, 2),
+            TraceEvent(Phase.RESP, 165, OCPCommand.BURST_READ, 0x1000, 4,
+                       [1, 2, 3, 4], 2),
+            TraceEvent(Phase.REQ, 200, OCPCommand.BURST_WRITE, 0x2000, 3,
+                       [5, 6, 7], 3),
+            TraceEvent(Phase.ACC, 210, OCPCommand.BURST_WRITE, 0x2000, 3,
+                       None, 3),
+        ]
+        return events
+
+    def test_serialize_mentions_times_and_addresses(self):
+        text = serialize_trc(self.paper_like_events(), master_id=2)
+        assert "; master 2" in text
+        assert "REQ RD 0x00000104 @55ns" in text
+        assert "RESP RD 0x00000104 0x088000f0 @75ns" in text
+        assert "REQ WR 0x00000020 0x00000111 @90ns" in text
+
+    def test_roundtrip(self):
+        events = self.paper_like_events()
+        master_id, parsed = parse_trc(serialize_trc(events, master_id=2))
+        assert master_id == 2
+        original = group_events(events)
+        reparsed = group_events(parsed)
+        assert len(original) == len(reparsed)
+        for a, b in zip(original, reparsed):
+            assert (a.cmd, a.addr, a.burst_len, a.req_ns, a.acc_ns,
+                    a.resp_ns, a.write_data, a.read_data) == \
+                   (b.cmd, b.addr, b.burst_len, b.req_ns, b.acc_ns,
+                    b.resp_ns, b.write_data, b.read_data)
+
+    def test_parse_bad_line(self):
+        with pytest.raises(OCPError):
+            parse_trc("REQ XX 0x100 @5ns\n")
+
+    def test_parse_orphan_response(self):
+        with pytest.raises(OCPError):
+            parse_trc("RESP RD 0x00000104 0x01 @75ns\n")
+
+    def test_comments_ignored(self):
+        master_id, events = parse_trc("; hello\n; master 7\n")
+        assert master_id == 7
+        assert events == []
+
+    @given(st.lists(st.tuples(st.integers(0, 0xFFFF).map(lambda a: a * 4),
+                              st.integers(0, 0xFFFF_FFFF)), max_size=20))
+    def test_roundtrip_property_writes(self, pairs):
+        events = []
+        time = 10
+        for uid, (addr, data) in enumerate(pairs):
+            events += write_txn_events(uid, addr, time, time + 5, data)
+            time += 20
+        _, parsed = parse_trc(serialize_trc(events))
+        assert len(parsed) == len(events)
+        assert group_events(parsed)[0].write_data == pairs[0][1] \
+            if pairs else True

@@ -1,0 +1,105 @@
+"""Trace-set directory format tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import mp_matrix
+from repro.apps.common import pollable_ranges
+from repro.core import ReplayMode, parse_tgp
+from repro.core.assembler import disassemble_binary
+from repro.harness import build_tg_platform, reference_run, translate_traces
+from repro.trace import (
+    load_trace_set,
+    save_trace_set,
+    translate_trace_set,
+)
+
+N_CORES = 2
+PARAMS = {"n": 4}
+
+
+@pytest.fixture(scope="module")
+def traced():
+    platform, collectors, _ = reference_run(mp_matrix, N_CORES,
+                                            app_params=PARAMS)
+    return platform, collectors
+
+
+@pytest.fixture()
+def trace_dir(traced, tmp_path):
+    _, collectors = traced
+    directory = tmp_path / "traceset"
+    save_trace_set(directory, collectors, benchmark="mp_matrix",
+                   interconnect="ahb",
+                   pollable_ranges=pollable_ranges(N_CORES))
+    return directory
+
+
+class TestSaveLoad:
+    def test_files_written(self, trace_dir):
+        assert (trace_dir / "manifest.json").exists()
+        assert (trace_dir / "core0.trc").exists()
+        assert (trace_dir / "core1.trc").exists()
+
+    def test_manifest_contents(self, trace_dir):
+        manifest = json.loads((trace_dir / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["benchmark"] == "mp_matrix"
+        assert manifest["n_masters"] == N_CORES
+        assert len(manifest["pollable_ranges"]) == 3
+
+    def test_roundtrip_event_counts(self, traced, trace_dir):
+        _, collectors = traced
+        manifest, traces = load_trace_set(trace_dir)
+        for master_id, collector in collectors.items():
+            assert len(traces[master_id]) == len(collector.events)
+
+    def test_version_check(self, trace_dir):
+        manifest = json.loads((trace_dir / "manifest.json").read_text())
+        manifest["version"] = 99
+        (trace_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_trace_set(trace_dir)
+
+    def test_master_id_consistency_check(self, trace_dir):
+        manifest = json.loads((trace_dir / "manifest.json").read_text())
+        manifest["files"] = {"1": "core0.trc"}
+        (trace_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            load_trace_set(trace_dir)
+
+
+class TestTranslateSet:
+    def test_programs_match_direct_translation(self, traced, trace_dir):
+        _, collectors = traced
+        direct = translate_traces(collectors, N_CORES)
+        from_set = translate_trace_set(trace_dir)
+        for master_id in range(N_CORES):
+            assert from_set[master_id] == direct[master_id]
+
+    def test_tgp_and_bin_files_written(self, trace_dir):
+        programs = translate_trace_set(trace_dir)
+        for master_id in range(N_CORES):
+            tgp = trace_dir / f"core{master_id}.tgp"
+            bin_ = trace_dir / f"core{master_id}.bin"
+            assert parse_tgp(tgp.read_text()) == programs[master_id]
+            assert disassemble_binary(bin_.read_bytes()) \
+                == programs[master_id]
+
+    def test_mode_selection(self, trace_dir):
+        programs = translate_trace_set(trace_dir,
+                                       mode=ReplayMode.TIMESHIFTING,
+                                       write_programs=False)
+        assert programs[0].mode is ReplayMode.TIMESHIFTING
+        assert not (trace_dir / "core0.tgp").exists()
+
+    def test_set_drives_accurate_tg_run(self, traced, trace_dir):
+        """The archived set reproduces the reference run."""
+        platform, _ = traced
+        programs = translate_trace_set(trace_dir, write_programs=False)
+        tg_platform = build_tg_platform(programs, N_CORES)
+        tg_platform.run()
+        ref = platform.cumulative_execution_time
+        assert abs(tg_platform.cumulative_execution_time - ref) / ref < 0.02

@@ -1,0 +1,137 @@
+"""Fuzzing the text parsers: they must fail cleanly, never crash oddly.
+
+Any byte soup fed to ``parse_trc``/``parse_tgp``/``assemble`` must either
+parse or raise the documented exception type — no IndexError, KeyError,
+or UnicodeError escapes.  Mutation fuzzing of *valid* inputs hunts the
+interesting middle ground.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TGError, parse_tgp
+from repro.core.assembler import disassemble_binary
+from repro.cpu import AsmError, assemble
+from repro.ocp.types import OCPError
+from repro.trace import parse_trc
+
+VALID_TRC = """\
+; repro .trc v1
+; master 0
+REQ RD 0x00000104 @55ns
+ACC RD 0x00000104 @60ns
+RESP RD 0x00000104 0x088000f0 @75ns
+REQ WR 0x00000020 0x00000111 @90ns
+ACC WR 0x00000020 @95ns
+"""
+
+VALID_TGP = """\
+MASTER[0,0]
+MODE reactive
+BEGIN
+    SetRegister(addr, 0x00000104)
+    Idle(10)
+    Read(addr)
+    Halt
+END
+"""
+
+VALID_ASM = """\
+.equ BASE 0x100
+start:
+    LI r1, BASE
+    LDR r2, [r1, #4]
+    CMPI r2, 0
+    BNE start
+    HALT
+"""
+
+
+def _mutate(text, index, junk):
+    return text[:index % max(1, len(text))] + junk \
+        + text[index % max(1, len(text)):]
+
+
+_JUNK = st.text(alphabet=st.characters(min_codepoint=32,
+                                       max_codepoint=126),
+                min_size=1, max_size=12)
+
+
+class TestTrcFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 400), _JUNK)
+    def test_mutated_trc_fails_cleanly(self, index, junk):
+        try:
+            parse_trc(_mutate(VALID_TRC, index, junk))
+        except OCPError:
+            pass  # the documented failure mode
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=200))
+    def test_random_text_fails_cleanly(self, text):
+        try:
+            parse_trc(text)
+        except OCPError:
+            pass
+
+
+class TestTgpFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 300), _JUNK)
+    def test_mutated_tgp_fails_cleanly(self, index, junk):
+        try:
+            parse_tgp(_mutate(VALID_TGP, index, junk))
+        except TGError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=200))
+    def test_random_text_fails_cleanly(self, text):
+        try:
+            parse_tgp(text)
+        except TGError:
+            pass
+
+
+class TestAsmFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 300), _JUNK)
+    def test_mutated_asm_fails_cleanly(self, index, junk):
+        try:
+            assemble(_mutate(VALID_ASM, index, junk))
+        except AsmError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=200))
+    def test_random_text_fails_cleanly(self, text):
+        try:
+            assemble(text)
+        except AsmError:
+            pass
+
+
+class TestBinaryFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_random_bytes_fail_cleanly(self, blob):
+        try:
+            disassemble_binary(blob)
+        except TGError:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 200), st.binary(min_size=1, max_size=8))
+    def test_mutated_image_fails_cleanly(self, index, junk):
+        from repro.core import TGInstruction, TGOp, TGProgram
+        from repro.core.assembler import assemble_binary
+        image = assemble_binary(TGProgram(instructions=[
+            TGInstruction(TGOp.IDLE, imm=3),
+            TGInstruction(TGOp.HALT),
+        ]))
+        cut = index % len(image)
+        mutated = image[:cut] + junk + image[cut:]
+        try:
+            disassemble_binary(mutated)
+        except TGError:
+            pass

@@ -1,0 +1,82 @@
+"""Poll runs containing mid-run successes must split into several loops.
+
+Scenario: a core acquires a test-and-set semaphore (reads 1) and
+immediately polls to acquire it again (reads 0, 0, then 1).  The trace
+shows one consecutive-read run with values 1,0,0,1 — but semantically
+two acquisitions.  A merged loop would exit on the first success and
+drop the second acquisition, breaking mutual exclusion in the TG system.
+"""
+
+import pytest
+
+from repro.core import Cond, TGInstruction, TGMaster, TGOp
+from repro.ocp.types import OCPCommand
+from repro.platform import MparmPlatform, PlatformConfig, SEM_BASE
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+OPTS = TranslatorOptions(pollable_ranges=[(SEM_BASE, 0x80)])
+
+
+def poll(req, value):
+    txn = Transaction(OCPCommand.READ, SEM_BASE, 1, req)
+    txn.acc_ns = req + 5
+    txn.resp_ns = req + 20
+    txn.read_data = value
+    return txn
+
+
+def ops(program):
+    return [instr.op for instr in program.instructions]
+
+
+class TestSplitting:
+    def test_double_acquisition_emits_two_loops(self):
+        run = [poll(100, 1), poll(160, 0), poll(200, 0), poll(240, 1)]
+        program = Translator(OPTS).translate(run)
+        assert ops(program).count(TGOp.IF) == 2
+        assert ops(program).count(TGOp.READ) == 2
+
+    def test_single_acquisition_single_loop(self):
+        run = [poll(100, 0), poll(140, 0), poll(180, 1)]
+        program = Translator(OPTS).translate(run)
+        assert ops(program).count(TGOp.IF) == 1
+
+    def test_three_successes_three_loops(self):
+        run = [poll(100, 1), poll(140, 1), poll(180, 0), poll(220, 1)]
+        program = Translator(OPTS).translate(run)
+        assert ops(program).count(TGOp.IF) == 3
+
+    def test_tempreg_set_once_for_same_success_value(self):
+        run = [poll(100, 1), poll(160, 0), poll(200, 1)]
+        program = Translator(OPTS).translate(run)
+        temp_sets = [i for i in program.instructions
+                     if i.op == TGOp.SET_REGISTER and i.a == 1]
+        assert len(temp_sets) == 1  # register reuse across loops
+
+    def test_end_to_end_double_acquisition(self):
+        """The translated TG really acquires the semaphore twice."""
+        run = [poll(100, 1), poll(160, 0), poll(200, 0), poll(240, 1)]
+        program = Translator(OPTS).translate(run)
+        platform = MparmPlatform(PlatformConfig(n_masters=2))
+        tg = TGMaster(platform.sim, "tg0", program)
+        platform.add_master(tg)
+        # a second master releases the semaphore mid-way, making the
+        # re-acquisition possible (as in the reference scenario)
+        releaser = TGMaster(platform.sim, "tg1", _release_program())
+        platform.add_master(releaser)
+        platform.run()
+        assert tg.finished
+        assert platform.semaphores.acquisitions == 2
+
+
+def _release_program():
+    from repro.core import TGProgram
+    from repro.core.isa import ADDRREG, DATAREG
+    return TGProgram(core_id=1, instructions=[
+        TGInstruction(TGOp.IDLE, imm=150),
+        TGInstruction(TGOp.SET_REGISTER, a=ADDRREG, imm=SEM_BASE),
+        TGInstruction(TGOp.SET_REGISTER, a=DATAREG, imm=1),
+        TGInstruction(TGOp.WRITE, a=ADDRREG, b=DATAREG),
+        TGInstruction(TGOp.HALT),
+    ])

@@ -1,0 +1,218 @@
+"""Translator unit tests, including the Figure 3 walk-through."""
+
+import pytest
+
+from repro.core import Cond, ReplayMode, TGOp
+from repro.core.isa import ADDRREG, DATAREG, RDREG, TEMPREG
+from repro.ocp.types import OCPCommand
+from repro.trace import Phase, TraceEvent, Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+
+def txn(cmd, addr, req, acc=None, resp=None, data=None, burst_len=1):
+    t = Transaction(cmd, addr, burst_len, req)
+    t.acc_ns = acc if acc is not None else req + 10
+    if cmd.is_read:
+        t.resp_ns = resp if resp is not None else req + 20
+        t.read_data = data if data is not None else 0
+    else:
+        t.write_data = data
+    return t
+
+
+def ops(program):
+    return [instr.op for instr in program.instructions]
+
+
+class TestBasicTranslation:
+    def test_single_read(self):
+        program = Translator().translate(
+            [txn(OCPCommand.READ, 0x104, req=55, resp=75, data=0xF0)])
+        assert ops(program) == [TGOp.SET_REGISTER, TGOp.IDLE, TGOp.READ,
+                                TGOp.HALT]
+        setreg, idle = program.instructions[0], program.instructions[1]
+        assert setreg.a == ADDRREG and setreg.imm == 0x104
+        # request at cycle 11; SetRegister costs 1 -> idle 10
+        assert idle.imm == 10
+
+    def test_figure3_prefix(self):
+        """Paper Figure 3: RD@55 (resp@75), WR@90, RD@140."""
+        transactions = [
+            txn(OCPCommand.READ, 0x104, req=55, resp=75, data=0x088000F0),
+            txn(OCPCommand.WRITE, 0x20, req=90, acc=95, data=0x111),
+            txn(OCPCommand.READ, 0x31 * 4, req=140, resp=165, data=0x2236),
+        ]
+        program = Translator().translate(transactions)
+        assert ops(program) == [
+            TGOp.SET_REGISTER, TGOp.IDLE, TGOp.READ,        # first RD
+            TGOp.SET_REGISTER, TGOp.SET_REGISTER, TGOp.IDLE, TGOp.WRITE,
+            TGOp.SET_REGISTER, TGOp.IDLE, TGOp.READ,
+            TGOp.HALT,
+        ]
+        # WR: gap = 90-75 = 15ns = 3 cycles; 2 SetRegisters -> Idle(1),
+        # matching the paper's walk-through exactly
+        assert program.instructions[5].imm == 1
+        # next RD: gap = (140-95)/5 = 9 cycles; 1 SetRegister -> Idle(8)
+        assert program.instructions[8].imm == 8
+
+    def test_write_gap_measured_from_accept(self):
+        transactions = [
+            txn(OCPCommand.WRITE, 0x100, req=50, acc=80, data=1),
+            txn(OCPCommand.WRITE, 0x100, req=105, acc=120, data=1),
+        ]
+        program = Translator().translate(transactions)
+        # data and addr unchanged for second write -> idle = (105-80)/5 = 5
+        idles = [i for i in program.instructions if i.op == TGOp.IDLE]
+        assert idles[-1].imm == 5
+
+    def test_register_reuse_avoids_setregisters(self):
+        transactions = [
+            txn(OCPCommand.READ, 0x200, req=10, resp=30),
+            txn(OCPCommand.READ, 0x200, req=50, resp=70),
+        ]
+        program = Translator().translate(transactions)
+        setregs = [i for i in program.instructions
+                   if i.op == TGOp.SET_REGISTER]
+        assert len(setregs) == 1
+
+    def test_burst_read(self):
+        program = Translator().translate(
+            [txn(OCPCommand.BURST_READ, 0x400, req=20, resp=60,
+                 data=[1, 2, 3, 4], burst_len=4)])
+        burst = [i for i in program.instructions
+                 if i.op == TGOp.BURST_READ][0]
+        assert burst.b == 4
+
+    def test_burst_write_pool(self):
+        program = Translator().translate(
+            [txn(OCPCommand.BURST_WRITE, 0x400, req=20, acc=40,
+                 data=[9, 8, 7], burst_len=3)])
+        burst = [i for i in program.instructions
+                 if i.op == TGOp.BURST_WRITE][0]
+        assert program.pool[burst.imm:burst.imm + 3] == [9, 8, 7]
+
+    def test_idle_clamped_when_gap_too_small(self):
+        """Setup overhead exceeding the gap must not go negative."""
+        transactions = [
+            txn(OCPCommand.READ, 0x100, req=5, resp=20),
+            txn(OCPCommand.WRITE, 0x200, req=25, acc=30, data=5),
+        ]
+        program = Translator().translate(transactions)
+        for instr in program.instructions:
+            if instr.op == TGOp.IDLE:
+                assert instr.imm >= 0
+
+    def test_program_ends_with_halt(self):
+        program = Translator().translate(
+            [txn(OCPCommand.READ, 0x0, req=0, resp=10)])
+        assert program.instructions[-1].op == TGOp.HALT
+
+
+SEM = 0x2000_0000
+POLLABLE = [(SEM, 0x100)]
+
+
+def poll_options(mode=ReplayMode.REACTIVE):
+    return TranslatorOptions(mode=mode, pollable_ranges=POLLABLE)
+
+
+class TestPollingCollapse:
+    def poll_trace(self, fails=2, addr=SEM):
+        """fails failed polls then one success, 40ns (8 cycles) apart."""
+        transactions = []
+        time = 100
+        for index in range(fails + 1):
+            value = 1 if index == fails else 0
+            transactions.append(
+                txn(OCPCommand.READ, addr, req=time, resp=time + 20,
+                    data=value))
+            time += 40
+        return transactions
+
+    def test_collapses_to_semchk_loop(self):
+        program = Translator(poll_options()).translate(self.poll_trace())
+        assert ops(program) == [
+            TGOp.SET_REGISTER,   # addr
+            TGOp.SET_REGISTER,   # tempreg = success value
+            TGOp.IDLE,           # pre-loop gap
+            TGOp.IDLE,           # inner pacing (loop head)
+            TGOp.READ,
+            TGOp.IF,
+            TGOp.HALT,
+        ]
+        branch = program.instructions[5]
+        assert branch.cond == int(Cond.NE)
+        assert branch.a == RDREG and branch.b == TEMPREG
+        assert branch.imm == 3  # loop head = the inner Idle
+
+    def test_success_value_learned_from_trace(self):
+        program = Translator(poll_options()).translate(self.poll_trace())
+        temp_set = program.instructions[1]
+        assert temp_set.a == TEMPREG and temp_set.imm == 1
+
+    def test_inner_idle_from_observed_gap(self):
+        # fail resp at T, next req at T+20ns = 4 cycles -> idle = 3 (If=1)
+        program = Translator(poll_options()).translate(self.poll_trace())
+        inner = program.instructions[3]
+        assert inner.op == TGOp.IDLE and inner.imm == 3
+
+    def test_single_success_still_emits_loop(self):
+        """Reads to pollable space always become loops (reactive safety)."""
+        program = Translator(poll_options()).translate(self.poll_trace(0))
+        assert TGOp.IF in ops(program)
+
+    def test_default_inner_idle_when_no_fails(self):
+        options = poll_options()
+        program = Translator(options).translate(self.poll_trace(0))
+        inner = [i for i in program.instructions if i.op == TGOp.IDLE]
+        assert inner[-1].imm == options.default_poll_gap - 1
+
+    def test_poll_counts_do_not_affect_program(self):
+        """More failed polls in the reference -> same program (E7 core)."""
+        a = Translator(poll_options()).translate(self.poll_trace(1))
+        b = Translator(poll_options()).translate(self.poll_trace(5))
+        assert a == b
+
+    def test_non_pollable_reads_not_collapsed(self):
+        transactions = self.poll_trace(2, addr=0x500)  # not pollable
+        program = Translator(poll_options()).translate(transactions)
+        assert TGOp.IF not in ops(program)
+        assert ops(program).count(TGOp.READ) == 3
+
+    def test_timeshifting_replays_polls_verbatim(self):
+        program = Translator(poll_options(ReplayMode.TIMESHIFTING)).translate(
+            self.poll_trace(3))
+        assert TGOp.IF not in ops(program)
+        assert ops(program).count(TGOp.READ) == 4
+        assert program.mode == ReplayMode.TIMESHIFTING
+
+    def test_labels_are_semchk_style(self):
+        program = Translator(poll_options()).translate(self.poll_trace())
+        assert "Semchk_1" in program.to_tgp()
+
+
+class TestCloningTranslation:
+    def test_cursor_is_absolute_issue_time(self):
+        options = TranslatorOptions(mode=ReplayMode.CLONING)
+        transactions = [
+            txn(OCPCommand.READ, 0x100, req=50, resp=500),  # huge latency
+            txn(OCPCommand.READ, 0x200, req=100, resp=600),
+        ]
+        program = Translator(options).translate(transactions)
+        # second read must be scheduled relative to the first *request*
+        # (50ns gap = 10 cycles minus 1 setreg = 9), not the response
+        idles = [i.imm for i in program.instructions if i.op == TGOp.IDLE]
+        assert idles[-1] == 9
+        assert program.mode == ReplayMode.CLONING
+
+
+class TestTranslateEvents:
+    def test_from_raw_events(self):
+        events = [
+            TraceEvent(Phase.REQ, 55, OCPCommand.READ, 0x104, 1, None, 0),
+            TraceEvent(Phase.ACC, 60, OCPCommand.READ, 0x104, 1, None, 0),
+            TraceEvent(Phase.RESP, 75, OCPCommand.READ, 0x104, 1, 7, 0),
+        ]
+        program = Translator().translate_events(events, core_id=4)
+        assert program.core_id == 4
+        assert TGOp.READ in ops(program)

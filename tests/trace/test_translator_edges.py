@@ -1,0 +1,148 @@
+"""Translator edge cases: cluster boundaries, interleaved refills, modes."""
+
+import pytest
+
+from repro.core import ReplayMode, TGOp
+from repro.ocp.types import OCPCommand
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+SEM = 0x2000_0000
+OPTS = TranslatorOptions(pollable_ranges=[(SEM, 0x100)])
+
+
+def txn(cmd, addr, req, acc=None, resp=None, data=None, burst_len=1):
+    t = Transaction(cmd, addr, burst_len, req)
+    t.acc_ns = acc if acc is not None else req + 10
+    if cmd.is_read:
+        t.resp_ns = resp if resp is not None else req + 20
+        t.read_data = data if data is not None else (
+            [0] * burst_len if burst_len > 1 else 0)
+    else:
+        t.write_data = data if data is not None else (
+            [0] * burst_len if burst_len > 1 else 0)
+    return t
+
+
+def ops(program):
+    return [instr.op for instr in program.instructions]
+
+
+class TestPollClusters:
+    def poll(self, req, value):
+        return txn(OCPCommand.READ, SEM, req=req, resp=req + 20,
+                   data=value)
+
+    def refill(self, req):
+        return txn(OCPCommand.BURST_READ, 0x100, req=req, resp=req + 30,
+                   data=[1, 2, 3, 4], burst_len=4)
+
+    def test_interleaved_refill_merged(self):
+        """A refill inside a polling run must not split the cluster."""
+        transactions = [
+            self.poll(100, 0),
+            self.refill(150),
+            self.poll(200, 0),
+            self.poll(240, 1),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        # one loop with success value 1; the refill emitted before it
+        if_instrs = [i for i in program.instructions if i.op == TGOp.IF]
+        assert len(if_instrs) == 1
+        temp_sets = [i for i in program.instructions
+                     if i.op == TGOp.SET_REGISTER and i.a == 1]
+        assert temp_sets[0].imm == 1
+        burst_index = ops(program).index(TGOp.BURST_READ)
+        loop_index = ops(program).index(TGOp.IF)
+        assert burst_index < loop_index
+
+    def test_two_refills_tolerated(self):
+        transactions = [
+            self.poll(100, 0),
+            self.refill(150),
+            self.refill(200),
+            self.poll(260, 1),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        assert ops(program).count(TGOp.BURST_READ) == 2
+        assert ops(program).count(TGOp.IF) == 1
+
+    def test_three_refills_break_cluster(self):
+        """More than MAX_INTERLEAVED refill-like reads end the cluster."""
+        transactions = [
+            self.poll(100, 0),
+            self.refill(150),
+            self.refill(200),
+            self.refill(250),
+            self.poll(320, 1),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        # two separate poll loops (one per run)
+        assert ops(program).count(TGOp.IF) == 2
+
+    def test_write_breaks_cluster(self):
+        transactions = [
+            self.poll(100, 0),
+            txn(OCPCommand.WRITE, 0x200, req=150, acc=160, data=5),
+            self.poll(200, 1),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        assert ops(program).count(TGOp.IF) == 2
+        assert TGOp.WRITE in ops(program)
+
+    def test_read_to_other_pollable_breaks_cluster(self):
+        transactions = [
+            self.poll(100, 0),
+            txn(OCPCommand.READ, SEM + 4, req=150, resp=170, data=1),
+            self.poll(200, 1),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        # three loops: each pollable read becomes its own reactive loop
+        assert ops(program).count(TGOp.IF) == 3
+
+    def test_poll_at_trace_end(self):
+        program = Translator(OPTS).translate([self.poll(100, 1)])
+        assert ops(program)[-1] == TGOp.HALT
+        assert TGOp.IF in ops(program)
+
+    def test_trailing_refill_not_swallowed(self):
+        """A refill after the last poll belongs outside the cluster."""
+        transactions = [
+            self.poll(100, 1),
+            self.refill(200),
+        ]
+        program = Translator(OPTS).translate(transactions)
+        loop_index = ops(program).index(TGOp.IF)
+        burst_index = ops(program).index(TGOp.BURST_READ)
+        assert burst_index > loop_index
+
+
+class TestModesAndDefaults:
+    def test_empty_trace_gives_halt_only(self):
+        program = Translator().translate([])
+        assert ops(program) == [TGOp.HALT]
+
+    def test_cloning_never_collapses(self):
+        transactions = [
+            txn(OCPCommand.READ, SEM, req=100, resp=120, data=0),
+            txn(OCPCommand.READ, SEM, req=140, resp=160, data=1),
+        ]
+        options = TranslatorOptions(mode=ReplayMode.CLONING,
+                                    pollable_ranges=[(SEM, 0x100)])
+        program = Translator(options).translate(transactions)
+        assert TGOp.IF not in ops(program)
+        assert ops(program).count(TGOp.READ) == 2
+
+    def test_custom_default_poll_gap(self):
+        options = TranslatorOptions(pollable_ranges=[(SEM, 0x100)],
+                                    default_poll_gap=10)
+        program = Translator(options).translate(
+            [txn(OCPCommand.READ, SEM, req=100, resp=120, data=1)])
+        idles = [i.imm for i in program.instructions
+                 if i.op == TGOp.IDLE]
+        assert 9 in idles  # default gap minus the If cycle
+
+    def test_core_id_recorded(self):
+        program = Translator().translate(
+            [txn(OCPCommand.READ, 0x0, req=0, resp=10)], core_id=7)
+        assert program.core_id == 7

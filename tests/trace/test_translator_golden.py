@@ -1,0 +1,83 @@
+"""Golden-output regression: the translator's exact text for a fixed trace.
+
+Any change to the translator's emission (register allocation, idle
+arithmetic, poll collapsing, labels) shows up here as a readable diff.
+Update the golden only when the change is intentional — the timing
+contract in docs/TGP_FORMAT.md must still hold.
+"""
+
+from repro.ocp.types import OCPCommand
+from repro.trace import Phase, TraceEvent, Translator, TranslatorOptions
+
+SEM = 0x1A00_0000
+
+GOLDEN = """\
+; Master Core
+MASTER[2,0]
+MODE reactive
+REGISTER rdreg 0 ; holds value of RD
+REGISTER tempreg 0
+REGISTER addr 0
+REGISTER data 0
+POOL 0x00000063 0x00000064 0x00000065
+BEGIN
+    SetRegister(addr, 0x00000104)
+    Idle(10)
+    Read(addr)
+    SetRegister(addr, 0x00000020)
+    SetRegister(data, 0x00000111)
+    Idle(1)
+    Write(addr, data)
+    SetRegister(addr, 0x00000400)
+    Idle(8)
+    BurstRead(addr, 4)
+    Idle(1)
+    BurstWrite(addr, 3, pool+0)
+    SetRegister(addr, 0x1a000000)
+    SetRegister(tempreg, 0x00000001)
+    Idle(3)
+Semchk_1:
+    Idle(3)
+    Read(addr)
+    If(rdreg != tempreg) Semchk_1
+    Halt
+END
+"""
+
+
+def fixed_trace():
+    events = []
+    uid = [0]
+
+    def read(addr, req, resp, data, burst=1):
+        u = uid[0]
+        uid[0] += 1
+        cmd = OCPCommand.BURST_READ if burst > 1 else OCPCommand.READ
+        events.append(TraceEvent(Phase.REQ, req, cmd, addr, burst, None, u))
+        events.append(TraceEvent(Phase.ACC, req + 5, cmd, addr, burst,
+                                 None, u))
+        events.append(TraceEvent(Phase.RESP, resp, cmd, addr, burst,
+                                 data, u))
+
+    def write(addr, req, acc, data, burst=1):
+        u = uid[0]
+        uid[0] += 1
+        cmd = OCPCommand.BURST_WRITE if burst > 1 else OCPCommand.WRITE
+        events.append(TraceEvent(Phase.REQ, req, cmd, addr, burst, data, u))
+        events.append(TraceEvent(Phase.ACC, acc, cmd, addr, burst, None, u))
+
+    read(0x104, 55, 75, 0x088000F0)
+    write(0x20, 90, 95, 0x111)
+    read(0x400, 140, 165, [1, 2, 3, 4], burst=4)
+    write(0x400, 170, 180, [0x63, 0x64, 0x65], burst=3)
+    # polling run: two fails then success, 40 ns apart
+    read(SEM, 220, 240, 0)
+    read(SEM, 260, 280, 0)
+    read(SEM, 300, 320, 1)
+    return events
+
+
+def test_golden_tgp_output():
+    options = TranslatorOptions(pollable_ranges=[(SEM, 0x80)])
+    program = Translator(options).translate_events(fixed_trace(), core_id=2)
+    assert program.to_tgp() == GOLDEN

@@ -1,0 +1,126 @@
+"""Property tests: the translator's timing reconstruction invariant.
+
+A symbolic executor replays a translated program under the TG cost model
+(SetRegister/If/Jump = 1 cycle, Idle(n) = n, OCP ops issue instantly and
+unblock at the *recorded* times).  For any transaction stream whose local
+gaps can absorb the setup overhead, the reconstructed request times must
+equal the original trace exactly — that is the whole accuracy argument.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TGOp
+from repro.core.modes import ReplayMode
+from repro.ocp.types import OCPCommand
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+
+def make_stream(deltas):
+    """Build a transaction stream from (kind, gap, latency) tuples.
+
+    ``gap`` = local cycles between previous unblock and this request;
+    ``latency`` = request->unblock cycles.  Addresses/data rotate so every
+    transaction needs fresh register setup (worst case for overhead).
+    """
+    transactions = []
+    time_ns = 0
+    for index, (is_read, gap, latency) in enumerate(deltas):
+        time_ns += gap * 5
+        addr = 0x1000 + (index % 7) * 4
+        if is_read:
+            txn = Transaction(OCPCommand.READ, addr, 1, time_ns)
+            txn.acc_ns = time_ns + 5
+            txn.resp_ns = time_ns + latency * 5
+            txn.read_data = index
+        else:
+            txn = Transaction(OCPCommand.WRITE, addr, 1, time_ns)
+            txn.acc_ns = time_ns + latency * 5
+            txn.write_data = index * 3
+        transactions.append(txn)
+        time_ns = txn.unblock_ns
+    return transactions
+
+
+def symbolic_execute(program, unblock_latencies):
+    """Replay the program under the TG cost model; returns request cycles.
+
+    ``unblock_latencies[i]`` is the request->unblock time of the i-th OCP
+    transaction (taken from the original trace).
+    """
+    time = 0
+    issue_times = []
+    txn_index = 0
+    pc = 0
+    instructions = program.instructions
+    while pc < len(instructions):
+        instr = instructions[pc]
+        pc += 1
+        if instr.op == TGOp.IDLE:
+            time += instr.imm
+        elif instr.op in (TGOp.SET_REGISTER, TGOp.JUMP):
+            time += 1
+        elif instr.op == TGOp.IF:
+            time += 1  # assume fall-through (no polls in these streams)
+        elif instr.op in (TGOp.READ, TGOp.WRITE, TGOp.BURST_READ,
+                          TGOp.BURST_WRITE):
+            issue_times.append(time)
+            time += unblock_latencies[txn_index]
+            txn_index += 1
+        elif instr.op == TGOp.HALT:
+            break
+    return issue_times
+
+
+# gaps >= 3 guarantee room for addr+data setup (2 cycles) in all cases
+_ROOMY = st.lists(
+    st.tuples(st.booleans(), st.integers(3, 50), st.integers(1, 30)),
+    min_size=1, max_size=40)
+
+
+class TestTimingReconstruction:
+    @settings(max_examples=60, deadline=None)
+    @given(_ROOMY)
+    def test_request_times_reconstructed_exactly(self, deltas):
+        transactions = make_stream(deltas)
+        program = Translator().translate(transactions)
+        latencies = [(t.unblock_ns - t.req_ns) // 5 for t in transactions]
+        issue_times = symbolic_execute(program, latencies)
+        expected = [t.req_ns // 5 for t in transactions]
+        assert issue_times == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 2),
+                              st.integers(1, 10)),
+                    min_size=1, max_size=30))
+    def test_tight_gaps_never_issue_early(self, deltas):
+        """When gaps are too small for the setup overhead, the TG may run
+        late (clamped idle) but must never issue *before* the trace."""
+        transactions = make_stream(deltas)
+        program = Translator().translate(transactions)
+        latencies = [(t.unblock_ns - t.req_ns) // 5 for t in transactions]
+        issue_times = symbolic_execute(program, latencies)
+        for observed, txn in zip(issue_times, transactions):
+            assert observed >= txn.req_ns // 5 - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(_ROOMY)
+    def test_translation_is_deterministic(self, deltas):
+        transactions = make_stream(deltas)
+        a = Translator().translate(transactions)
+        b = Translator().translate(transactions)
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(_ROOMY)
+    def test_all_modes_emit_all_transactions(self, deltas):
+        """Without pollable ranges, every mode replays every transaction."""
+        transactions = make_stream(deltas)
+        for mode in ReplayMode:
+            program = Translator(TranslatorOptions(mode=mode)).translate(
+                transactions)
+            ocp_ops = [i for i in program.instructions
+                       if i.op in (TGOp.READ, TGOp.WRITE, TGOp.BURST_READ,
+                                   TGOp.BURST_WRITE)]
+            assert len(ocp_ops) == len(transactions)
