@@ -187,7 +187,7 @@ init_b:
 
 def _reduce_block(n_cores: int) -> str:
     """Core-0 epilogue: sum the per-core partial slots into TOTAL."""
-    return f"""\
+    return """\
     LI r1, PARTIALS
     MOVI r2, 0          ; sum
     MOVI r3, NPROC

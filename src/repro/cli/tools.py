@@ -256,6 +256,33 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                         help="benchmark parameter, e.g. n=8 or blocks=4")
     parser.add_argument("--save-traces", metavar="DIR",
                         help="archive the reference traces as a trace set")
+    parser.add_argument("--fault-spec", metavar="FILE",
+                        help="JSON fault specification applied to the TG "
+                             "run (see docs/FAULTS.md)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault injector's private RNG "
+                             "(default 0; same spec+seed = same faults)")
+    parser.add_argument("--retry-attempts", type=int, default=None,
+                        metavar="N",
+                        help="arm a TG retry policy with N total attempts "
+                             "per erroring transaction")
+    parser.add_argument("--retry-backoff", type=int, default=2,
+                        metavar="CYCLES",
+                        help="initial retry backoff in cycles, doubled per "
+                             "retry (default 2)")
+    parser.add_argument("--on-exhaust", choices=["raise", "degrade"],
+                        default="degrade",
+                        help="when retries run out: abort the run or "
+                             "continue degraded (default degrade)")
+    parser.add_argument("--watchdog", type=int, default=None,
+                        metavar="CYCLES",
+                        help="per-request TG watchdog: abort with "
+                             "WatchdogTimeout if a transaction is still "
+                             "outstanding after CYCLES cycles")
+    parser.add_argument("--progress-window", type=int, default=None,
+                        metavar="EVENTS",
+                        help="kernel livelock watchdog: abort after EVENTS "
+                             "events with no simulated-time progress")
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
@@ -264,12 +291,28 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
         key, _, value = item.partition("=")
         app_params[key] = int(value, 0)
 
+    fault_spec = None
+    if args.fault_spec:
+        from repro.faults import FaultSpec
+        fault_spec = FaultSpec.load(args.fault_spec)
+    retry_policy = None
+    if args.retry_attempts is not None:
+        from repro.faults import RetryPolicy
+        retry_policy = RetryPolicy(max_attempts=args.retry_attempts,
+                                   backoff=args.retry_backoff,
+                                   on_exhaust=args.on_exhaust)
+
     from repro.harness import table2_row, tg_flow
     result = tg_flow(args.benchmark, args.cores,
                      interconnect=args.interconnect,
                      tg_interconnect=args.tg_interconnect,
                      mode=ReplayMode.from_name(args.mode),
-                     app_params=app_params or None)
+                     app_params=app_params or None,
+                     fault_spec=fault_spec,
+                     fault_seed=args.fault_seed,
+                     retry_policy=retry_policy,
+                     watchdog_cycles=args.watchdog,
+                     progress_window=args.progress_window)
     if args.save_traces:
         from repro.apps.common import pollable_ranges
         from repro.trace import save_trace_set
@@ -278,20 +321,30 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                        interconnect=result.interconnect,
                        pollable_ranges=pollable_ranges(result.n_cores))
         print(f"traces archived to {args.save_traces}", file=sys.stderr)
+    payload = {
+        "benchmark": result.benchmark,
+        "n_cores": result.n_cores,
+        "interconnect": result.interconnect,
+        "mode": result.mode.value,
+        "ref_cycles": result.ref_cycles,
+        "tg_cycles": result.tg_cycles,
+        "error": result.error,
+        "ref_wall_s": result.ref_wall,
+        "tg_wall_s": result.tg_wall,
+        "gain": result.gain,
+        "event_gain": result.event_gain,
+    }
+    resilience = None
+    if result.tg_platform is not None and \
+            result.tg_platform.fault_injector is not None:
+        resilience = result.tg_platform.resilience_counters().as_dict()
+        payload["fault_seed"] = args.fault_seed
+        payload["resilience"] = resilience
     if args.json:
-        print(json.dumps({
-            "benchmark": result.benchmark,
-            "n_cores": result.n_cores,
-            "interconnect": result.interconnect,
-            "mode": result.mode.value,
-            "ref_cycles": result.ref_cycles,
-            "tg_cycles": result.tg_cycles,
-            "error": result.error,
-            "ref_wall_s": result.ref_wall,
-            "tg_wall_s": result.tg_wall,
-            "gain": result.gain,
-            "event_gain": result.event_gain,
-        }, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         print(table2_row(result))
+        if resilience is not None:
+            from repro.stats import resilience_report
+            print(resilience_report(resilience))
     return 0

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernel import Component, Simulator
 from repro.ocp import OCPMasterPort
-from repro.ocp.types import OCPCommand, WORD_BYTES
+from repro.ocp.types import OCPCommand
 from repro.trace.events import Transaction
 
 _LCG_MULT = 6364136223846793005

@@ -19,20 +19,22 @@ behaviour Section 3 shows to be inadequate — and the ablation benchmark
 measures how wrong it gets.
 """
 
-from typing import List, Optional
+from typing import Dict, Optional
 
+from repro.faults.retry import RetryPolicy
 from repro.kernel import Component, Simulator
+from repro.kernel.errors import WatchdogTimeout
 from repro.core.isa import (
     Cond,
     RDREG,
     TGError,
-    TGInstruction,
     TGOp,
     TG_NUM_REGS,
 )
 from repro.core.modes import ReplayMode
 from repro.core.program import TGProgram
 from repro.ocp import OCPMasterPort
+from repro.ocp.types import OCPCommand, Request
 
 
 class TGMaster(Component):
@@ -41,12 +43,32 @@ class TGMaster(Component):
     Exposes the same surface as :class:`~repro.cpu.core_ip.CoreIP`
     (``port``, ``start()``, ``finished``, ``completion_time``), making the
     two interchangeable on any platform.
+
+    Resilience (both off by default, adding zero cost when off):
+
+    * ``retry_policy`` — a :class:`~repro.faults.RetryPolicy` reissues
+      transactions whose :attr:`Response.error` is set, idling the
+      exponential backoff between attempts so the retry traffic is
+      cycle-accounted like any other TG activity.  Without a policy an
+      error response is counted but otherwise ignored (the historical
+      behaviour — the program continues on the bogus data).
+    * ``watchdog_cycles`` — a per-request watchdog: a transaction not
+      complete after this many cycles raises
+      :class:`~repro.kernel.WatchdogTimeout` instead of hanging the
+      simulation (e.g. a response packet lost by a broken fabric).
     """
 
-    def __init__(self, sim: Simulator, name: str, program: TGProgram):
+    def __init__(self, sim: Simulator, name: str, program: TGProgram,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 watchdog_cycles: Optional[int] = None):
         super().__init__(sim, name)
         program.validate()
+        if watchdog_cycles is not None and watchdog_cycles < 1:
+            raise TGError(f"watchdog_cycles must be >= 1, "
+                          f"got {watchdog_cycles}")
         self.program = program
+        self.retry_policy = retry_policy
+        self.watchdog_cycles = watchdog_cycles
         self.port = OCPMasterPort(sim, f"{name}.ocp")
         self.regs = [0] * TG_NUM_REGS
         self.pc = 0
@@ -54,6 +76,11 @@ class TGMaster(Component):
         self.halt_time: Optional[int] = None
         self.instructions_executed = 0
         self.max_outstanding_observed = 0
+        self.error_responses = 0
+        self.retries = 0
+        self.retry_backoff_cycles = 0
+        self.degraded_transactions = 0
+        self.watchdog_trips = 0
         self._process = None
         self._issue_fifo = None
         self._issuer = None
@@ -84,6 +111,78 @@ class TGMaster(Component):
     def completion_time(self) -> Optional[int]:
         return self.halt_time
 
+    @property
+    def resilience_counters(self) -> Dict[str, int]:
+        """Error/retry/timeout counters (merged by the platform summary)."""
+        return {
+            "error_responses": self.error_responses,
+            "retries": self.retries,
+            "retry_backoff_cycles": self.retry_backoff_cycles,
+            "degraded_transactions": self.degraded_transactions,
+            "watchdog_trips": self.watchdog_trips,
+        }
+
+    # --------------------------------------------------------- transactions
+
+    def _transact(self, cmd: OCPCommand, addr: int, data=None,
+                  burst_len: int = 1):
+        """One OCP transaction with optional watchdog and retry-on-error.
+
+        With neither feature configured this is exactly
+        ``port.transaction(Request(...))`` — same requests, same yields,
+        same event count as the pre-resilience TG.
+        """
+        policy = self.retry_policy
+        failures = 0
+        while True:
+            request = Request(cmd, addr, data, burst_len)
+            if self.watchdog_cycles is None:
+                response = yield from self.port.transaction(request)
+            else:
+                txn = self.sim.spawn(
+                    self.port.transaction(request),
+                    name=f"{self.name}.txn#{request.uid}")
+                guard = self.sim.schedule_after(
+                    self.watchdog_cycles,
+                    lambda p=txn, r=request: self._watchdog_expired(p, r))
+                response = yield txn
+                guard.cancel()
+            if response is None or not response.error:
+                return response
+            self.error_responses += 1
+            if policy is None:
+                # historical behaviour: the error flag is invisible to the
+                # program, which continues on the bogus response data
+                return response
+            failures += 1
+            if failures >= policy.max_attempts:
+                if policy.fail_fast:
+                    raise TGError(
+                        f"{self.name}: {request!r} still erroring after "
+                        f"{failures} attempt(s) at cycle {self.sim.now}")
+                self.degraded_transactions += 1
+                return response
+            backoff = policy.backoff_cycles(failures)
+            self.retries += 1
+            self.retry_backoff_cycles += backoff
+            if backoff:
+                yield backoff
+
+    def _read_word(self, addr: int):
+        """Single read via :meth:`_transact`; returns the data word."""
+        response = yield from self._transact(OCPCommand.READ, addr)
+        return response.word
+
+    def _watchdog_expired(self, txn, request: Request) -> None:
+        if not txn.alive:  # completed on the same cycle the guard fired
+            return
+        self.watchdog_trips += 1
+        raise WatchdogTimeout(
+            f"{self.name}: {request!r} not complete within "
+            f"{self.watchdog_cycles} cycles (issued at cycle "
+            f"{request.issue_time}, now {self.sim.now}); blocked: "
+            f"{self.sim.blocked_report()}")
+
     # ----------------------------------------------------------- execution
 
     def _run(self):
@@ -107,33 +206,37 @@ class TGMaster(Component):
                     yield from self._issue_fifo.put(
                         (TGOp.READ, regs[instr.a], None))
                 else:
-                    regs[RDREG] = yield from self.port.read(regs[instr.a])
+                    regs[RDREG] = yield from self._read_word(regs[instr.a])
             elif op == TGOp.WRITE:
                 if cloning:
                     yield from self._issue_fifo.put(
                         (TGOp.WRITE, regs[instr.a], regs[instr.b]))
                 else:
-                    yield from self.port.write(regs[instr.a], regs[instr.b])
+                    yield from self._transact(OCPCommand.WRITE,
+                                              regs[instr.a], regs[instr.b])
             elif op == TGOp.BURST_READ:
                 if cloning:
                     yield from self._issue_fifo.put(
                         (TGOp.BURST_READ, regs[instr.a], instr.b))
                 else:
-                    words = yield from self.port.burst_read(regs[instr.a],
-                                                            instr.b)
-                    regs[RDREG] = words[-1]
+                    response = yield from self._transact(
+                        OCPCommand.BURST_READ, regs[instr.a],
+                        burst_len=instr.b)
+                    regs[RDREG] = response.words[-1]
             elif op == TGOp.BURST_WRITE:
                 data = pool[instr.imm:instr.imm + instr.b]
                 if cloning:
                     yield from self._issue_fifo.put(
                         (TGOp.BURST_WRITE, regs[instr.a], data))
                 else:
-                    yield from self.port.burst_write(regs[instr.a], data)
+                    yield from self._transact(
+                        OCPCommand.BURST_WRITE, regs[instr.a], list(data),
+                        burst_len=len(data))
             elif op == TGOp.READ_NB:
                 # out-of-order extension: the read retires in the
                 # background; the program continues after a 1-cycle issue
                 reader = self.sim.spawn(
-                    self.port.read(regs[instr.a]),
+                    self._read_word(regs[instr.a]),
                     name=f"{self.name}.nb#{self.instructions_executed}")
                 self._outstanding.append(reader)
                 self.max_outstanding_observed = max(
@@ -183,11 +286,14 @@ class TGMaster(Component):
                 return
             op, addr, operand = entry
             if op == TGOp.READ:
-                regs[RDREG] = yield from self.port.read(addr)
+                regs[RDREG] = yield from self._read_word(addr)
             elif op == TGOp.WRITE:
-                yield from self.port.write(addr, operand)
+                yield from self._transact(OCPCommand.WRITE, addr, operand)
             elif op == TGOp.BURST_READ:
-                words = yield from self.port.burst_read(addr, operand)
-                regs[RDREG] = words[-1]
+                response = yield from self._transact(
+                    OCPCommand.BURST_READ, addr, burst_len=operand)
+                regs[RDREG] = response.words[-1]
             elif op == TGOp.BURST_WRITE:
-                yield from self.port.burst_write(addr, operand)
+                yield from self._transact(OCPCommand.BURST_WRITE, addr,
+                                          list(operand),
+                                          burst_len=len(operand))

@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.kernel import Simulator
 from repro.memory.slave import MemorySlave, SlaveTimings
-from repro.ocp.types import Request, Response
+from repro.ocp.types import Request
 
 
 class TGSharedMemorySlave(MemorySlave):

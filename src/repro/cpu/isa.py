@@ -22,7 +22,7 @@ except U16, which is zero-extended.
 """
 
 import enum
-from typing import Dict, NamedTuple, Optional
+from typing import Dict, NamedTuple
 
 from repro.ocp.types import WORD_MASK
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for degraded-platform experiments.
+
+The paper's decoupling claim — collect a trace once, replay it against any
+interconnect — is only useful for design-space exploration if the
+interconnects explored can also be *degraded*: slow links, flaky slaves,
+lost wakeups.  This package provides that as a first-class, reproducible
+subsystem:
+
+* :class:`FaultSpec` — declarative description of what can go wrong
+  (parsed from dicts/JSON, archivable with an experiment);
+* :class:`FaultInjector` — the seeded decision point every instrumented
+  component consults; deterministic given ``(spec, seed)``;
+* :class:`RetryPolicy` — how a TG master reacts to error responses
+  (bounded retries with exponential backoff, fail-fast or degrade).
+
+With no spec configured nothing is instrumented: the disabled path adds no
+events, no RNG draws and no cycles, so fault-free runs stay bit-identical
+to the pre-fault-subsystem behaviour.
+"""
+
+from repro.faults.injector import ERROR_DATA, FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import (
+    FaultSpec,
+    FaultSpecError,
+    LinkFaultRule,
+    SemaphoreFaultRule,
+    SlaveErrorRule,
+)
+
+__all__ = [
+    "ERROR_DATA",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
+    "LinkFaultRule",
+    "RetryPolicy",
+    "SemaphoreFaultRule",
+    "SlaveErrorRule",
+]

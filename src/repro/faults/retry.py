@@ -1,0 +1,75 @@
+"""TG-side retry policy for error responses.
+
+Kept free of any repro-internal imports: :mod:`repro.core.tg_master` pulls
+this in, and ``repro.core`` sits below ``repro.trace``/``repro.stats`` in
+the import graph.
+"""
+
+from typing import Dict, Optional
+
+__all__ = ["RetryPolicy"]
+
+#: Allowed values of :attr:`RetryPolicy.on_exhaust`.
+ON_EXHAUST = ("raise", "degrade")
+
+
+class RetryPolicy:
+    """How a TG master reacts to ``Response.error``.
+
+    Args:
+        max_attempts: Total tries per transaction (first attempt included).
+        backoff: Idle cycles before the first retry.
+        backoff_factor: Multiplier applied to the backoff per further retry
+            (exponential backoff in cycles; 1 = constant).
+        on_exhaust: ``"raise"`` aborts the simulation with a fail-fast error
+            once attempts run out; ``"degrade"`` accepts the error response
+            and lets the program continue on its bogus data, counting the
+            transaction as degraded.
+    """
+
+    def __init__(self, max_attempts: int = 3, backoff: int = 2,
+                 backoff_factor: int = 2, on_exhaust: str = "raise"):
+        if not isinstance(max_attempts, int) or max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not isinstance(backoff, int) or backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if not isinstance(backoff_factor, int) or backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {backoff_factor}")
+        if on_exhaust not in ON_EXHAUST:
+            raise ValueError(f"on_exhaust must be one of {ON_EXHAUST}, "
+                             f"got {on_exhaust!r}")
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.on_exhaust = on_exhaust
+
+    @property
+    def fail_fast(self) -> bool:
+        return self.on_exhaust == "raise"
+
+    def backoff_cycles(self, failures: int) -> int:
+        """Idle cycles after the ``failures``-th failed attempt (1-based)."""
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        return self.backoff * self.backoff_factor ** (failures - 1)
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict]) -> Optional["RetryPolicy"]:
+        """Build from a plain dict (``None`` passes through)."""
+        if data is None:
+            return None
+        if isinstance(data, RetryPolicy):
+            return data
+        return cls(**data)
+
+    def to_dict(self) -> Dict:
+        return {"max_attempts": self.max_attempts, "backoff": self.backoff,
+                "backoff_factor": self.backoff_factor,
+                "on_exhaust": self.on_exhaust}
+
+    def __repr__(self) -> str:
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"backoff={self.backoff}, "
+                f"backoff_factor={self.backoff_factor}, "
+                f"on_exhaust={self.on_exhaust!r})")

@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     build_testchip_platform,
     build_tg_platform,
     reference_run,
+    resilience_demo,
     table2_row,
     tg_flow,
     translate_traces,
@@ -35,6 +36,7 @@ __all__ = [
     "build_testchip_platform",
     "build_tg_platform",
     "reference_run",
+    "resilience_demo",
     "run_sweep",
     "sweep_csv",
     "sweep_table",

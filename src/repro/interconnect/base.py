@@ -4,7 +4,7 @@ from typing import Dict, Optional
 
 from repro.kernel import Component, Simulator
 from repro.interconnect.address_map import AddressMap
-from repro.ocp.types import Request, Response
+from repro.ocp.types import Request
 
 
 class FabricStats:
@@ -44,11 +44,20 @@ class Fabric(Component):
         super().__init__(sim, name)
         self.address_map = address_map or AddressMap()
         self.stats = FabricStats()
+        #: Optional :class:`~repro.faults.FaultInjector` consulted per hop;
+        #: ``None`` (default) keeps transport on the exact unperturbed path.
+        self.fault_injector = None
 
     def transport(self, master_id: int, request: Request):
         """Run one transaction (generator).  Subclasses implement."""
         raise NotImplementedError
         yield  # pragma: no cover - makes this a generator for type symmetry
+
+    def _hop_delay(self) -> int:
+        """Injected extra cycles for one hop (0 when faults are disabled)."""
+        if self.fault_injector is None:
+            return 0
+        return self.fault_injector.hop_delay(self.name)
 
     @staticmethod
     def _accept(request: Request) -> None:

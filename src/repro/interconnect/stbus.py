@@ -53,6 +53,9 @@ class STBusFabric(Fabric):
         self.stats.record(master_id, request)
         range_ = self.address_map.decode(request)
         arbiter = self._arbiter_for(range_.slave_port)
+        stall = self._hop_delay()
+        if stall:
+            yield stall
         if self.request_latency:
             yield self.request_latency
         yield from arbiter.acquire(master_id)
@@ -64,6 +67,9 @@ class STBusFabric(Fabric):
             return None
         response = yield from range_.slave_port.access(request)
         arbiter.release(master_id)
+        stall = self._hop_delay()
+        if stall:
+            yield stall
         if self.response_latency:
             yield self.response_latency
         return response

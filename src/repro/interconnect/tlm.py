@@ -37,6 +37,9 @@ class TlmFabric(Fabric):
     def transport(self, master_id: int, request: Request):
         self.stats.record(master_id, request)
         range_ = self.address_map.decode(request)
+        stall = self._hop_delay()
+        if stall:
+            yield stall
         if self.request_latency:
             yield self.request_latency
         if request.cmd.is_write:
@@ -48,6 +51,9 @@ class TlmFabric(Fabric):
             return None
         self._accept(request)
         response = yield from range_.slave_port.access(request)
+        stall = self._hop_delay()
+        if stall:
+            yield stall
         if self.response_latency:
             yield self.response_latency
         return response

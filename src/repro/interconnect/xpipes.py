@@ -156,6 +156,14 @@ class Router:
                                f"got {head!r}")
             out_port = self.noc.route(self.coords, head.packet.dest)
             yield from self._acquire_output(out_port)
+            injector = self.noc.fault_injector
+            if injector is not None:
+                # per-hop link fault: jitter/stall charged once per packet
+                # traversal of this router (wormhole: the whole packet is
+                # held up with its head)
+                stall = injector.hop_delay(self.noc.name)
+                if stall:
+                    yield stall
             flit = head
             while True:
                 yield 1  # switch + link traversal, one cycle per flit

@@ -39,11 +39,13 @@ Processes communicate time via the yield protocol::
 from repro.kernel.errors import (
     DeadlockError,
     KernelError,
+    LivelockError,
     ProcessKilled,
     SimulationError,
+    WatchdogTimeout,
 )
 from repro.kernel.event import Event, EventQueue
-from repro.kernel.signal import Fifo, Signal
+from repro.kernel.signal import Fifo, Signal, TimeoutSignal
 from repro.kernel.process import Process
 from repro.kernel.simulator import Simulator
 from repro.kernel.component import Component
@@ -55,9 +57,12 @@ __all__ = [
     "EventQueue",
     "Fifo",
     "KernelError",
+    "LivelockError",
     "Process",
     "ProcessKilled",
     "Signal",
     "SimulationError",
     "Simulator",
+    "TimeoutSignal",
+    "WatchdogTimeout",
 ]

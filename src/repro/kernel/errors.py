@@ -18,5 +18,18 @@ class DeadlockError(KernelError):
     event queue drains while processes are still blocked on signals."""
 
 
+class LivelockError(KernelError):
+    """Raised by :meth:`Simulator.run` when ``progress_window`` is set and
+    the loop fires that many consecutive events without simulated time
+    advancing — the system is busy but going nowhere (e.g. two processes
+    notifying each other with zero-cycle events forever)."""
+
+
+class WatchdogTimeout(KernelError):
+    """A per-request watchdog expired: an operation that should complete in
+    bounded simulated time (e.g. an OCP transaction) is still outstanding.
+    Raised instead of letting the simulation hang or silently stall."""
+
+
 class ProcessKilled(KernelError):
     """Thrown into a process generator when it is killed externally."""

@@ -46,6 +46,36 @@ class Signal:
         return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
 
 
+class TimeoutSignal(Signal):
+    """A one-shot signal backed by a scheduled event.
+
+    Created by :func:`repro.kernel.simulator.timeout`.  When the last waiter
+    is removed before the event fires (e.g. the waiting process is killed),
+    the pending event is cancelled so it does not linger in the queue and
+    keep the simulation artificially alive.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(self, sim, name: str = "timeout"):
+        super().__init__(sim, name)
+        self.event = None
+
+    def cancel(self) -> None:
+        """Cancel the backing event (harmless after it has fired)."""
+        if self.event is not None:
+            self.event.cancel()
+
+    def notify(self, payload: Any = None) -> int:
+        self.event = None
+        return super().notify(payload)
+
+    def _remove_waiter(self, process) -> None:
+        super()._remove_waiter(process)
+        if not self._waiters:
+            self.cancel()
+
+
 class Fifo:
     """Bounded blocking queue connecting producer and consumer processes.
 

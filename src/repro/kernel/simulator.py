@@ -1,11 +1,11 @@
 """The simulator: event loop, time base, and process management."""
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Callable, Generator, List, Optional
 
-from repro.kernel.errors import DeadlockError, SimulationError
+from repro.kernel.errors import DeadlockError, LivelockError, SimulationError
 from repro.kernel.event import Event, EventQueue
 from repro.kernel.process import Process
-from repro.kernel.signal import Fifo, Signal
+from repro.kernel.signal import Fifo, Signal, TimeoutSignal
 
 #: Nanoseconds per simulated clock cycle.  The paper assumes a 5 ns cycle for
 #: both the IP cores and the TG; trace timestamps are recorded in ns.
@@ -93,27 +93,41 @@ class Simulator:
     # --------------------------------------------------------------- running
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
-            check_deadlock: bool = False) -> int:
+            check_deadlock: bool = False,
+            progress_window: Optional[int] = None) -> int:
         """Run the event loop.
 
         Args:
             until: Stop once simulation time would pass this cycle (events at
                 exactly ``until`` still fire).
             max_events: Safety stop after this many events.
-            check_deadlock: Raise :class:`DeadlockError` if the queue drains
-                while processes are still alive (blocked on signals forever).
+            check_deadlock: Raise :class:`DeadlockError` if the queue truly
+                drains while processes are still alive (blocked on signals
+                forever).  An early stop via ``until``/``max_events`` with
+                work still queued is *not* a deadlock and is never reported
+                as one.
+            progress_window: Raise :class:`LivelockError` after this many
+                consecutive events fire without simulated time advancing
+                (zero-cycle notify storms, spinning processes).  ``None``
+                disables the watchdog.
 
         Returns:
             The simulation time when the loop stopped.
         """
         if self._running:
             raise SimulationError("simulator is already running")
+        if progress_window is not None and progress_window < 1:
+            raise SimulationError(
+                f"progress_window must be >= 1, got {progress_window}")
         self._running = True
         fired = 0
+        stagnant = 0
+        drained = False
         try:
             while True:
                 next_time = self._queue.peek_time()
                 if next_time is None:
+                    drained = True
                     break
                 if until is not None and next_time > until:
                     self._now = until
@@ -122,22 +136,45 @@ class Simulator:
                     break
                 event = self._queue.pop()
                 if event is None:
+                    drained = True
                     break
+                if progress_window is not None:
+                    if event.time > self._now:
+                        stagnant = 0
+                    else:
+                        stagnant += 1
+                        if stagnant >= progress_window:
+                            raise LivelockError(
+                                f"no simulated-time progress after "
+                                f"{stagnant} events at cycle {event.time}; "
+                                f"busy processes: {self.blocked_report()}")
                 self._now = event.time
                 event.fn()
                 fired += 1
                 self._events_fired += 1
         finally:
             self._running = False
-        if check_deadlock and self._queue.peek_time() is None:
+        if check_deadlock and drained:
             stuck = self.live_processes
             if stuck:
-                names = ", ".join(p.name for p in stuck[:8])
                 raise DeadlockError(
                     f"{len(stuck)} process(es) blocked forever at cycle "
-                    f"{self._now}: {names}"
+                    f"{self._now}: {self.blocked_report()}"
                 )
         return self._now
+
+    def blocked_report(self, limit: int = 8) -> str:
+        """Human-readable list of live processes and what each waits on."""
+        parts = []
+        for process in self.live_processes[:limit]:
+            waiting_on = process._waiting_on
+            if waiting_on is not None:
+                parts.append(f"{process.name} (on {waiting_on.name})")
+            else:
+                parts.append(f"{process.name} (runnable)")
+        if len(self.live_processes) > limit:
+            parts.append(f"... {len(self.live_processes) - limit} more")
+        return ", ".join(parts) if parts else "(none)"
 
     def step(self) -> bool:
         """Fire exactly one event; returns False when the queue is empty."""
@@ -154,8 +191,14 @@ class Simulator:
                 f"processes={len(self.live_processes)}>")
 
 
-def timeout(sim: Simulator, cycles: int) -> Signal:
-    """Return a signal that fires once, ``cycles`` from now."""
-    sig = sim.signal(f"timeout@{sim.now + cycles}")
-    sim.schedule_after(cycles, sig.notify)
+def timeout(sim: Simulator, cycles: int) -> TimeoutSignal:
+    """Return a signal that fires once, ``cycles`` from now.
+
+    The returned :class:`TimeoutSignal` is cancellable: if every waiter is
+    removed before the deadline (e.g. the waiting process is killed), the
+    backing event is cancelled automatically so it does not leak into the
+    queue; ``sig.cancel()`` does the same explicitly.
+    """
+    sig = TimeoutSignal(sim, f"timeout@{sim.now + cycles}")
+    sig.event = sim.schedule_after(cycles, sig.notify)
     return sig

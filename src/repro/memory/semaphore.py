@@ -41,6 +41,8 @@ class SemaphoreBank(MemorySlave):
             self.store.write_word(index * WORD_BYTES, SEM_FREE)
         self.acquisitions = 0
         self.failed_polls = 0
+        self.releases_dropped = 0
+        self.releases_delayed = 0
 
     def read_location(self, offset: int) -> int:
         value = self.store.read_word(offset)
@@ -52,6 +54,21 @@ class SemaphoreBank(MemorySlave):
         return value
 
     def write_location(self, offset: int, value: int) -> None:
+        injector = self.fault_injector
+        if injector is not None and value == SEM_FREE:
+            # A release write can be lost or land late (a dropped/delayed
+            # wakeup).  Pollers keep polling either way — a bounded drop is
+            # recovered by a later release, an unbounded one livelocks the
+            # system into the kernel's progress watchdog.
+            dropped, delay = injector.semaphore_release(offset)
+            if dropped:
+                self.releases_dropped += 1
+                return
+            if delay:
+                self.releases_delayed += 1
+                self.sim.schedule_after(
+                    delay, lambda: self.store.write_word(offset, SEM_FREE))
+                return
         self.store.write_word(offset, value & WORD_MASK)
 
     def semaphore_addr(self, index: int) -> int:

@@ -2,9 +2,10 @@
 
 from typing import Optional
 
+from repro.faults.injector import ERROR_DATA
 from repro.kernel import Component, Simulator
 from repro.memory.store import WordStore
-from repro.ocp.types import OCPError, Request, Response, WORD_BYTES
+from repro.ocp.types import OCPError, Request, Response
 
 
 class SlaveTimings:
@@ -47,6 +48,10 @@ class MemorySlave(Component):
         self.timings = timings or SlaveTimings()
         self.reads = 0
         self.writes = 0
+        #: Optional :class:`~repro.faults.FaultInjector`; ``None`` keeps the
+        #: slave on the exact pre-fault-subsystem path.
+        self.fault_injector = None
+        self.error_responses_sent = 0
 
     def contains(self, addr: int) -> bool:
         """True when global byte address ``addr`` maps into this slave."""
@@ -76,6 +81,18 @@ class MemorySlave(Component):
         service = self.timings.cycles(request.burst_len)
         if service:
             yield service
+        injector = self.fault_injector
+        if injector is not None and injector.slave_error(self.name, request):
+            # The access consumed its service time but the operation did not
+            # take effect: no data moves, the response carries the error flag
+            # (and recognisably bogus beats, so a master that ignores the
+            # flag computes on garbage rather than silently-correct values).
+            self.error_responses_sent += 1
+            if request.cmd.is_read:
+                data = ([ERROR_DATA] * request.burst_len
+                        if request.cmd.is_burst else ERROR_DATA)
+                return Response(request, data, error=True)
+            return Response(request, error=True)
         if request.cmd.is_read:
             words = [self.read_location(self._offset(addr))
                      for addr in request.beat_addresses]

@@ -18,7 +18,7 @@ under a checker, so a protocol regression fails loudly rather than as a
 mysterious timing drift.
 """
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.ocp.monitor import PortMonitor
 from repro.ocp.types import OCPError, Request, Response

@@ -8,7 +8,7 @@ other (paper Figure 1) touches nothing else in the system.
 from typing import List, Optional
 
 from repro.kernel import Component, Simulator
-from repro.ocp.types import OCPCommand, OCPError, Request, Response
+from repro.ocp.types import OCPCommand, OCPError, Request
 
 
 class OCPMasterPort(Component):

@@ -1,8 +1,9 @@
 """Platform configuration and the global memory map."""
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.cpu.cache import CacheConfig
+from repro.faults.spec import FaultSpec
 from repro.memory.slave import SlaveTimings
 
 #: Per-core private memory stride: core *i*'s RAM starts at ``i * stride``.
@@ -33,6 +34,12 @@ class PlatformConfig:
         private_timings / shared_timings / device_timings: Slave access
             times.
         icache / dcache: Cache geometries for armlet cores.
+        fault_spec: Optional :class:`~repro.faults.FaultSpec` (or a plain
+            dict parsed as one) describing the degraded-platform scenario;
+            ``None`` builds a fully healthy platform with the fault layer
+            entirely absent.
+        fault_seed: Seed of the injector's private RNG; a ``(spec, seed)``
+            pair replays the identical fault sequence on every run.
     """
 
     def __init__(self, n_masters: int = 1, interconnect: str = "ahb",
@@ -45,7 +52,9 @@ class PlatformConfig:
                  shared_timings: Optional[SlaveTimings] = None,
                  device_timings: Optional[SlaveTimings] = None,
                  icache: Optional[CacheConfig] = None,
-                 dcache: Optional[CacheConfig] = None):
+                 dcache: Optional[CacheConfig] = None,
+                 fault_spec: Union[None, Dict, FaultSpec] = None,
+                 fault_seed: int = 0):
         if n_masters < 1:
             raise ValueError("need at least one master")
         if n_masters * PRIVATE_STRIDE > SHARED_BASE:
@@ -70,6 +79,10 @@ class PlatformConfig:
         self.device_timings = device_timings or SlaveTimings(1, 1)
         self.icache = icache or CacheConfig(lines=128, line_words=4)
         self.dcache = dcache or CacheConfig(lines=128, line_words=4)
+        if isinstance(fault_spec, dict):
+            fault_spec = FaultSpec.from_dict(fault_spec)
+        self.fault_spec = fault_spec
+        self.fault_seed = fault_seed
 
     def private_base(self, core_id: int) -> int:
         """Base address of core ``core_id``'s private memory."""
@@ -96,6 +109,8 @@ class PlatformConfig:
             device_timings=self.device_timings,
             icache=self.icache,
             dcache=self.dcache,
+            fault_spec=self.fault_spec,
+            fault_seed=self.fault_seed,
         )
         fields.update(overrides)
         return PlatformConfig(**fields)

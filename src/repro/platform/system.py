@@ -5,6 +5,7 @@ from typing import Dict, List, Optional
 from repro.kernel import Simulator
 from repro.cpu.assembler import AssembledProgram, assemble
 from repro.cpu.core_ip import CoreIP
+from repro.faults import FaultInjector
 from repro.interconnect import (
     AddressMap,
     AmbaAhbBus,
@@ -20,6 +21,7 @@ from repro.platform.config import (
     SHARED_BASE,
     PlatformConfig,
 )
+from repro.stats.counters import ResilienceCounters
 
 _FABRICS = {
     "ahb": AmbaAhbBus,
@@ -76,6 +78,14 @@ class MparmPlatform:
                 f"{sorted(_FABRICS)}") from None
         self.fabric = fabric_cls(self.sim, address_map=self.address_map,
                                  **config.fabric_kwargs)
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_spec is not None:
+            self.fault_injector = FaultInjector(config.fault_spec,
+                                                config.fault_seed)
+            self.fabric.fault_injector = self.fault_injector
+            for slave in (*self.private_mems, self.shared_mem,
+                          self.semaphores, self.barriers):
+                slave.fault_injector = self.fault_injector
         self.masters: List = []
         self._started = False
 
@@ -143,23 +153,30 @@ class MparmPlatform:
         self._started = True
 
     def run(self, until: Optional[int] = None,
-            max_events: Optional[int] = None) -> int:
+            max_events: Optional[int] = None,
+            progress_window: Optional[int] = None) -> int:
         """Start (if needed) and run until all masters halt.
 
         Returns the final simulation time.  Raises if the event queue
         drains with unfinished masters (a deadlocked system) unless a
         ``until``/``max_events`` bound stopped the run first.
+        ``progress_window`` arms the kernel livelock watchdog
+        (:class:`~repro.kernel.LivelockError` after that many events with
+        no simulated-time progress — e.g. every poller spinning on a
+        semaphore whose release was dropped).
         """
         if not self._started:
             self.start()
-        end = self.sim.run(until=until, max_events=max_events)
+        end = self.sim.run(until=until, max_events=max_events,
+                           progress_window=progress_window)
         if until is None and max_events is None:
             stuck = [m for m in self.masters if not m.finished]
             if stuck:
                 names = ", ".join(getattr(m, "name", "?") for m in stuck)
                 raise RuntimeError(
                     f"simulation drained at cycle {end} with unfinished "
-                    f"masters: {names}")
+                    f"masters: {names}; blocked processes: "
+                    f"{self.sim.blocked_report()}")
         return end
 
     # ------------------------------------------------------------- results
@@ -182,6 +199,18 @@ class MparmPlatform:
             total += master.completion_time
         return total
 
+    def resilience_counters(self) -> ResilienceCounters:
+        """Merged fault/error/retry counters from injector, slaves and
+        masters (all zero on a healthy platform)."""
+        counters = ResilienceCounters()
+        if self.fault_injector is not None:
+            counters.update(self.fault_injector.counters)
+        for master in self.masters:
+            per_master = getattr(master, "resilience_counters", None)
+            if per_master:
+                counters.update(per_master)
+        return counters
+
     def stats_summary(self) -> Dict[str, object]:
         """Headline statistics for reports."""
         summary = {
@@ -192,4 +221,9 @@ class MparmPlatform:
         }
         if isinstance(self.fabric, AmbaAhbBus):
             summary["bus_utilisation"] = round(self.fabric.utilisation(), 4)
+        # keys appear only when the fault layer is armed, so healthy-run
+        # summaries are unchanged from pre-fault-subsystem behaviour
+        if self.fault_injector is not None:
+            summary["fault_seed"] = self.fault_injector.seed
+            summary["resilience"] = self.resilience_counters().as_dict()
         return summary

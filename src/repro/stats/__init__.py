@@ -6,7 +6,12 @@
   experiment harness (Table-2-style output) and trace summaries.
 """
 
-from repro.stats.counters import Histogram, LatencyStats, trace_summary
+from repro.stats.counters import (
+    Histogram,
+    LatencyStats,
+    ResilienceCounters,
+    trace_summary,
+)
 from repro.stats.compare import (
     TraceComparison,
     collapse_polls,
@@ -14,7 +19,7 @@ from repro.stats.compare import (
     drift_report,
 )
 from repro.stats.energy import EnergyCoefficients, estimate_energy
-from repro.stats.reporting import Table, format_table
+from repro.stats.reporting import Table, format_table, resilience_report
 from repro.stats.timeline import lanes_from_collectors, render_timeline
 from repro.stats.vcd import export_vcd
 
@@ -22,6 +27,7 @@ __all__ = [
     "EnergyCoefficients",
     "Histogram",
     "LatencyStats",
+    "ResilienceCounters",
     "Table",
     "TraceComparison",
     "collapse_polls",
@@ -31,6 +37,7 @@ __all__ = [
     "export_vcd",
     "format_table",
     "lanes_from_collectors",
+    "resilience_report",
     "render_timeline",
     "trace_summary",
 ]

@@ -1,9 +1,64 @@
-"""Latency statistics and trace summaries."""
+"""Latency statistics, resilience counters and trace summaries."""
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.ocp.types import OCPCommand
 from repro.trace.events import Transaction
+
+
+class ResilienceCounters:
+    """Error/retry/timeout/injected-fault counters for one platform run.
+
+    Aggregates the per-component counts maintained by the
+    :class:`~repro.faults.FaultInjector` and by resilient TG masters into
+    one flat, stable-keyed mapping, so an experiment can assert e.g.
+    "N faults injected, M retried, 0 watchdog trips" and two seeded runs
+    can be compared for byte-identical degradation stats.
+    """
+
+    FIELDS = (
+        # injected by the fault layer
+        "slave_errors_injected",
+        "hop_faults_injected",
+        "hop_delay_cycles",
+        "hop_stalls_injected",
+        "sem_drops_injected",
+        "sem_delays_injected",
+        # observed / recovered at the masters
+        "error_responses",
+        "retries",
+        "retry_backoff_cycles",
+        "degraded_transactions",
+        "watchdog_trips",
+    )
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def update(self, counts: Mapping[str, int]) -> "ResilienceCounters":
+        """Accumulate a mapping of counter name -> count (unknown keys are
+        rejected so typos in a component cannot silently vanish)."""
+        for key, value in counts.items():
+            if key not in self.FIELDS:
+                raise KeyError(f"unknown resilience counter {key!r}; "
+                               f"known: {list(self.FIELDS)}")
+            setattr(self, key, getattr(self, key) + value)
+        return self
+
+    @property
+    def faults_injected(self) -> int:
+        return (self.slave_errors_injected + self.hop_faults_injected
+                + self.sem_drops_injected + self.sem_delays_injected)
+
+    @property
+    def any_activity(self) -> bool:
+        return any(getattr(self, field) for field in self.FIELDS)
+
+    def as_dict(self) -> Dict[str, int]:
+        counters = {field: getattr(self, field) for field in self.FIELDS}
+        counters["faults_injected"] = self.faults_injected
+        return counters
 
 
 class LatencyStats:

@@ -1,6 +1,6 @@
 """Fixed-width table rendering for experiment reports."""
 
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 class Table:
@@ -53,4 +53,36 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
     table = Table(headers, title)
     for row in rows:
         table.add_row(*row)
+    return table.render()
+
+
+#: Display order and labels for :func:`resilience_report`.
+_RESILIENCE_ROWS = (
+    ("faults_injected", "faults injected (total)"),
+    ("slave_errors_injected", "slave error responses injected"),
+    ("hop_faults_injected", "interconnect hops perturbed"),
+    ("hop_delay_cycles", "extra hop cycles injected"),
+    ("hop_stalls_injected", "transient link stalls"),
+    ("sem_drops_injected", "semaphore releases dropped"),
+    ("sem_delays_injected", "semaphore releases delayed"),
+    ("error_responses", "error responses seen by masters"),
+    ("retries", "transactions retried"),
+    ("retry_backoff_cycles", "backoff cycles spent"),
+    ("degraded_transactions", "transactions degraded"),
+    ("watchdog_trips", "watchdog trips"),
+)
+
+
+def resilience_report(counters: Mapping[str, int],
+                      title: str = "Fault injection / resilience") -> str:
+    """Render a resilience-counter mapping (or a
+    :class:`~repro.stats.counters.ResilienceCounters`) as a table,
+    omitting all-zero rows except the headline total."""
+    if hasattr(counters, "as_dict"):
+        counters = counters.as_dict()
+    table = Table(["counter", "value"], title=title)
+    for key, label in _RESILIENCE_ROWS:
+        value = counters.get(key, 0)
+        if value or key == "faults_injected":
+            table.add_row(label, value)
     return table.render()

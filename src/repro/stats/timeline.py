@@ -6,7 +6,7 @@ characters over time where ``R``/``W`` mark a read/write in flight
 Useful when debugging why a TG's traffic diverges from its core's.
 """
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.ocp.types import OCPCommand
 from repro.trace.events import Transaction

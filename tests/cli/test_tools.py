@@ -13,7 +13,6 @@ from repro.cli import (
     trc2tgp_main,
 )
 from repro.core import parse_tgp
-from repro.core.assembler import disassemble_binary
 from repro.harness import reference_run
 from repro.platform.config import SEM_BASE
 

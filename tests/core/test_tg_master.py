@@ -1,6 +1,5 @@
 """TGMaster execution semantics: timing, polling reactivity, modes."""
 
-import pytest
 
 from repro.core import (
     Cond,
@@ -175,7 +174,6 @@ class TestCloningMode:
     def test_cloning_does_not_block_on_reads(self):
         """In CLONING mode the program's halt time ignores read latency
         except for queue drain."""
-        platform = make_platform()
         instrs = [
             I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
             I(TGOp.READ, a=ADDRREG),
@@ -198,7 +196,7 @@ class TestCloningMode:
         """Writes must carry the data value at program-execution time."""
         platform = make_platform()
         addr = SHARED_BASE + 0x10
-        tg = tg_with(platform, [
+        tg_with(platform, [
             I(TGOp.SET_REGISTER, a=ADDRREG, imm=addr),
             I(TGOp.SET_REGISTER, a=DATAREG, imm=111),
             I(TGOp.WRITE, a=ADDRREG, b=DATAREG),
@@ -218,7 +216,7 @@ class TestInterchangeability:
         from repro.apps import cacheloop
         platform = make_platform(2)
         platform.add_core(cacheloop.source(0, 2, iters=30))
-        tg = tg_with(platform, [
+        tg_with(platform, [
             I(TGOp.SET_REGISTER, a=ADDRREG, imm=SHARED_BASE),
             I(TGOp.SET_REGISTER, a=DATAREG, imm=7),
             I(TGOp.WRITE, a=ADDRREG, b=DATAREG),

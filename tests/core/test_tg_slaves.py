@@ -1,6 +1,5 @@
 """Slave TG entities: shared-memory TG and dummy-response TG."""
 
-import pytest
 
 from repro.core import TGDummySlave, TGSharedMemorySlave
 from repro.kernel import Simulator

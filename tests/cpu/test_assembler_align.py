@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import AsmError, Op, assemble, decode
+from repro.cpu import AsmError, assemble, decode
 
 
 class TestAlign:

@@ -6,10 +6,9 @@ a direct Python interpreter execute them, and the architectural state
 (registers + touched memory) must agree exactly.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cpu.isa import Instruction, LR, Op, encode
+from repro.cpu.isa import Instruction, Op, encode
 from repro.ocp.types import WORD_MASK
 from repro.platform import MparmPlatform, PlatformConfig
 

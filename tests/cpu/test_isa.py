@@ -103,7 +103,7 @@ class TestRoundTrip:
 
     def test_every_opcode_roundtrips_at_defaults(self):
         for op in Op:
-            fmt = OP_FORMAT[op]
+            assert op in OP_FORMAT
             instr = Instruction(op)
             assert decode(encode(instr)).op == op
 

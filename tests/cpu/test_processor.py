@@ -1,6 +1,5 @@
 """Processor execution tests on a single-core AHB platform."""
 
-import pytest
 
 from repro.platform import MparmPlatform, PlatformConfig, SEM_BASE, SHARED_BASE
 

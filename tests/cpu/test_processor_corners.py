@@ -1,6 +1,5 @@
 """Processor corner cases: signed flags, shifts, subroutines, fetch paths."""
 
-import pytest
 
 from repro.platform import MparmPlatform, PlatformConfig, SHARED_BASE
 

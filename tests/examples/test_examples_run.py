@@ -7,8 +7,6 @@ equivalents instead.
 """
 
 import importlib.util
-import os
-import sys
 from pathlib import Path
 
 import pytest
@@ -23,6 +21,7 @@ FAST_EXAMPLES = [
     "handwritten_tg",
     "multitask_consolidation",
     "noc_debugging",
+    "fault_injection",
 ]
 
 

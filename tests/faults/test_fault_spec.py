@@ -1,0 +1,153 @@
+"""FaultSpec parsing and validation."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultSpec,
+    FaultSpecError,
+    LinkFaultRule,
+    SemaphoreFaultRule,
+    SlaveErrorRule,
+)
+
+pytestmark = pytest.mark.faults
+
+FULL_SPEC = {
+    "slave_errors": [
+        {"slave": "shared", "nth": 7},
+        {"base": 0x1900_0000, "size": 0x100, "probability": 0.25,
+         "reads_only": False, "max_faults": 3},
+    ],
+    "link_faults": [
+        {"fabric": "ahb", "jitter": 2},
+        {"stall_probability": 0.1, "stall_cycles": 20},
+    ],
+    "semaphore_faults": [
+        {"drop_probability": 0.5, "max_drops": 1},
+        {"delay_probability": 1.0, "delay_cycles": 40},
+    ],
+}
+
+
+class TestParsing:
+    def test_from_dict_full(self):
+        spec = FaultSpec.from_dict(FULL_SPEC)
+        assert len(spec.slave_errors) == 2
+        assert len(spec.link_faults) == 2
+        assert len(spec.semaphore_faults) == 2
+        assert not spec.empty
+
+    def test_from_json_round_trip(self):
+        spec = FaultSpec.from_json(json.dumps(FULL_SPEC))
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(FULL_SPEC))
+        spec = FaultSpec.load(str(path))
+        assert len(spec.slave_errors) == 2
+
+    def test_empty_spec(self):
+        spec = FaultSpec.from_dict({})
+        assert spec.empty
+        assert spec.to_dict() == {"slave_errors": [], "link_faults": [],
+                                  "semaphore_faults": []}
+
+    def test_defaults(self):
+        rule = SlaveErrorRule.from_dict({"nth": 3})
+        assert rule.slave is None and rule.base is None
+        assert rule.reads_only is True and rule.max_faults is None
+
+
+class TestRejection:
+    def test_not_a_dict(self):
+        with pytest.raises(FaultSpecError, match="must be a dict"):
+            FaultSpec.from_dict(["nope"])
+
+    def test_bad_json(self):
+        with pytest.raises(FaultSpecError, match="not valid JSON"):
+            FaultSpec.from_json("{nope")
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(FaultSpecError, match="unknown key"):
+            FaultSpec.from_dict({"slave_error": []})  # typo: missing 's'
+
+    def test_unknown_rule_key(self):
+        with pytest.raises(FaultSpecError, match="unknown key"):
+            SlaveErrorRule.from_dict({"nth": 1, "probabillity": 0.5})
+
+    def test_rules_must_be_lists(self):
+        with pytest.raises(FaultSpecError, match="must be a list"):
+            FaultSpec.from_dict({"slave_errors": {"nth": 1}})
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.5, "high", None])
+    def test_probability_out_of_range(self, probability):
+        with pytest.raises(FaultSpecError):
+            SlaveErrorRule(probability=probability)
+
+    def test_base_without_size(self):
+        with pytest.raises(FaultSpecError, match="both base and size"):
+            SlaveErrorRule(base=0x100, nth=1)
+
+    def test_size_without_base(self):
+        with pytest.raises(FaultSpecError, match="both base and size"):
+            SlaveErrorRule(size=0x100, nth=1)
+
+    def test_negative_size(self):
+        with pytest.raises(FaultSpecError, match="size"):
+            SlaveErrorRule(base=0x100, size=0, nth=1)
+
+    def test_never_firing_slave_rule(self):
+        with pytest.raises(FaultSpecError, match="never fire"):
+            SlaveErrorRule(slave="shared")
+
+    def test_never_firing_link_rule(self):
+        with pytest.raises(FaultSpecError, match="never fire"):
+            LinkFaultRule(fabric="ahb")
+
+    def test_stall_probability_without_cycles(self):
+        with pytest.raises(FaultSpecError, match="stall_cycles"):
+            LinkFaultRule(stall_probability=0.5)
+
+    def test_never_firing_semaphore_rule(self):
+        with pytest.raises(FaultSpecError, match="never fire"):
+            SemaphoreFaultRule()
+
+    def test_delay_probability_without_cycles(self):
+        with pytest.raises(FaultSpecError, match="delay_cycles"):
+            SemaphoreFaultRule(delay_probability=0.5)
+
+    @pytest.mark.parametrize("nth", [0, -1, 2.5, True])
+    def test_bad_nth(self, nth):
+        with pytest.raises(FaultSpecError):
+            SlaveErrorRule(nth=nth)
+
+
+class TestMatching:
+    def test_slave_name_filter(self):
+        rule = SlaveErrorRule(slave="shared", nth=1)
+        assert rule.matches("shared", 0x0, True)
+        assert not rule.matches("priv0", 0x0, True)
+
+    def test_address_window(self):
+        rule = SlaveErrorRule(base=0x100, size=0x10, nth=1)
+        assert rule.matches("any", 0x100, True)
+        assert rule.matches("any", 0x10F, True)
+        assert not rule.matches("any", 0x110, True)
+        assert not rule.matches("any", 0xFF, True)
+
+    def test_reads_only(self):
+        rule = SlaveErrorRule(nth=1)
+        assert rule.matches("any", 0x0, True)
+        assert not rule.matches("any", 0x0, False)
+        both = SlaveErrorRule(nth=1, reads_only=False)
+        assert both.matches("any", 0x0, False)
+
+    def test_link_fabric_filter(self):
+        rule = LinkFaultRule(fabric="xpipes", jitter=1)
+        assert rule.matches("xpipes")
+        assert not rule.matches("ahb")
+        assert LinkFaultRule(jitter=1).matches("anything")

@@ -1,0 +1,147 @@
+"""FaultInjector decision logic and seed determinism."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.ocp.types import OCPCommand, Request
+
+pytestmark = pytest.mark.faults
+
+
+def read(addr=0x0):
+    return Request(OCPCommand.READ, addr)
+
+
+def write(addr=0x0):
+    return Request(OCPCommand.WRITE, addr, 0)
+
+
+class TestSlaveErrors:
+    def test_nth_fires_deterministically(self):
+        spec = FaultSpec.from_dict({"slave_errors": [{"nth": 3}]})
+        injector = FaultInjector(spec, seed=0)
+        fired = [injector.slave_error("mem", read()) for _ in range(9)]
+        assert fired == [False, False, True] * 3
+        assert injector.counters["slave_errors_injected"] == 3
+
+    def test_reads_only_skips_writes(self):
+        spec = FaultSpec.from_dict({"slave_errors": [{"nth": 1}]})
+        injector = FaultInjector(spec, seed=0)
+        assert not injector.slave_error("mem", write())
+        assert injector.slave_error("mem", read())
+
+    def test_slave_filter(self):
+        spec = FaultSpec.from_dict(
+            {"slave_errors": [{"slave": "shared", "nth": 1}]})
+        injector = FaultInjector(spec, seed=0)
+        assert not injector.slave_error("priv0", read())
+        assert injector.slave_error("shared", read())
+
+    def test_max_faults_caps_injection(self):
+        spec = FaultSpec.from_dict(
+            {"slave_errors": [{"nth": 1, "max_faults": 2}]})
+        injector = FaultInjector(spec, seed=0)
+        fired = [injector.slave_error("mem", read()) for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert injector.counters["slave_errors_injected"] == 2
+
+    def test_probability_extremes(self):
+        never = FaultInjector(FaultSpec.from_dict(
+            {"slave_errors": [{"probability": 1e-12}]}), seed=0)
+        always = FaultInjector(FaultSpec.from_dict(
+            {"slave_errors": [{"probability": 1.0}]}), seed=0)
+        assert sum(always.slave_error("m", read()) for _ in range(50)) == 50
+        assert sum(never.slave_error("m", read()) for _ in range(50)) == 0
+
+
+class TestLinkFaults:
+    SPEC = {"link_faults": [{"fabric": "ahb", "jitter": 3,
+                             "stall_probability": 0.2, "stall_cycles": 10}]}
+
+    def test_fabric_filter(self):
+        injector = FaultInjector(FaultSpec.from_dict(self.SPEC), seed=1)
+        assert injector.hop_delay("xpipes") == 0
+        assert injector.counters["hop_faults_injected"] == 0
+
+    def test_delays_accounted(self):
+        injector = FaultInjector(FaultSpec.from_dict(self.SPEC), seed=1)
+        total = sum(injector.hop_delay("ahb") for _ in range(200))
+        assert total == injector.counters["hop_delay_cycles"]
+        assert injector.counters["hop_faults_injected"] > 0
+        assert injector.counters["hop_stalls_injected"] > 0
+
+    def test_max_faults_caps_perturbation(self):
+        spec = FaultSpec.from_dict(
+            {"link_faults": [{"jitter": 3, "max_faults": 4}]})
+        injector = FaultInjector(spec, seed=1)
+        for _ in range(100):
+            injector.hop_delay("any")
+        assert injector.counters["hop_faults_injected"] == 4
+
+
+class TestSemaphoreFaults:
+    def test_drop_capped_by_max_drops(self):
+        spec = FaultSpec.from_dict(
+            {"semaphore_faults": [{"drop_probability": 1.0, "max_drops": 2}]})
+        injector = FaultInjector(spec, seed=0)
+        fates = [injector.semaphore_release(0) for _ in range(5)]
+        assert fates == [(True, 0), (True, 0)] + [(False, 0)] * 3
+        assert injector.counters["sem_drops_injected"] == 2
+
+    def test_delay(self):
+        spec = FaultSpec.from_dict(
+            {"semaphore_faults": [{"delay_probability": 1.0,
+                                   "delay_cycles": 25}]})
+        injector = FaultInjector(spec, seed=0)
+        assert injector.semaphore_release(0) == (False, 25)
+        assert injector.counters["sem_delays_injected"] == 1
+
+
+MIXED = {
+    "slave_errors": [{"probability": 0.3}],
+    "link_faults": [{"jitter": 2}],
+    "semaphore_faults": [{"drop_probability": 0.4, "max_drops": None}],
+}
+
+
+def drive(injector, n=300):
+    """A fixed query sequence; returns every decision made."""
+    decisions = []
+    for i in range(n):
+        decisions.append(injector.slave_error("mem", read(i * 4)))
+        decisions.append(injector.hop_delay("bus"))
+        decisions.append(injector.semaphore_release(i % 8))
+    return decisions
+
+
+class TestDeterminism:
+    def test_same_seed_identical_decisions(self):
+        spec = FaultSpec.from_dict(MIXED)
+        first = FaultInjector(spec, seed=42)
+        second = FaultInjector(spec, seed=42)
+        assert drive(first) == drive(second)
+        assert first.counters == second.counters
+
+    def test_different_seeds_diverge(self):
+        spec = FaultSpec.from_dict(MIXED)
+        a = FaultInjector(spec, seed=1)
+        b = FaultInjector(spec, seed=2)
+        assert drive(a) != drive(b)
+
+    def test_global_rng_not_consumed(self):
+        import random
+        random.seed(1234)
+        before = random.random()
+        random.seed(1234)
+        injector = FaultInjector(FaultSpec.from_dict(MIXED), seed=7)
+        drive(injector)
+        assert random.random() == before
+
+    def test_faults_injected_totals(self):
+        injector = FaultInjector(FaultSpec.from_dict(MIXED), seed=42)
+        drive(injector)
+        c = injector.counters
+        assert injector.faults_injected == (
+            c["slave_errors_injected"] + c["hop_faults_injected"]
+            + c["sem_drops_injected"] + c["sem_delays_injected"])
+        assert injector.faults_injected > 0

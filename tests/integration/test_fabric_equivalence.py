@@ -6,7 +6,6 @@ on every fabric.  This is the substrate-level counterpart of the paper's
 claim that the interconnect can be swapped under an unchanged master.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 import sys

@@ -6,7 +6,6 @@
     until M1's unlocking write propagates.
 """
 
-import pytest
 
 from repro.kernel import Simulator
 from repro.interconnect import AddressMap, AmbaAhbBus

@@ -5,9 +5,7 @@ different arbitration, different cache geometry, different slave speeds —
 because the translator only relies on the OCP-boundary contract.
 """
 
-import pytest
 
-from repro.core import TGProgram
 from repro.apps import des, mp_matrix
 from repro.cpu.cache import CacheConfig
 from repro.harness import tg_flow

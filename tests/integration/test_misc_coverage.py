@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cpu.core_ip import CoreIP
-from repro.kernel import Simulator
 from repro.kernel.simulator import CYCLE_NS
 from repro.ocp.types import OCPCommand, Request
 from repro.platform import MparmPlatform, PlatformConfig
@@ -28,7 +27,6 @@ class TestCoreIP:
 
 class TestTraceCollectorUnits:
     def test_timestamps_in_nanoseconds(self):
-        sim = Simulator()
         collector = TraceCollector(master_id=3)
         request = Request(OCPCommand.WRITE, 0x100, 7)
         collector.on_request(11, request)

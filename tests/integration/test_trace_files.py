@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps import mp_matrix
 from repro.apps.common import pollable_ranges
-from repro.core import TGMaster, parse_tgp
+from repro.core import parse_tgp
 from repro.core.assembler import assemble_binary, disassemble_binary
 from repro.harness import build_tg_platform, reference_run
 from repro.trace import Translator, TranslatorOptions, parse_trc

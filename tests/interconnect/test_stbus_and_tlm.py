@@ -3,7 +3,6 @@
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from helpers import MEM_BASE, MEM2_BASE, TinySystem

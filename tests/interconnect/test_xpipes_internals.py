@@ -3,12 +3,10 @@
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from helpers import MEM_BASE, MEM2_BASE, TinySystem
 
-from repro.kernel import Simulator
 from repro.interconnect.xpipes import Flit, Packet
 from repro.ocp import OCPCommand, Request
 

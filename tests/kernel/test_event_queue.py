@@ -1,6 +1,5 @@
 """Unit tests for the event queue ordering guarantees."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.kernel.event import EventQueue

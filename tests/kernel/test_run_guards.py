@@ -1,0 +1,116 @@
+"""Run-loop guard rails: deadlock gating, blocked-on reporting, and the
+cancellable timeout (no leaked events when a waiter dies early)."""
+
+import pytest
+
+from repro.kernel import DeadlockError, Simulator, TimeoutSignal
+from repro.kernel.simulator import timeout
+
+
+def waiter_on(sim, signal, name="waiter"):
+    def body():
+        yield signal
+    return sim.spawn(body(), name=name)
+
+
+class TestDeadlockGating:
+    def test_true_drain_reports_deadlock(self):
+        sim = Simulator()
+        sig = sim.signal("never_notified")
+        waiter_on(sim, sig)
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(check_deadlock=True)
+        # the report names the blocked process AND what it waits on
+        assert "waiter" in str(excinfo.value)
+        assert "never_notified" in str(excinfo.value)
+
+    def test_until_stop_is_not_a_deadlock(self):
+        """Work still queued past ``until`` must not be called a deadlock."""
+        sim = Simulator()
+        waiter_on(sim, sim.signal("pending"))
+        sim.schedule_at(100, lambda: None)
+        assert sim.run(until=50, check_deadlock=True) == 50
+
+    def test_max_events_stop_is_not_a_deadlock(self):
+        sim = Simulator()
+        waiter_on(sim, sim.signal("pending"))
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        sim.run(max_events=2, check_deadlock=True)  # must not raise
+
+    def test_drain_without_processes_is_clean(self):
+        sim = Simulator()
+        sim.schedule_at(5, lambda: None)
+        assert sim.run(check_deadlock=True) == 5
+
+    def test_blocked_report_formats(self):
+        sim = Simulator()
+        waiter_on(sim, sim.signal("sigA"), name="procA")
+        sim.run(until=0)
+        report = sim.blocked_report()
+        assert "procA (on sigA)" in report
+        assert Simulator().blocked_report() == "(none)"
+
+
+class TestCancellableTimeout:
+    def test_timeout_fires_normally(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            yield timeout(sim, 40)
+            times.append(sim.now)
+
+        sim.spawn(body())
+        assert sim.run() == 40
+        assert times == [40]
+
+    def test_killed_waiter_cancels_pending_timeout(self):
+        """The satellite bug: a killed waiter used to leave the timeout
+        event in the queue, dragging the run out to the full deadline."""
+        sim = Simulator()
+        sig = timeout(sim, 1000)
+        proc = waiter_on(sim, sig)
+        sim.run(until=1)
+        proc.kill()
+        # the backing event is cancelled, so the queue is now empty and the
+        # clock must NOT advance to 1000
+        assert sim.run() == 1
+        assert sig.event is None or sig.event.cancelled
+
+    def test_explicit_cancel(self):
+        sim = Simulator()
+        sig = timeout(sim, 30)
+        fired = []
+        sim.spawn(self._recorder(sig, fired))
+        sig.cancel()
+        assert sim.run() == 0
+        assert fired == []
+
+    @staticmethod
+    def _recorder(sig, fired):
+        def body():
+            yield sig
+            fired.append(True)
+        return body()
+
+    def test_shared_timeout_survives_one_leaver(self):
+        """Cancel-on-empty must only trigger when the LAST waiter leaves."""
+        sim = Simulator()
+        sig = timeout(sim, 60)
+        leaver = waiter_on(sim, sig, name="leaver")
+        stayer_done = []
+
+        def stayer():
+            yield sig
+            stayer_done.append(sim.now)
+
+        sim.spawn(stayer(), name="stayer")
+        sim.run(until=1)
+        leaver.kill()
+        assert sim.run() == 60          # still fires for the stayer
+        assert stayer_done == [60]
+
+    def test_is_a_timeout_signal(self):
+        sim = Simulator()
+        assert isinstance(timeout(sim, 5), TimeoutSignal)

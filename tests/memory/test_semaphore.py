@@ -1,6 +1,5 @@
 """Unit tests for the semaphore bank and barrier device."""
 
-import pytest
 
 from repro.kernel import Simulator
 from repro.memory import BarrierDevice, SemaphoreBank, SlaveTimings

@@ -12,7 +12,7 @@ from repro.ocp import (
     OCPSlavePort,
     RecordingMonitor,
 )
-from repro.ocp.types import OCPCommand, Request, Response
+from repro.ocp.types import OCPCommand, Request
 
 
 class _DirectFabric:

@@ -1,6 +1,5 @@
 """Trace-comparison (drift analysis) tests."""
 
-import pytest
 
 from repro.ocp.types import OCPCommand
 from repro.stats import collapse_polls, compare_traces, drift_report

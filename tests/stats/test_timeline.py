@@ -1,6 +1,5 @@
 """ASCII timeline renderer tests."""
 
-import pytest
 
 from repro.ocp.types import OCPCommand
 from repro.stats import lanes_from_collectors, render_timeline

@@ -1,8 +1,6 @@
 """VCD export tests: structure, monotonic timestamps, real traces."""
 
-import re
 
-import pytest
 
 from repro.ocp.types import OCPCommand
 from repro.stats import export_vcd

@@ -1,7 +1,6 @@
 """Packaging metadata sanity: pyproject entries resolve to real code."""
 
 import importlib
-import sys
 import tomllib
 from pathlib import Path
 

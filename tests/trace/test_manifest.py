@@ -1,7 +1,6 @@
 """Trace-set directory format tests."""
 
 import json
-import os
 
 import pytest
 

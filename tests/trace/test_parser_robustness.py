@@ -6,7 +6,6 @@ or UnicodeError escapes.  Mutation fuzzing of *valid* inputs hunts the
 interesting middle ground.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import TGError, parse_tgp

@@ -7,9 +7,8 @@ two acquisitions.  A merged loop would exit on the first success and
 drop the second acquisition, breaking mutual exclusion in the TG system.
 """
 
-import pytest
 
-from repro.core import Cond, TGInstruction, TGMaster, TGOp
+from repro.core import TGInstruction, TGMaster, TGOp
 from repro.ocp.types import OCPCommand
 from repro.platform import MparmPlatform, PlatformConfig, SEM_BASE
 from repro.trace import Translator, TranslatorOptions

@@ -1,9 +1,8 @@
 """Translator unit tests, including the Figure 3 walk-through."""
 
-import pytest
 
 from repro.core import Cond, ReplayMode, TGOp
-from repro.core.isa import ADDRREG, DATAREG, RDREG, TEMPREG
+from repro.core.isa import ADDRREG, RDREG, TEMPREG
 from repro.ocp.types import OCPCommand
 from repro.trace import Phase, TraceEvent, Translator, TranslatorOptions
 from repro.trace.events import Transaction

@@ -1,6 +1,5 @@
 """Translator edge cases: cluster boundaries, interleaved refills, modes."""
 
-import pytest
 
 from repro.core import ReplayMode, TGOp
 from repro.ocp.types import OCPCommand

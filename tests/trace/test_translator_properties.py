@@ -7,7 +7,6 @@ gaps can absorb the setup overhead, the reconstructed request times must
 equal the original trace exactly — that is the whole accuracy argument.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import TGOp
