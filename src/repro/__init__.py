@@ -30,12 +30,14 @@ Package map (see docs/ARCHITECTURE.md):
 =====================  ==============================================
 """
 
+# defined before the subpackage imports so modules imported below (e.g.
+# repro.harness.cache) can read it during package initialisation
+__version__ = "1.0.0"
+
 from repro.core import TGMaster, TGProgram, parse_tgp
 from repro.harness import reference_run, tg_flow, translate_traces
 from repro.platform import MparmPlatform, PlatformConfig
 from repro.trace import TraceCollector, Translator, collect_traces
-
-__version__ = "1.0.0"
 
 __all__ = [
     "MparmPlatform",

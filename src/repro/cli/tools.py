@@ -161,7 +161,15 @@ def trace_stats_main(argv: Optional[List[str]] = None) -> int:
 # ----------------------------------------------------------------- sweep
 
 def sweep_main(argv: Optional[List[str]] = None) -> int:
-    """Run a grid of TG-flow experiments described by a JSON spec."""
+    """Run a grid of TG-flow experiments described by a JSON spec.
+
+    Grid points fan out over a process pool and consult an on-disk
+    result cache first, so re-running an unchanged sweep performs zero
+    simulations (see docs/SWEEPS.md).  Exit status is 1 when any grid
+    point failed, 0 otherwise.
+    """
+    import time as time_module
+
     parser = argparse.ArgumentParser(
         prog="repro-sweep",
         description="Run a sweep of reference+TG experiments from a "
@@ -169,19 +177,59 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("spec", help="JSON sweep specification file")
     parser.add_argument("--csv", metavar="FILE",
                         help="also write results as CSV")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        metavar="N",
+                        help="worker processes (default: all CPUs; "
+                             "1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; neither read nor write "
+                             "the result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock budget; slower grid "
+                             "points are marked failed")
     args = parser.parse_args(argv)
 
-    from repro.harness import SweepSpec, run_sweep, sweep_csv, sweep_table
+    from repro.harness import (
+        ResultCache,
+        SweepSpec,
+        default_cache_dir,
+        run_sweep_parallel,
+        sweep_csv,
+        sweep_table,
+    )
     with open(args.spec) as handle:
         spec = SweepSpec.from_dict(json.load(handle))
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
     print(f"running {spec.points} grid point(s)...", file=sys.stderr)
-    results = run_sweep(spec)
+    start = time_module.perf_counter()
+    results = run_sweep_parallel(
+        spec, jobs=args.jobs, cache=cache, point_timeout_s=args.timeout,
+        progress=lambda line: print(line, file=sys.stderr))
+    wall = time_module.perf_counter() - start
     print(sweep_table(results, title=f"Sweep: {spec.benchmark}"))
+    simulated = sum(1 for r in results
+                    if not r.cached and r.status == "ok")
+    cached = sum(1 for r in results if r.cached)
+    failed = sum(1 for r in results if r.status != "ok")
+    print(f"[sweep] {len(results)} point(s): {simulated} simulated, "
+          f"{cached} cached, {failed} failed in {wall:.1f}s",
+          file=sys.stderr)
+    for result in results:
+        if result.status != "ok" and result.traceback:
+            print(f"--- FAILED {result.benchmark} {result.n_cores}P "
+                  f"{result.interconnect}/{result.mode.value} ---\n"
+                  f"{result.traceback}", file=sys.stderr)
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(sweep_csv(results))
         print(f"wrote {args.csv}", file=sys.stderr)
-    return 0
+    return 1 if failed else 0
 
 
 # -------------------------------------------------------------- traceset

@@ -23,6 +23,13 @@ from repro.harness.experiments import (
     tg_flow,
     translate_traces,
 )
+from repro.harness.cache import ResultCache, default_cache_dir, point_cache_key
+from repro.harness.parallel import (
+    PointResult,
+    SweepPoint,
+    expand_grid,
+    run_sweep_parallel,
+)
 from repro.harness.sweep import (
     SweepSpec,
     run_sweep,
@@ -31,7 +38,14 @@ from repro.harness.sweep import (
 )
 
 __all__ = [
+    "PointResult",
+    "ResultCache",
+    "SweepPoint",
     "SweepSpec",
+    "default_cache_dir",
+    "expand_grid",
+    "point_cache_key",
+    "run_sweep_parallel",
     "TGFlowResult",
     "build_testchip_platform",
     "build_tg_platform",

@@ -1,0 +1,142 @@
+"""On-disk result cache for sweep grid points.
+
+Design-space exploration re-runs "the same set of simulations for each
+design alternative"; most of those simulations are *identical* between
+sweep invocations.  The cache makes a re-run of an unchanged sweep free:
+each grid point's scalar result is stored as one JSON file, keyed by a
+content hash of everything that determines the simulation's outcome.
+
+The cache key is the SHA-256 of the canonical (sorted, compact) JSON of:
+
+* ``benchmark`` — the app name (``sp_matrix`` | ``cacheloop`` | ...);
+* ``n_cores`` — the master count of the grid point;
+* ``interconnect`` — the fabric name;
+* ``mode`` — the replay-mode name (``reactive`` | ``cloning`` | ...);
+* ``app_params`` — the benchmark parameter dict;
+* ``fault_spec`` — the normalised fault-specification dict (or null);
+* ``fault_seed`` — the fault injector's RNG seed;
+* ``version`` — the ``repro`` package version, so upgrading the
+  simulator invalidates every cached result.
+
+Because the simulator is fully deterministic, two runs with equal keys
+produce equal cycle counts — only the wall-time columns of a cached row
+are historical (they report the run that populated the cache).
+
+Entries are written atomically (temp file + ``os.replace``), and any
+unreadable or malformed entry is treated as a miss, never an error.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["ResultCache", "default_cache_dir", "point_cache_key",
+           "repro_version"]
+
+
+def repro_version() -> str:
+    """The installed ``repro`` version (part of every cache key)."""
+    from repro import __version__
+    return __version__
+
+
+def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
+                    mode: str, app_params: Optional[Dict] = None,
+                    fault_spec: Optional[Dict] = None, fault_seed: int = 0,
+                    version: Optional[str] = None) -> str:
+    """Content hash identifying one grid point's simulation outcome."""
+    provenance = {
+        "benchmark": benchmark,
+        "n_cores": n_cores,
+        "interconnect": interconnect,
+        "mode": mode,
+        "app_params": app_params or {},
+        "fault_spec": fault_spec,
+        "fault_seed": fault_seed,
+        "version": version if version is not None else repro_version(),
+    }
+    blob = json.dumps(provenance, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro" / "sweeps"
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` sweep-point results."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached result summary for ``key``, or None on a miss.
+
+        Corrupted, truncated, or otherwise unreadable entries are misses.
+        """
+        try:
+            with open(self.path_for(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("result"), dict):
+            return None
+        return entry["result"]
+
+    def put(self, key: str, result: Dict,
+            provenance: Optional[Dict] = None) -> None:
+        """Store a result summary atomically under ``key``.
+
+        ``provenance`` (the pre-hash key material) is stored alongside the
+        result so a human can read *what* an entry describes.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "result": result}
+        if provenance is not None:
+            entry["provenance"] = provenance
+        fd, tmp_path = tempfile.mkstemp(dir=str(self.directory),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"<ResultCache {self.directory} entries={len(self)}>"

@@ -30,6 +30,28 @@ class TGFlowResult:
         self.ref_platform: Optional[MparmPlatform] = None
         self.tg_platform: Optional[MparmPlatform] = None
 
+    def summary(self) -> Dict[str, object]:
+        """Picklable scalar view of the result (no platforms/programs).
+
+        This is what parallel sweep workers ship back to the parent process
+        and what the on-disk result cache stores: every Table-2 number plus
+        the provenance fields that identify the configuration, without the
+        heavyweight simulation objects (which are neither picklable nor
+        worth serialising).
+        """
+        return {
+            "benchmark": self.benchmark,
+            "n_cores": self.n_cores,
+            "interconnect": self.interconnect,
+            "mode": self.mode.value,
+            "ref_cycles": self.ref_cycles,
+            "tg_cycles": self.tg_cycles,
+            "ref_wall": self.ref_wall,
+            "tg_wall": self.tg_wall,
+            "ref_events": self.ref_events,
+            "tg_events": self.tg_events,
+        }
+
     @property
     def error(self) -> float:
         """Relative cycle error, Table 2's "Error" column."""

@@ -1,0 +1,325 @@
+"""Parallel, cached execution of sweep grids.
+
+The paper's economics argument — trace once, then evaluate every design
+alternative cheaply — only pays off if the *batch* of evaluations is
+cheap too.  This module fans the grid points of a
+:class:`~repro.harness.sweep.SweepSpec` out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and consults an
+on-disk :class:`~repro.harness.cache.ResultCache` first, so a re-run of
+an unchanged sweep performs zero simulations.
+
+Execution contract:
+
+* **Deterministic assembly** — results always come back in grid order
+  (fabric-major, then mode, then core count), regardless of which worker
+  finished first.  The simulator itself is deterministic, so cycle
+  counts are identical between serial and parallel runs; only wall-time
+  columns differ.
+* **Crash isolation** — an exception inside a grid point (including a
+  worker process dying) marks *that point* failed, with its traceback
+  attached; the sweep always returns one row per point.
+* **Per-point timeout** — a point still outstanding after
+  ``point_timeout_s`` (measured from submission) is marked failed; its
+  worker is abandoned, never joined mid-simulation.
+* **Progress** — an optional callback receives ``k/N done`` lines with
+  cached/failed counts and an ETA extrapolated from completed points.
+
+``jobs=1`` runs the same engine in-process (no pool), which is also the
+fallback for single-point grids.
+"""
+
+import copy
+import os
+import time
+import traceback as traceback_module
+from concurrent import futures as cf
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.modes import ReplayMode
+from repro.harness.cache import ResultCache, point_cache_key, repro_version
+from repro.harness.sweep import SweepSpec, _resolve_app
+
+__all__ = ["PointResult", "SweepPoint", "expand_grid",
+           "run_sweep_parallel"]
+
+#: Test-only knob: every worker sleeps this many seconds before
+#: simulating (set the env var in tests to exercise the timeout path).
+_TEST_SLEEP_ENV = "REPRO_SWEEP_TEST_SLEEP_S"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point, as plain picklable data (no app modules)."""
+
+    index: int
+    benchmark: str
+    n_cores: int
+    interconnect: str
+    mode: str                      # ReplayMode.value, JSON-friendly
+    app_params: Dict = field(default_factory=dict)
+    fault_spec: Optional[Dict] = None
+    fault_seed: int = 0
+
+    def provenance(self, version: Optional[str] = None) -> Dict:
+        """The pre-hash cache-key material (human-readable)."""
+        return {
+            "benchmark": self.benchmark,
+            "n_cores": self.n_cores,
+            "interconnect": self.interconnect,
+            "mode": self.mode,
+            "app_params": self.app_params,
+            "fault_spec": self.fault_spec,
+            "fault_seed": self.fault_seed,
+            "version": version if version is not None else repro_version(),
+        }
+
+    def cache_key(self, version: Optional[str] = None) -> str:
+        return point_cache_key(
+            self.benchmark, self.n_cores, self.interconnect, self.mode,
+            self.app_params, self.fault_spec, self.fault_seed,
+            version=version)
+
+    def payload(self) -> Dict:
+        """The dict shipped to a worker process (deep-copied params)."""
+        return {
+            "benchmark": self.benchmark,
+            "n_cores": self.n_cores,
+            "interconnect": self.interconnect,
+            "mode": self.mode,
+            "app_params": copy.deepcopy(self.app_params),
+            "fault_spec": copy.deepcopy(self.fault_spec),
+            "fault_seed": self.fault_seed,
+        }
+
+
+def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
+    """Grid points in canonical sweep order (fabric → mode → cores).
+
+    The order matches :func:`repro.harness.sweep.run_sweep`, so serial
+    and parallel sweeps render identical tables.  Every point gets its
+    own deep copy of the app params.
+    """
+    points: List[SweepPoint] = []
+    for interconnect in spec.interconnects:
+        for mode in spec.modes:
+            for n_cores in spec.cores:
+                points.append(SweepPoint(
+                    index=len(points), benchmark=spec.benchmark,
+                    n_cores=n_cores, interconnect=interconnect,
+                    mode=mode.value,
+                    app_params=copy.deepcopy(spec.app_params),
+                    fault_spec=copy.deepcopy(spec.fault_spec),
+                    fault_seed=spec.fault_seed))
+    return points
+
+
+class PointResult:
+    """Picklable outcome of one grid point.
+
+    Mirrors the scalar fields and derived columns of
+    :class:`~repro.harness.experiments.TGFlowResult` (so the
+    ``sweep_table``/``sweep_csv`` renderers accept either), plus the
+    execution metadata parallel sweeps need: ``status`` (``"ok"`` or
+    ``"failed"``), the failure ``traceback``, whether the row was served
+    from ``cached`` results, and the ``cache_key`` it lives under.
+    """
+
+    def __init__(self, benchmark: str, n_cores: int, interconnect: str,
+                 mode: ReplayMode):
+        self.benchmark = benchmark
+        self.n_cores = n_cores
+        self.interconnect = interconnect
+        self.mode = mode
+        self.ref_cycles = 0
+        self.tg_cycles = 0
+        self.ref_wall = 0.0
+        self.tg_wall = 0.0
+        self.ref_events = 0
+        self.tg_events = 0
+        self.status = "ok"
+        self.traceback: Optional[str] = None
+        self.cached = False
+        self.cache_key: Optional[str] = None
+
+    @classmethod
+    def from_summary(cls, point: SweepPoint, summary: Dict,
+                     cached: bool = False,
+                     cache_key: Optional[str] = None) -> "PointResult":
+        result = cls(point.benchmark, point.n_cores, point.interconnect,
+                     ReplayMode.from_name(point.mode))
+        result.status = summary.get("status", "ok")
+        result.traceback = summary.get("traceback")
+        for name in ("ref_cycles", "tg_cycles", "ref_wall", "tg_wall",
+                     "ref_events", "tg_events"):
+            if name in summary:
+                setattr(result, name, summary[name])
+        result.cached = cached
+        result.cache_key = cache_key
+        return result
+
+    @property
+    def error(self) -> float:
+        if self.ref_cycles == 0:
+            return 0.0
+        return abs(self.tg_cycles - self.ref_cycles) / self.ref_cycles
+
+    @property
+    def gain(self) -> float:
+        return self.ref_wall / self.tg_wall if self.tg_wall > 0 else 0.0
+
+    @property
+    def event_gain(self) -> float:
+        return self.ref_events / self.tg_events if self.tg_events else 0.0
+
+    def __repr__(self) -> str:
+        flags = " cached" if self.cached else ""
+        return (f"<PointResult {self.benchmark} {self.n_cores}P "
+                f"{self.interconnect} {self.status}{flags}>")
+
+
+def _execute_point(payload: Dict) -> Dict:
+    """Worker body: run one grid point, return a picklable summary.
+
+    Runs in a pool worker (or in-process for ``jobs=1``).  All failures
+    are folded into a ``{"status": "failed"}`` summary so an exploding
+    grid point cannot take the pool down with it.
+    """
+    sleep_s = float(os.environ.get(_TEST_SLEEP_ENV, "0") or 0.0)
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    try:
+        from repro.harness.experiments import tg_flow
+        app = _resolve_app(payload["benchmark"])
+        result = tg_flow(
+            app, payload["n_cores"],
+            interconnect=payload["interconnect"],
+            mode=ReplayMode.from_name(payload["mode"]),
+            app_params=payload["app_params"] or None,
+            fault_spec=payload.get("fault_spec"),
+            fault_seed=payload.get("fault_seed", 0))
+        summary = result.summary()
+        summary["status"] = "ok"
+        return summary
+    except Exception:
+        return {"status": "failed",
+                "traceback": traceback_module.format_exc()}
+
+
+def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
+                       cache: Optional[ResultCache] = None,
+                       point_timeout_s: Optional[float] = None,
+                       progress: Optional[Callable[[str], None]] = None,
+                       ) -> List[PointResult]:
+    """Run a sweep grid over a worker pool, consulting ``cache`` first.
+
+    Args:
+        spec: The validated sweep description.
+        jobs: Worker processes (default: ``os.cpu_count()``); ``1`` runs
+            in-process with identical semantics.
+        cache: Optional :class:`ResultCache`; hits skip simulation, and
+            fresh ``ok`` results are stored back.
+        point_timeout_s: Per-point wall-clock budget, measured from
+            submission; exceeded points are marked failed.
+        progress: Callback for human-readable progress lines.
+
+    Returns:
+        One :class:`PointResult` per grid point, in grid order.
+    """
+    points = expand_grid(spec)
+    total = len(points)
+    results: List[Optional[PointResult]] = [None] * total
+    counters = {"done": 0, "cached": 0, "failed": 0}
+    walls: List[float] = []
+    if jobs is None or jobs < 1:
+        jobs = os.cpu_count() or 1
+
+    def emit() -> None:
+        if progress is None:
+            return
+        remaining = total - counters["done"]
+        if remaining and walls:
+            lanes = max(1, min(jobs, remaining))
+            eta = f"{sum(walls) / len(walls) * remaining / lanes:.1f}s"
+        else:
+            eta = "0s" if not remaining else "?"
+        progress(f"[sweep] {counters['done']}/{total} done "
+                 f"({counters['cached']} cached, "
+                 f"{counters['failed']} failed), ETA {eta}")
+
+    def finish(point: SweepPoint, key: Optional[str], summary: Dict,
+               wall: Optional[float] = None) -> None:
+        result = PointResult.from_summary(point, summary, cached=False,
+                                          cache_key=key)
+        if result.status == "ok":
+            if wall is not None:
+                walls.append(wall)
+            if cache is not None and key is not None:
+                cache.put(key, summary, provenance=point.provenance())
+        else:
+            counters["failed"] += 1
+        results[point.index] = result
+        counters["done"] += 1
+        emit()
+
+    pending: List[tuple] = []
+    for point in points:
+        key = point.cache_key() if cache is not None else None
+        summary = cache.get(key) if cache is not None else None
+        if summary is not None:
+            results[point.index] = PointResult.from_summary(
+                point, summary, cached=True, cache_key=key)
+            counters["done"] += 1
+            counters["cached"] += 1
+            continue
+        pending.append((point, key))
+    emit()
+
+    if not pending:
+        return results            # every point served from cache
+
+    if jobs == 1 or len(pending) == 1:
+        for point, key in pending:
+            start = time.perf_counter()
+            summary = _execute_point(point.payload())
+            finish(point, key, summary,
+                   wall=time.perf_counter() - start)
+        return results
+
+    pool = cf.ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    try:
+        submitted = {}
+        for point, key in pending:
+            future = pool.submit(_execute_point, point.payload())
+            submitted[future] = (point, key, time.perf_counter())
+        waiting = set(submitted)
+        while waiting:
+            done, waiting = cf.wait(waiting, timeout=0.2,
+                                    return_when=cf.FIRST_COMPLETED)
+            for future in done:
+                point, key, started = submitted[future]
+                try:
+                    summary = future.result()
+                except Exception:
+                    # the worker process died (BrokenProcessPool, ...) —
+                    # isolate the damage to this one grid point
+                    summary = {"status": "failed",
+                               "traceback": traceback_module.format_exc()}
+                finish(point, key, summary,
+                       wall=time.perf_counter() - started)
+            if point_timeout_s is None:
+                continue
+            now = time.perf_counter()
+            for future in list(waiting):
+                point, key, started = submitted[future]
+                if now - started > point_timeout_s:
+                    future.cancel()
+                    waiting.discard(future)
+                    finish(point, key, {
+                        "status": "failed",
+                        "traceback": (
+                            f"grid point exceeded the per-point timeout "
+                            f"of {point_timeout_s:g}s")})
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results

@@ -15,11 +15,19 @@ Specs are plain dictionaries (JSON-friendly, used by ``repro-sweep``)::
       "modes": ["reactive"],
       "app_params": {"n": 8}
     }
+
+``run_sweep`` here executes the grid serially, in process, and keeps the
+full platforms around for inspection.  The scalable path — a worker pool
+with per-point crash isolation and an on-disk result cache — lives in
+:mod:`repro.harness.parallel` / :mod:`repro.harness.cache` and shares
+this module's :class:`SweepSpec` and renderers (see docs/SWEEPS.md).
 """
 
-from typing import Dict, List, Optional
+import copy
+from typing import Dict, List, Optional, Union
 
 from repro.core.modes import ReplayMode
+from repro.faults import FaultSpec
 from repro.harness.experiments import TGFlowResult, tg_flow
 from repro.stats import Table
 
@@ -34,27 +42,68 @@ def _resolve_app(name: str):
     return getattr(apps, name)
 
 
+def _validated_cores(cores: List[int]) -> List[int]:
+    """Core counts must be ints >= 1; duplicates collapse, order kept."""
+    if not cores:
+        raise ValueError("sweep needs at least one core count")
+    validated: List[int] = []
+    for value in cores:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"core counts must be integers, got {value!r}")
+        if value < 1:
+            raise ValueError(f"core counts must be >= 1, got {value}")
+        if value not in validated:
+            validated.append(value)
+    return validated
+
+
+def _deduped(values: List) -> List:
+    """Drop duplicate axis values, preserving first-seen order."""
+    unique = []
+    for value in values:
+        if value not in unique:
+            unique.append(value)
+    return unique
+
+
 class SweepSpec:
-    """A validated sweep description."""
+    """A validated sweep description.
+
+    Every axis is validated on construction: the benchmark must be one of
+    the four paper apps, core counts must be positive integers, and
+    duplicate axis values (which would double-simulate grid points) are
+    collapsed while preserving order.  An optional fault specification
+    applies to the TG run of *every* grid point (degraded-platform
+    sweeps); it participates in result cache keys.
+    """
 
     def __init__(self, benchmark: str, cores: List[int],
                  interconnects: Optional[List[str]] = None,
                  modes: Optional[List[str]] = None,
-                 app_params: Optional[Dict] = None):
+                 app_params: Optional[Dict] = None,
+                 fault_spec: Union[None, Dict, FaultSpec] = None,
+                 fault_seed: int = 0):
         self.benchmark = benchmark
         self.app = _resolve_app(benchmark)
-        if not cores:
-            raise ValueError("sweep needs at least one core count")
-        self.cores = list(cores)
-        self.interconnects = list(interconnects or ["ahb"])
-        self.modes = [ReplayMode.from_name(mode)
-                      for mode in (modes or ["reactive"])]
-        self.app_params = dict(app_params or {})
+        self.cores = _validated_cores(cores)
+        self.interconnects = _deduped(list(interconnects or ["ahb"]))
+        self.modes = _deduped([ReplayMode.from_name(mode)
+                               for mode in (modes or ["reactive"])])
+        self.app_params = copy.deepcopy(dict(app_params or {}))
+        if isinstance(fault_spec, dict):
+            fault_spec = FaultSpec.from_dict(fault_spec)
+        self.fault_spec: Optional[Dict] = (
+            fault_spec.to_dict() if isinstance(fault_spec, FaultSpec)
+            else None)
+        if isinstance(fault_seed, bool) or not isinstance(fault_seed, int):
+            raise ValueError(f"fault_seed must be an int, got {fault_seed!r}")
+        self.fault_seed = fault_seed
 
     @staticmethod
     def from_dict(data: Dict) -> "SweepSpec":
         known = {"benchmark", "cores", "interconnects", "modes",
-                 "app_params"}
+                 "app_params", "fault_spec", "fault_seed"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
@@ -63,7 +112,9 @@ class SweepSpec:
             cores=data["cores"],
             interconnects=data.get("interconnects"),
             modes=data.get("modes"),
-            app_params=data.get("app_params"))
+            app_params=data.get("app_params"),
+            fault_spec=data.get("fault_spec"),
+            fault_seed=data.get("fault_seed", 0))
 
     @property
     def points(self) -> int:
@@ -71,24 +122,46 @@ class SweepSpec:
 
 
 def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
-    """Run every grid point; returns results in grid order."""
+    """Run every grid point serially; returns results in grid order.
+
+    Each point receives its own deep copy of ``spec.app_params`` — an app
+    that mutates a nested parameter value (a list it appends to, a dict it
+    fills in) must not poison later grid points, and the spec itself stays
+    pristine for re-use.
+
+    For parallel execution with caching and crash isolation, use
+    :func:`repro.harness.parallel.run_sweep_parallel`.
+    """
     results = []
     for interconnect in spec.interconnects:
         for mode in spec.modes:
             for n_cores in spec.cores:
+                params = copy.deepcopy(spec.app_params)
                 results.append(tg_flow(
                     spec.app, n_cores, interconnect=interconnect,
-                    mode=mode, app_params=spec.app_params or None))
+                    mode=mode, app_params=params or None,
+                    fault_spec=copy.deepcopy(spec.fault_spec),
+                    fault_seed=spec.fault_seed))
     return results
 
 
-def sweep_table(results: List[TGFlowResult],
-                title: Optional[str] = None) -> str:
-    """Render sweep results as a fixed-width table."""
+def sweep_table(results: List, title: Optional[str] = None) -> str:
+    """Render sweep results as a fixed-width table.
+
+    Accepts both rich :class:`TGFlowResult` rows (serial sweeps) and the
+    picklable :class:`~repro.harness.parallel.PointResult` rows (parallel
+    and cached sweeps).  Failed grid points render as a ``FAILED`` row
+    instead of fake numbers.
+    """
     table = Table(["benchmark", "fabric", "mode", "#IPs", "ARM cycles",
                    "TG cycles", "error", "gain", "event gain"],
                   title=title)
     for result in results:
+        if getattr(result, "status", "ok") != "ok":
+            table.add_row(result.benchmark, result.interconnect,
+                          result.mode.value, f"{result.n_cores}P",
+                          "-", "-", "FAILED", "-", "-")
+            continue
         table.add_row(result.benchmark, result.interconnect,
                       result.mode.value, f"{result.n_cores}P",
                       result.ref_cycles, result.tg_cycles,
@@ -97,14 +170,19 @@ def sweep_table(results: List[TGFlowResult],
     return table.render()
 
 
-def sweep_csv(results: List[TGFlowResult]) -> str:
-    """Render sweep results as CSV text."""
+def sweep_csv(results: List) -> str:
+    """Render sweep results as CSV text.
+
+    The trailing ``status`` column is ``ok`` or ``failed``; failed rows
+    carry zeros in the numeric columns.
+    """
     lines = ["benchmark,interconnect,mode,n_cores,ref_cycles,tg_cycles,"
-             "error,ref_wall,tg_wall,gain,event_gain"]
+             "error,ref_wall,tg_wall,gain,event_gain,status"]
     for result in results:
+        status = getattr(result, "status", "ok")
         lines.append(",".join(str(value) for value in (
             result.benchmark, result.interconnect, result.mode.value,
             result.n_cores, result.ref_cycles, result.tg_cycles,
             result.error, result.ref_wall, result.tg_wall, result.gain,
-            result.event_gain)))
+            result.event_gain, status)))
     return "\n".join(lines) + "\n"

@@ -130,7 +130,10 @@ class Simulator:
                     drained = True
                     break
                 if until is not None and next_time > until:
-                    self._now = until
+                    # never move time backwards: a later run(until=earlier)
+                    # call must not rewind the clock below a previous stop
+                    if until > self._now:
+                        self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     break
@@ -177,7 +180,14 @@ class Simulator:
         return ", ".join(parts) if parts else "(none)"
 
     def step(self) -> bool:
-        """Fire exactly one event; returns False when the queue is empty."""
+        """Fire exactly one event; returns False when the queue is empty.
+
+        Like :meth:`run`, stepping is not re-entrant: calling it from inside
+        an event callback while ``run()`` is active would pop events behind
+        the loop's back and corrupt ``now`` and the livelock accounting.
+        """
+        if self._running:
+            raise SimulationError("cannot step() while run() is active")
         event = self._queue.pop()
         if event is None:
             return False

@@ -3,7 +3,7 @@ cancellable timeout (no leaked events when a waiter dies early)."""
 
 import pytest
 
-from repro.kernel import DeadlockError, Simulator, TimeoutSignal
+from repro.kernel import DeadlockError, SimulationError, Simulator, TimeoutSignal
 from repro.kernel.simulator import timeout
 
 
@@ -50,6 +50,65 @@ class TestDeadlockGating:
         report = sim.blocked_report()
         assert "procA (on sigA)" in report
         assert Simulator().blocked_report() == "(none)"
+
+
+class TestStepReentrancyGuard:
+    def test_step_inside_run_raises(self):
+        """Regression: step() used to bypass the _running guard, popping
+        events behind the loop's back and corrupting _now."""
+        sim = Simulator()
+        sim.schedule_at(5, sim.step)
+        sim.schedule_at(7, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_outside_run_still_works(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3, lambda: fired.append(sim.now))
+        assert sim.step() is True
+        assert fired == [3]
+        assert sim.step() is False
+
+
+class TestSequentialRuns:
+    """One Simulator, several run() calls after an `until` stop."""
+
+    def test_resume_after_until_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(100, lambda: fired.append(100))
+        assert sim.run(until=50) == 50
+        assert fired == [10]
+        assert sim.run() == 100
+        assert fired == [10, 100]
+
+    def test_time_never_goes_backward(self):
+        """Regression: run(until=earlier) after a later stop used to
+        rewind _now to the new `until`."""
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        assert sim.run(until=50) == 50
+        assert sim.run(until=30) == 50
+        assert sim.now == 50
+
+    def test_event_at_exactly_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(50, lambda: fired.append(sim.now))
+        assert sim.run(until=50) == 50
+        assert fired == [50]
+
+    def test_schedule_at_until_boundary_then_resume(self):
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        sim.run(until=50)
+        fired = []
+        sim.schedule_at(50, lambda: fired.append(sim.now))
+        assert sim.run(until=50) == 50
+        assert fired == [50]
+        assert sim.run() == 100
 
 
 class TestCancellableTimeout:
