@@ -5,12 +5,16 @@ regressions in the kernel or the bus model show up in benchmark history:
 
 * event throughput of the bare kernel;
 * process context-switch rate;
+* watchdog-churn (schedule+cancel per transaction) and notify-storm
+  kernel workloads — the standalone profile in ``kernel_perf.py`` runs
+  the same factories and writes ``BENCH_kernel.json`` for the CI gate;
 * AHB transactions per second under contention;
 * armlet instructions per second.
 """
 
 import pytest
 
+from benchmarks.kernel_perf import wl_notify_storm, wl_watchdog_churn
 from repro.kernel import Simulator
 from repro.platform import MparmPlatform, PlatformConfig
 
@@ -55,6 +59,31 @@ def test_signal_notify_throughput(benchmark):
         return sim.now
 
     benchmark(run_signals)
+
+
+@pytest.mark.benchmark(group="simulator-performance")
+def test_watchdog_churn_throughput(benchmark):
+    """The PR-1 resilience pattern: a guard event per transaction,
+    cancelled on response.  Tombstone compaction keeps the heap near its
+    live size; this tracks that the pattern stays cheap."""
+    def run_churn():
+        sim = wl_watchdog_churn(transactions=8_000)
+        return sim
+
+    sim = benchmark(run_churn)
+    assert sim.events_cancelled == 8_000
+    assert sim.heap_compactions >= 1
+
+
+@pytest.mark.benchmark(group="simulator-performance")
+def test_notify_storm_throughput(benchmark):
+    """A popular signal notified every cycle with many waiters."""
+    def run_storm():
+        sim = wl_notify_storm(rounds=2_000, waiters=32)
+        return sim.events_fired
+
+    events = benchmark(run_storm)
+    assert events > 60_000
 
 
 @pytest.mark.benchmark(group="simulator-performance")

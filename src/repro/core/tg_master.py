@@ -133,17 +133,23 @@ class TGMaster(Component):
         same event count as the pre-resilience TG.
         """
         policy = self.retry_policy
+        watchdog = self.watchdog_cycles
+        sim = self.sim
+        port = self.port
         failures = 0
         while True:
             request = Request(cmd, addr, data, burst_len)
-            if self.watchdog_cycles is None:
-                response = yield from self.port.transaction(request)
+            if watchdog is None:
+                response = yield from port.transaction(request)
             else:
-                txn = self.sim.spawn(
-                    self.port.transaction(request),
+                # the guard event is cancelled on response; the queue
+                # compacts these tombstones, so per-request watchdogs stay
+                # cheap even over millions of transactions
+                txn = sim.spawn(
+                    port.transaction(request),
                     name=f"{self.name}.txn#{request.uid}")
-                guard = self.sim.schedule_after(
-                    self.watchdog_cycles,
+                guard = sim.schedule_after(
+                    watchdog,
                     lambda p=txn, r=request: self._watchdog_expired(p, r))
                 response = yield txn
                 guard.cancel()

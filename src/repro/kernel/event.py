@@ -6,10 +6,22 @@ same cycle at the same priority fire in the order they were scheduled.  This
 total order is what makes every simulation in this package reproducible
 byte-for-byte — a requirement of the cross-interconnect validation experiment
 (DESIGN.md, E7).
+
+Cancellation is lazy: :meth:`Event.cancel` marks the entry and the queue
+discards it when it surfaces.  Because the sort key is a *total* order
+(``seq`` is unique), the heap's internal layout never affects pop order, so
+the queue is free to compact tombstones out of the heap whenever they
+outnumber live events — resilient workloads that schedule-and-cancel a
+watchdog per transaction (see ``repro.core.tg_master``) would otherwise
+carry thousands of dead entries through every heap operation.
 """
 
 import heapq
-from typing import Callable, Optional
+from typing import Callable, List, Optional
+
+#: Compact only when the heap is at least this large; below it the
+#: tombstone overhead is noise and rebuilding would churn.
+_COMPACT_MIN_SIZE = 64
 
 
 class Event:
@@ -23,18 +35,29 @@ class Event:
         cancelled: Cancelled events are skipped by the queue.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_queue")
 
-    def __init__(self, time: int, priority: int, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: int, priority: int, seq: int,
+                 fn: Callable[[], None], queue: "EventQueue" = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the queue discards it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            # still sitting in the heap: it is now a tombstone the queue
+            # must account for (popped/fired events have no queue backref,
+            # so a late cancel() after firing is harmless)
+            self._queue = None
+            queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -49,34 +72,79 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` objects."""
+    """Binary-heap priority queue of :class:`Event` objects.
+
+    ``len(queue)`` counts *live* (non-cancelled) events only.  Perf
+    counters (:attr:`events_cancelled`, :attr:`compactions`,
+    :attr:`peak_size`) are cumulative over the queue's lifetime and feed
+    the simulator's ``kernel_counters()``.
+    """
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Event] = []
         self._seq = 0
+        self._live = 0
+        self.events_cancelled = 0
+        self.compactions = 0
+        self.peak_size = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return len(self._heap) - self._live
 
     def push(self, time: int, priority: int, fn: Callable[[], None]) -> Event:
         """Insert a callback at an absolute time; returns a cancellable handle."""
-        event = Event(time, priority, self._seq, fn)
+        event = Event(time, priority, self._seq, fn, self)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        heap = self._heap
+        heapq.heappush(heap, event)
+        self._live += 1
+        if len(heap) > self.peak_size:
+            self.peak_size = len(heap)
         return event
+
+    def _note_cancelled(self) -> None:
+        """One in-heap event became a tombstone (called by Event.cancel)."""
+        self._live -= 1
+        self.events_cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_SIZE and len(heap) > 2 * self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify.
+
+        Pop order is untouched: events are totally ordered by
+        ``(time, priority, seq)``, so any valid heap over the same live
+        set pops the identical sequence.  The rebuild is in place (slice
+        assignment) so callers holding a reference to the heap list —
+        the simulator's fast run loop — stay valid.
+        """
+        heap = self._heap
+        heap[:] = [event for event in heap if not event.cancelled]
+        heapq.heapify(heap)
+        self.compactions += 1
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0].time
         return None

@@ -1,6 +1,7 @@
 """The simulator: event loop, time base, and process management."""
 
-from typing import Callable, Generator, List, Optional
+import heapq
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.kernel.errors import DeadlockError, LivelockError, SimulationError
 from repro.kernel.event import Event, EventQueue
@@ -25,11 +26,17 @@ class Simulator:
     so any two runs of the same model are identical.
     """
 
+    #: Prune dead processes from the bookkeeping list once it reaches this
+    #: size (then whenever it doubles) — long-running resilient workloads
+    #: spawn a short-lived process per transaction.
+    _PRUNE_START = 256
+
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now = 0
         self._events_fired = 0
         self._processes: List[Process] = []
+        self._prune_at = self._PRUNE_START
         self._running = False
 
     # ------------------------------------------------------------------ time
@@ -48,6 +55,33 @@ class Simulator:
     def events_fired(self) -> int:
         """Total number of events executed so far (a simulator-effort proxy)."""
         return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Events cancelled while still queued (watchdog guards etc.)."""
+        return self._queue.events_cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        """How many times the event heap was rebuilt to shed tombstones."""
+        return self._queue.compactions
+
+    @property
+    def peak_heap_size(self) -> int:
+        """High-water mark of the event heap (live + tombstones)."""
+        return self._queue.peak_size
+
+    def kernel_counters(self) -> Dict[str, int]:
+        """Kernel perf counters for reports (``stats_summary()['kernel']``)."""
+        queue = self._queue
+        return {
+            "events_fired": self._events_fired,
+            "events_cancelled": queue.events_cancelled,
+            "heap_compactions": queue.compactions,
+            "peak_heap_size": queue.peak_size,
+            "queued_live": len(queue),
+            "queued_tombstones": queue.tombstones,
+        }
 
     # ------------------------------------------------------------- scheduling
 
@@ -73,7 +107,13 @@ class Simulator:
               delay: int = 0) -> Process:
         """Create a process from a generator and start it after ``delay``."""
         process = Process(self, generator, name=name)
-        self._processes.append(process)
+        processes = self._processes
+        processes.append(process)
+        if len(processes) >= self._prune_at:
+            # amortised O(1): drop finished processes so per-transaction
+            # spawns don't grow the list (and live_processes scans) forever
+            self._processes = [p for p in processes if p.alive]
+            self._prune_at = max(self._PRUNE_START, 2 * len(self._processes))
         self.schedule_after(delay, process._resume)
         return process
 
@@ -99,7 +139,9 @@ class Simulator:
 
         Args:
             until: Stop once simulation time would pass this cycle (events at
-                exactly ``until`` still fire).
+                exactly ``until`` still fire).  Time always advances to
+                ``until`` — also when the queue drains earlier — but never
+                backwards (a later ``run(until=earlier)`` is a no-op).
             max_events: Safety stop after this many events.
             check_deadlock: Raise :class:`DeadlockError` if the queue truly
                 drains while processes are still alive (blocked on signals
@@ -120,14 +162,62 @@ class Simulator:
             raise SimulationError(
                 f"progress_window must be >= 1, got {progress_window}")
         self._running = True
+        drained = False
+        queue = self._queue
+        try:
+            if until is None and max_events is None and progress_window is None:
+                # Fast path: run-to-drain with no per-event bound checks.
+                # The heap pop is inlined (the list identity is stable —
+                # compaction rebuilds it in place), with the queue's live
+                # accounting kept exact per event so callbacks that cancel
+                # events or read len(queue) see a consistent view.
+                heap = queue._heap
+                heappop = heapq.heappop
+                fired = 0
+                try:
+                    while heap:
+                        event = heappop(heap)
+                        if event.cancelled:
+                            continue
+                        event._queue = None
+                        queue._live -= 1
+                        self._now = event.time
+                        event.fn()
+                        fired += 1
+                finally:
+                    self._events_fired += fired
+                drained = True
+            else:
+                drained = self._run_bounded(until, max_events,
+                                            progress_window)
+        finally:
+            self._running = False
+        if check_deadlock and drained:
+            stuck = self.live_processes
+            if stuck:
+                raise DeadlockError(
+                    f"{len(stuck)} process(es) blocked forever at cycle "
+                    f"{self._now}: {self.blocked_report()}"
+                )
+        return self._now
+
+    def _run_bounded(self, until: Optional[int], max_events: Optional[int],
+                     progress_window: Optional[int]) -> bool:
+        """The guarded event loop (any of the run() bounds set)."""
+        queue = self._queue
         fired = 0
         stagnant = 0
         drained = False
         try:
             while True:
-                next_time = self._queue.peek_time()
+                next_time = queue.peek_time()
                 if next_time is None:
                     drained = True
+                    # the queue drained before `until`: the caller asked
+                    # for time to pass to that cycle, so advance the clock
+                    # there (but never move it backwards — see below)
+                    if until is not None and until > self._now:
+                        self._now = until
                     break
                 if until is not None and next_time > until:
                     # never move time backwards: a later run(until=earlier)
@@ -137,10 +227,7 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._queue.pop()
-                if event is None:
-                    drained = True
-                    break
+                event = queue.pop()
                 if progress_window is not None:
                     if event.time > self._now:
                         stagnant = 0
@@ -154,29 +241,22 @@ class Simulator:
                 self._now = event.time
                 event.fn()
                 fired += 1
-                self._events_fired += 1
         finally:
-            self._running = False
-        if check_deadlock and drained:
-            stuck = self.live_processes
-            if stuck:
-                raise DeadlockError(
-                    f"{len(stuck)} process(es) blocked forever at cycle "
-                    f"{self._now}: {self.blocked_report()}"
-                )
-        return self._now
+            self._events_fired += fired
+        return drained
 
     def blocked_report(self, limit: int = 8) -> str:
         """Human-readable list of live processes and what each waits on."""
+        live = [p for p in self._processes if p.alive]
         parts = []
-        for process in self.live_processes[:limit]:
+        for process in live[:limit]:
             waiting_on = process._waiting_on
             if waiting_on is not None:
                 parts.append(f"{process.name} (on {waiting_on.name})")
             else:
                 parts.append(f"{process.name} (runnable)")
-        if len(self.live_processes) > limit:
-            parts.append(f"... {len(self.live_processes) - limit} more")
+        if len(live) > limit:
+            parts.append(f"... {len(live) - limit} more")
         return ", ".join(parts) if parts else "(none)"
 
     def step(self) -> bool:
@@ -197,8 +277,9 @@ class Simulator:
         return True
 
     def __repr__(self) -> str:
+        live = sum(1 for p in self._processes if p.alive)
         return (f"<Simulator t={self._now} queued={len(self._queue)} "
-                f"processes={len(self.live_processes)}>")
+                f"processes={live}>")
 
 
 def timeout(sim: Simulator, cycles: int) -> TimeoutSignal:

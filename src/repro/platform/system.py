@@ -216,6 +216,7 @@ class MparmPlatform:
         summary = {
             "cycles": self.sim.now,
             "events": self.sim.events_fired,
+            "kernel": self.sim.kernel_counters(),
             "fabric_transactions": self.fabric.stats.transactions,
             "fabric_beats": self.fabric.stats.beats_transferred,
         }

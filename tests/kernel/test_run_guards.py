@@ -111,6 +111,90 @@ class TestSequentialRuns:
         assert sim.run() == 100
 
 
+class TestUntilAdvancesOnDrain:
+    """run(until=T) reports T whether the stop came from a later event or
+    from the queue draining first (the old code only advanced on the
+    peek-later break, so an empty queue returned 0 but one event at T+1
+    returned T)."""
+
+    def test_empty_queue_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=100) == 100
+        assert sim.now == 100
+
+    def test_drain_before_until_advances_to_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(sim.now))
+        assert sim.run(until=100) == 100
+        assert fired == [10]
+
+    def test_matches_peek_later_semantics(self):
+        """The satellite's exact inconsistency: 0 vs 100 for one event's
+        difference.  Both shapes must now report 100."""
+        drained_sim = Simulator()
+        later_sim = Simulator()
+        later_sim.schedule_at(101, lambda: None)
+        assert drained_sim.run(until=100) == later_sim.run(until=100) == 100
+
+    def test_drained_advance_respects_no_rewind(self):
+        sim = Simulator()
+        sim.schedule_at(60, lambda: None)
+        assert sim.run() == 60
+        assert sim.run(until=30) == 60  # empty queue, earlier until: no-op
+        assert sim.now == 60
+
+    def test_max_events_stop_does_not_advance_to_until(self):
+        """An event-budget stop leaves work pending; time must not jump."""
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.schedule_at(t, lambda: None)
+        assert sim.run(until=100, max_events=2) == 2
+
+    def test_drained_advance_then_new_event_before_until(self):
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)  # the clock really moved
+
+
+class TestMassKillBookkeeping:
+    """Killing N waiters on a popular signal is O(N) total (dict-based
+    waiter removal), and never disturbs the wake order of the survivors."""
+
+    def test_survivor_wake_order_unchanged_after_mass_kill(self):
+        sim = Simulator()
+        sig = sim.signal("popular")
+        woke = []
+
+        def waiter(tag):
+            yield sig
+            woke.append(tag)
+
+        processes = {tag: sim.spawn(waiter(tag), name=f"w{tag}")
+                     for tag in range(20)}
+        sim.run(until=0)
+        assert sig.waiter_count == 20
+        # kill every third waiter, scattered through the wait order
+        killed = [tag for tag in processes if tag % 3 == 0]
+        for tag in killed:
+            processes[tag].kill()
+        assert sig.waiter_count == 20 - len(killed)
+        sig.notify()
+        sim.run()
+        assert woke == [tag for tag in range(20) if tag % 3 != 0]
+
+    def test_waiter_count_drops_per_kill(self):
+        sim = Simulator()
+        sig = sim.signal("s")
+        spawned = [waiter_on(sim, sig, name=f"w{i}") for i in range(5)]
+        sim.run(until=0)
+        for expected, process in enumerate(spawned):
+            assert sig.waiter_count == 5 - expected
+            process.kill()
+        assert sig.waiter_count == 0
+
+
 class TestCancellableTimeout:
     def test_timeout_fires_normally(self):
         sim = Simulator()

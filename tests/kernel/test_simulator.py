@@ -330,3 +330,77 @@ class TestSignalsInSim:
 
         sim.spawn(fine())
         sim.run(check_deadlock=True)  # must not raise
+
+
+class TestKernelPerfCounters:
+    def test_fresh_simulator_counters_are_zero(self):
+        counters = Simulator().kernel_counters()
+        assert counters == {
+            "events_fired": 0,
+            "events_cancelled": 0,
+            "heap_compactions": 0,
+            "peak_heap_size": 0,
+            "queued_live": 0,
+            "queued_tombstones": 0,
+        }
+
+    def test_cancelled_timeout_drops_queue_len_and_counts(self):
+        """The satellite regression: a cancelled watchdog used to keep
+        counting as queued work in len(queue) / Simulator.__repr__."""
+        sim = Simulator()
+        guard = timeout(sim, 1_000)
+        assert len(sim._queue) == 1
+        assert "queued=1" in repr(sim)
+        guard.cancel()
+        assert len(sim._queue) == 0
+        assert "queued=0" in repr(sim)
+        assert sim.events_cancelled == 1
+        assert sim.kernel_counters()["queued_tombstones"] == 1
+
+    def test_counters_track_watchdog_churn(self):
+        """Schedule-and-cancel per transaction (the resilient-TG pattern):
+        every guard is reclaimed, and the heap stays near its live size."""
+        sim = Simulator()
+
+        def master():
+            for _ in range(500):
+                guard = sim.schedule_after(1_000, lambda: None)
+                yield 1
+                guard.cancel()
+
+        sim.spawn(master())
+        sim.run()
+        counters = sim.kernel_counters()
+        assert counters["events_cancelled"] == 500
+        assert counters["heap_compactions"] >= 1
+        assert counters["queued_live"] == 0
+        assert counters["queued_tombstones"] < 64
+        assert counters["events_fired"] == sim.events_fired
+
+    def test_events_fired_counts_only_fired_events(self):
+        sim = Simulator()
+        live = sim.schedule_after(1, lambda: None)
+        dead = sim.schedule_after(2, lambda: None)
+        dead.cancel()
+        sim.run()
+        assert live is not None
+        assert sim.events_fired == 1
+        assert sim.events_cancelled == 1
+
+    def test_spawn_churn_prunes_dead_processes(self):
+        """Per-transaction process spawns must not grow the bookkeeping
+        list (and live_processes scans) without bound."""
+        sim = Simulator()
+
+        def short_lived():
+            yield 1
+
+        def spawner():
+            for i in range(5_000):
+                yield 1
+                sim.spawn(short_lived(), name=f"txn{i}")
+
+        sim.spawn(spawner())
+        sim.run()
+        assert len(sim._processes) < 1_000
+        assert sim.live_processes == []

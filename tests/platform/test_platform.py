@@ -134,6 +134,15 @@ class TestPlatformAssembly:
         assert summary["fabric_transactions"] > 0
         assert "bus_utilisation" in summary
 
+    def test_stats_summary_kernel_counters(self):
+        platform = MparmPlatform(PlatformConfig(n_masters=1))
+        platform.add_core(cacheloop.source(0, 1, iters=30))
+        platform.run()
+        kernel = platform.stats_summary()["kernel"]
+        assert kernel["events_fired"] == platform.sim.events_fired > 0
+        assert kernel["peak_heap_size"] > 0
+        assert kernel["queued_live"] == 0  # drained run
+
     def test_entry_override(self):
         """add_core honours an explicit entry point."""
         platform = MparmPlatform(PlatformConfig(n_masters=1))
