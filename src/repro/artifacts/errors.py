@@ -1,0 +1,168 @@
+"""Typed error hierarchy for the artifact pipeline.
+
+Every artifact loader (``.trc`` / ``.tgp`` / ``.bin``) promises to raise
+only :class:`ArtifactError` subclasses on bad input — never an
+``IndexError``, ``struct.error`` or silent wrong parse (the contract the
+seeded fuzz harness in ``tests/artifacts/fuzz.py`` enforces).  Each
+subclass carries a distinct CLI exit code so shell pipelines can tell a
+truncated download from a version skew without scraping stderr (the
+error-code table lives in docs/ARTIFACTS.md).
+"""
+
+from typing import Iterator, List, Optional
+
+#: CLI exit codes (see docs/ARTIFACTS.md).  0 = success, 1 = generic
+#: failure (e.g. failed sweep points), 2 = argparse usage error.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_MISSING_FILE = 3
+EXIT_PARSE = 4
+EXIT_CHECKSUM = 5
+EXIT_VERSION = 6
+EXIT_TRUNCATED = 7
+
+
+class ArtifactError(Exception):
+    """Base of every artifact-pipeline failure.
+
+    Attributes:
+        path: The offending file (None for in-memory data).
+        hint: A one-line recovery suggestion shown to the user.
+        exit_code: The CLI process exit status for this failure class.
+    """
+
+    exit_code = EXIT_FAILURE
+
+    def __init__(self, message: str, path=None, hint: Optional[str] = None):
+        super().__init__(message)
+        self.message = message
+        self.path = str(path) if path is not None else None
+        self.hint = hint
+
+    def __str__(self) -> str:
+        parts = []
+        if self.path:
+            parts.append(f"{self.path}: ")
+        parts.append(self.message)
+        if self.hint:
+            parts.append(f" (hint: {self.hint})")
+        return "".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "path": self.path,
+            "hint": self.hint,
+            "exit_code": self.exit_code,
+        }
+
+
+class ChecksumMismatch(ArtifactError):
+    """The payload does not match the header's CRC32 — bit rot or edits."""
+
+    exit_code = EXIT_CHECKSUM
+
+
+class VersionMismatch(ArtifactError):
+    """The artifact's format version is not one this loader understands."""
+
+    exit_code = EXIT_VERSION
+
+    def __init__(self, message: str, path=None, hint: Optional[str] = None,
+                 found=None, supported=None):
+        super().__init__(message, path=path, hint=hint)
+        self.found = found
+        self.supported = supported
+
+    def as_dict(self) -> dict:
+        data = super().as_dict()
+        data["found"] = self.found
+        data["supported"] = self.supported
+        return data
+
+
+class TruncatedArtifact(ArtifactError):
+    """The file ends before the header-declared payload does."""
+
+    exit_code = EXIT_TRUNCATED
+
+
+class ParseDiagnostic(ArtifactError):
+    """A located parse defect: file/line/column, offending text, hint.
+
+    Also used as a plain record (not raised) inside a
+    :class:`DiagnosticReport` when a permissive load skips a bad record.
+    """
+
+    exit_code = EXIT_PARSE
+
+    def __init__(self, message: str, path=None, line: Optional[int] = None,
+                 column: Optional[int] = None, text: Optional[str] = None,
+                 hint: Optional[str] = None):
+        super().__init__(message, path=path, hint=hint)
+        self.line = line
+        self.column = column
+        self.text = text
+
+    def __str__(self) -> str:
+        location = self.path or ""
+        if self.line is not None:
+            location += f":{self.line}"
+            if self.column is not None:
+                location += f":{self.column}"
+        parts = [f"{location}: " if location else "", self.message]
+        if self.text:
+            parts.append(f" [{self.text!r}]")
+        if self.hint:
+            parts.append(f" (hint: {self.hint})")
+        return "".join(parts)
+
+    def as_dict(self) -> dict:
+        data = super().as_dict()
+        data.update(line=self.line, column=self.column, text=self.text)
+        return data
+
+
+class DiagnosticReport:
+    """Everything a permissive load skipped, machine-readable.
+
+    Truthy when any diagnostic was recorded; serialises to the
+    ``--diagnostics-json`` schema of the CLI tools.
+    """
+
+    def __init__(self, path=None, kind: Optional[str] = None):
+        self.path = str(path) if path is not None else None
+        self.kind = kind
+        self.diagnostics: List[ParseDiagnostic] = []
+
+    def add(self, diagnostic: ParseDiagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def skipped(self) -> int:
+        """How many records the permissive load dropped."""
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __iter__(self) -> Iterator[ParseDiagnostic]:
+        return iter(self.diagnostics)
+
+    def summary(self) -> str:
+        noun = "record" if len(self.diagnostics) == 1 else "records"
+        where = f" in {self.path}" if self.path else ""
+        return f"skipped {len(self.diagnostics)} bad {noun}{where}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "skipped": len(self.diagnostics),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }

@@ -1,0 +1,221 @@
+"""Versioned, checksummed artifact headers.
+
+Text formats (``.trc``, ``.tgp``) get a first-line comment header — old
+parsers skip it as a comment, new loaders verify it before parsing::
+
+    ;#ARTIFACT trc v1 producer=1.0.0 len=1234 crc32=0a1b2c3d
+
+``len`` is the byte length and ``crc32`` the zlib CRC32 of the UTF-8
+payload (everything after the header line's newline), so truncation and
+bit rot are told apart before the format parser ever runs.
+
+The ``.bin`` image gets an outer container in front of the legacy
+``TGP1`` payload::
+
+    offset  0   magic  b"RTGA"
+    offset  4   u32    container version (1)
+    offset  8   u32    payload length in bytes
+    offset 12   u32    CRC32 of the payload
+    offset 16   16s    producer package version, UTF-8, NUL padded
+    offset 32   ...    payload (the legacy image, unchanged)
+
+Files that start with neither header are *legacy* artifacts: loaders
+accept them byte-for-byte as before, with a ``DeprecationWarning``.
+"""
+
+import re
+import struct
+import zlib
+from typing import Optional, Tuple
+
+from repro.artifacts.errors import (
+    ChecksumMismatch,
+    ParseDiagnostic,
+    TruncatedArtifact,
+    VersionMismatch,
+)
+
+TEXT_MAGIC = ";#ARTIFACT"
+#: Supported format version per text artifact kind.
+TEXT_FORMAT_VERSIONS = {"trc": 1, "tgp": 1}
+
+BIN_MAGIC = b"RTGA"
+BIN_CONTAINER_VERSION = 1
+_BIN_HEADER = struct.Struct("<4sIII16s")
+BIN_HEADER_BYTES = _BIN_HEADER.size
+#: First four bytes of a legacy (headerless) image: '<I' of 0x54475031.
+LEGACY_BIN_MAGIC = struct.pack("<I", 0x54475031)
+
+_TEXT_HEADER_RE = re.compile(
+    r"^;#ARTIFACT\s+(\w+)\s+v(\d+)((?:\s+[\w.]+=\S+)*)\s*$")
+_FIELD_RE = re.compile(r"([\w.]+)=(\S+)")
+
+
+def producer_version() -> str:
+    from repro import __version__
+    return __version__
+
+
+def crc32_hex(data: bytes) -> str:
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+# ------------------------------------------------------------------ text
+
+def add_text_header(kind: str, payload: str) -> str:
+    """Prefix ``payload`` with its verified-on-load header line."""
+    data = payload.encode("utf-8")
+    return (f"{TEXT_MAGIC} {kind} v{TEXT_FORMAT_VERSIONS[kind]} "
+            f"producer={producer_version()} len={len(data)} "
+            f"crc32={crc32_hex(data)}\n") + payload
+
+
+def split_text_header(data: bytes, kind: str,
+                      path=None) -> Tuple[Optional[dict], str]:
+    """Verify and strip a text artifact's header.
+
+    Returns ``(header, payload)``; ``header`` is None for legacy
+    (headerless) text, which is returned unmodified.
+    """
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ParseDiagnostic(
+            f"not valid UTF-8 text ({error.reason} at byte {error.start})",
+            path=path, line=None,
+            hint="binary corruption — restore the file from its source"
+        ) from None
+    if not text.startswith(TEXT_MAGIC):
+        return None, text
+    line, _, payload = text.partition("\n")
+    match = _TEXT_HEADER_RE.match(line)
+    if not match:
+        raise ParseDiagnostic(
+            "malformed artifact header", path=path, line=1, column=1,
+            text=line,
+            hint="expected ';#ARTIFACT <kind> v<N> producer=... len=... "
+                 "crc32=...'")
+    found_kind = match.group(1)
+    found_version = int(match.group(2))
+    fields = dict(_FIELD_RE.findall(match.group(3)))
+    if found_kind != kind:
+        raise ParseDiagnostic(
+            f"artifact is a {found_kind!r}, expected {kind!r}",
+            path=path, line=1, text=line,
+            hint=f"pass this file to the {found_kind} tool instead")
+    supported = TEXT_FORMAT_VERSIONS[kind]
+    if found_version != supported:
+        raise VersionMismatch(
+            f"{kind} format v{found_version} not supported "
+            f"(this build reads v{supported})",
+            path=path, found=found_version, supported=supported,
+            hint="re-export the artifact with a matching repro version")
+    for required in ("len", "crc32"):
+        if required not in fields:
+            raise ParseDiagnostic(
+                f"artifact header missing {required!r} field",
+                path=path, line=1, text=line,
+                hint="re-save the artifact to regenerate its header")
+    try:
+        declared_len = int(fields["len"])
+    except ValueError:
+        raise ParseDiagnostic(
+            f"bad len field {fields['len']!r} in artifact header",
+            path=path, line=1, text=line) from None
+    declared_crc = fields["crc32"].lower()
+    if not re.fullmatch(r"[0-9a-f]{8}", declared_crc):
+        raise ParseDiagnostic(
+            f"bad crc32 field {fields['crc32']!r} in artifact header",
+            path=path, line=1, text=line)
+    payload_bytes = payload.encode("utf-8")
+    if len(payload_bytes) < declared_len:
+        raise TruncatedArtifact(
+            f"payload is {len(payload_bytes)} bytes, header declares "
+            f"{declared_len}", path=path,
+            hint="the file was cut short — re-copy or regenerate it")
+    if len(payload_bytes) > declared_len:
+        raise ChecksumMismatch(
+            f"payload is {len(payload_bytes)} bytes, header declares "
+            f"{declared_len} — trailing data", path=path,
+            hint="the file grew after it was written — regenerate it")
+    actual_crc = crc32_hex(payload_bytes)
+    if actual_crc != declared_crc:
+        raise ChecksumMismatch(
+            f"payload CRC32 {actual_crc} != header {declared_crc}",
+            path=path,
+            hint="the file changed after it was written — regenerate it")
+    header = {
+        "kind": found_kind,
+        "format_version": found_version,
+        "producer": fields.get("producer"),
+        "len": declared_len,
+        "crc32": declared_crc,
+    }
+    return header, payload
+
+
+# ---------------------------------------------------------------- binary
+
+def wrap_binary(payload: bytes) -> bytes:
+    """Prefix a legacy ``.bin`` image with the verified container header."""
+    producer = producer_version().encode("utf-8")[:16].ljust(16, b"\0")
+    return _BIN_HEADER.pack(BIN_MAGIC, BIN_CONTAINER_VERSION, len(payload),
+                            zlib.crc32(payload) & 0xFFFFFFFF,
+                            producer) + payload
+
+
+def unwrap_binary(blob: bytes, path=None) -> Tuple[Optional[dict], bytes]:
+    """Verify and strip a ``.bin`` container.
+
+    Returns ``(header, payload)``; ``header`` is None for a legacy
+    (bare ``TGP1``) image, which is returned unmodified.
+    """
+    if len(blob) < 4:
+        raise TruncatedArtifact(
+            f"image is only {len(blob)} bytes", path=path,
+            hint="the file was cut short — regenerate it")
+    magic = blob[:4]
+    if magic == LEGACY_BIN_MAGIC:
+        return None, blob
+    if magic != BIN_MAGIC:
+        raise ParseDiagnostic(
+            f"bad magic {magic!r} (neither RTGA container nor legacy "
+            f"TGP1 image)", path=path,
+            hint="this is not a TG .bin artifact")
+    if len(blob) < BIN_HEADER_BYTES:
+        raise TruncatedArtifact(
+            f"container header is {len(blob)} of {BIN_HEADER_BYTES} bytes",
+            path=path, hint="the file was cut short — regenerate it")
+    _, version, declared_len, declared_crc, producer = \
+        _BIN_HEADER.unpack(blob[:BIN_HEADER_BYTES])
+    if version != BIN_CONTAINER_VERSION:
+        raise VersionMismatch(
+            f"bin container v{version} not supported (this build reads "
+            f"v{BIN_CONTAINER_VERSION})", path=path,
+            found=version, supported=BIN_CONTAINER_VERSION,
+            hint="re-assemble the image with a matching repro version")
+    payload = blob[BIN_HEADER_BYTES:]
+    if len(payload) < declared_len:
+        raise TruncatedArtifact(
+            f"payload is {len(payload)} bytes, header declares "
+            f"{declared_len}", path=path,
+            hint="the file was cut short — regenerate it")
+    if len(payload) > declared_len:
+        raise ChecksumMismatch(
+            f"payload is {len(payload)} bytes, header declares "
+            f"{declared_len} — trailing data", path=path,
+            hint="the file grew after it was written — regenerate it")
+    actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != declared_crc:
+        raise ChecksumMismatch(
+            f"payload CRC32 {actual_crc:08x} != header {declared_crc:08x}",
+            path=path,
+            hint="the file changed after it was written — regenerate it")
+    header = {
+        "kind": "bin",
+        "format_version": version,
+        "producer": producer.rstrip(b"\0").decode("utf-8", "replace"),
+        "len": declared_len,
+        "crc32": f"{declared_crc:08x}",
+    }
+    return header, payload

@@ -1,13 +1,25 @@
-"""Implementations of the command-line tools."""
+"""Implementations of the command-line tools.
+
+Failure contract (see docs/ARTIFACTS.md for the full table): artifact
+defects exit with the error class's distinct code (3 missing file,
+4 parse, 5 checksum, 6 version, 7 truncated) and one actionable stderr
+line — never a traceback.  ``--diagnostics-json FILE`` additionally
+writes a machine-readable report (``-`` for stdout); ``--permissive``
+(trace-reading tools) skips recoverably-bad records instead of failing.
+"""
 
 import argparse
 import json
 import sys
 from typing import List, Optional
 
-from repro.core import ReplayMode, parse_tgp
-from repro.core.assembler import assemble_binary, disassemble_binary
-from repro.trace import Translator, TranslatorOptions, group_events, parse_trc
+from repro.artifacts import (
+    EXIT_MISSING_FILE,
+    ArtifactError,
+    DiagnosticReport,
+)
+from repro.core import ReplayMode
+from repro.trace import Translator, TranslatorOptions, group_events
 
 
 def _parse_range(text: str):
@@ -18,6 +30,51 @@ def _parse_range(text: str):
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected BASE:SIZE (e.g. 0x1a000000:0x80), got {text!r}")
+
+
+# ------------------------------------------------------ failure plumbing
+
+def _write_diagnostics(path: Optional[str], payload: dict) -> None:
+    if not path:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _diagnostics_payload(tool: str, ok: bool,
+                         error: Optional[Exception] = None,
+                         report: Optional[DiagnosticReport] = None) -> dict:
+    payload = {"tool": tool, "ok": ok}
+    if isinstance(error, ArtifactError):
+        payload["error"] = error.as_dict()
+    elif error is not None:
+        payload["error"] = {"type": type(error).__name__,
+                            "message": str(error),
+                            "exit_code": EXIT_MISSING_FILE}
+    if report is not None:
+        payload["skipped"] = len(report)
+        payload["diagnostics"] = report.as_dict()["diagnostics"]
+    return payload
+
+
+def _guarded(tool: str, body, diagnostics: Optional[str] = None) -> int:
+    """Run ``body()``; map artifact/file failures to exit codes + 1 line."""
+    try:
+        return body()
+    except ArtifactError as error:
+        print(f"{tool}: error: {error}", file=sys.stderr)
+        _write_diagnostics(diagnostics,
+                           _diagnostics_payload(tool, False, error=error))
+        return error.exit_code
+    except OSError as error:
+        print(f"{tool}: error: {error}", file=sys.stderr)
+        _write_diagnostics(diagnostics,
+                           _diagnostics_payload(tool, False, error=error))
+        return EXIT_MISSING_FILE
 
 
 # --------------------------------------------------------------- trc2tgp
@@ -39,25 +96,39 @@ def trc2tgp_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--default-poll-gap", type=int, default=4,
                         help="inner poll idle when the trace shows no "
                              "failed polls (cycles, default 4)")
+    parser.add_argument("--permissive", action="store_true",
+                        help="skip recoverably-bad trace records instead "
+                             "of failing on the first defect")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    with open(args.trace) as handle:
-        master_id, events = parse_trc(handle.read())
-    options = TranslatorOptions(
-        mode=ReplayMode.from_name(args.mode),
-        pollable_ranges=args.pollable,
-        default_poll_gap=args.default_poll_gap)
-    program = Translator(options).translate_events(events, master_id)
-    text = program.to_tgp()
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-        print(f"{args.trace}: {len(events)} events -> "
-              f"{len(program)} TG instructions -> {args.output}",
-              file=sys.stderr)
-    else:
-        sys.stdout.write(text)
-    return 0
+    def body() -> int:
+        from repro.artifacts import load_trc, save_tgp
+        artifact = load_trc(args.trace, strict=not args.permissive)
+        master_id, events = artifact.value
+        if artifact.report:
+            print(f"repro-trc2tgp: {artifact.report.summary()}",
+                  file=sys.stderr)
+        options = TranslatorOptions(
+            mode=ReplayMode.from_name(args.mode),
+            pollable_ranges=args.pollable,
+            default_poll_gap=args.default_poll_gap)
+        program = Translator(options).translate_events(events, master_id)
+        if args.output:
+            save_tgp(args.output, program)
+            print(f"{args.trace}: {len(events)} events -> "
+                  f"{len(program)} TG instructions -> {args.output}",
+                  file=sys.stderr)
+        else:
+            sys.stdout.write(program.to_tgp())
+        _write_diagnostics(args.diagnostics_json, _diagnostics_payload(
+            "repro-trc2tgp", True, report=artifact.report))
+        return 0
+
+    return _guarded("repro-trc2tgp", body,
+                    diagnostics=args.diagnostics_json)
 
 
 # ----------------------------------------------------------------- tgasm
@@ -70,17 +141,26 @@ def tgasm_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("program", help="input .tgp file")
     parser.add_argument("-o", "--output", required=True,
                         help="output .bin file")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    with open(args.program) as handle:
-        program = parse_tgp(handle.read())
-    image = assemble_binary(program)
-    with open(args.output, "wb") as handle:
-        handle.write(image)
-    print(f"{args.program}: {len(program)} instructions, "
-          f"{len(program.pool)} pool words -> {len(image)} bytes",
-          file=sys.stderr)
-    return 0
+    def body() -> int:
+        import os
+
+        from repro.artifacts import load_tgp, save_bin
+        program = load_tgp(args.program).value
+        save_bin(args.output, program)
+        print(f"{args.program}: {len(program)} instructions, "
+              f"{len(program.pool)} pool words -> "
+              f"{os.path.getsize(args.output)} bytes",
+              file=sys.stderr)
+        _write_diagnostics(args.diagnostics_json,
+                           _diagnostics_payload("repro-tgasm", True))
+        return 0
+
+    return _guarded("repro-tgasm", body, diagnostics=args.diagnostics_json)
 
 
 # ---------------------------------------------------------------- tgdump
@@ -95,20 +175,26 @@ def tgdump_main(argv: Optional[List[str]] = None) -> int:
                         help="output .tgp file (default: stdout)")
     parser.add_argument("--stats", action="store_true",
                         help="print the program footprint summary instead")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    with open(args.image, "rb") as handle:
-        program = disassemble_binary(handle.read())
-    if args.stats:
-        print(json.dumps(program.stats(), indent=2, sort_keys=True))
+    def body() -> int:
+        from repro.artifacts import load_bin, save_tgp
+        program = load_bin(args.image).value
+        if args.stats:
+            print(json.dumps(program.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.output:
+            save_tgp(args.output, program)
+        else:
+            sys.stdout.write(program.to_tgp())
+        _write_diagnostics(args.diagnostics_json,
+                           _diagnostics_payload("repro-tgdump", True))
         return 0
-    text = program.to_tgp()
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-    else:
-        sys.stdout.write(text)
-    return 0
+
+    return _guarded("repro-tgdump", body, diagnostics=args.diagnostics_json)
 
 
 # ----------------------------------------------------------- trace-stats
@@ -128,34 +214,51 @@ def trace_stats_main(argv: Optional[List[str]] = None) -> int:
                         help="timeline width in characters")
     parser.add_argument("--vcd", metavar="FILE",
                         help="export a VCD waveform of the trace")
+    parser.add_argument("--permissive", action="store_true",
+                        help="skip recoverably-bad trace records instead "
+                             "of failing on the first defect")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    with open(args.trace) as handle:
-        master_id, events = parse_trc(handle.read())
-    if args.vcd:
-        from repro.stats import export_vcd
-        export_vcd({f"M{master_id}": group_events(events)}, path=args.vcd)
-        print(f"wrote {args.vcd}", file=sys.stderr)
+    def body() -> int:
+        from repro.artifacts import load_trc
+        artifact = load_trc(args.trace, strict=not args.permissive)
+        master_id, events = artifact.value
+        if artifact.report:
+            print(f"repro-trace-stats: {artifact.report.summary()}",
+                  file=sys.stderr)
+        _write_diagnostics(args.diagnostics_json, _diagnostics_payload(
+            "repro-trace-stats", True, report=artifact.report))
+        if args.vcd:
+            from repro.stats import export_vcd
+            export_vcd({f"M{master_id}": group_events(events)},
+                       path=args.vcd)
+            print(f"wrote {args.vcd}", file=sys.stderr)
+            return 0
+        if args.timeline:
+            from repro.stats import render_timeline
+            print(render_timeline({f"M{master_id}": group_events(events)},
+                                  width=args.width))
+            return 0
+        summary = trace_summary(group_events(events))
+        summary["master"] = master_id
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"master {master_id}: {summary['transactions']} "
+                  f"transactions, {summary['beats']} beats over "
+                  f"{summary['duration_cycles']} cycles "
+                  f"({summary['beats_per_kcycle']} beats/kcycle)")
+            print(f"  mix: {summary['mix']}")
+            print(f"  read latency:  {summary['read_latency']}")
+            print(f"  write latency: {summary['write_latency']}")
+            print(f"  idle gaps:     {summary['idle_gaps']}")
         return 0
-    if args.timeline:
-        from repro.stats import render_timeline
-        print(render_timeline({f"M{master_id}": group_events(events)},
-                              width=args.width))
-        return 0
-    summary = trace_summary(group_events(events))
-    summary["master"] = master_id
-    if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
-    else:
-        print(f"master {master_id}: {summary['transactions']} transactions,"
-              f" {summary['beats']} beats over "
-              f"{summary['duration_cycles']} cycles "
-              f"({summary['beats_per_kcycle']} beats/kcycle)")
-        print(f"  mix: {summary['mix']}")
-        print(f"  read latency:  {summary['read_latency']}")
-        print(f"  write latency: {summary['write_latency']}")
-        print(f"  idle gaps:     {summary['idle_gaps']}")
-    return 0
+
+    return _guarded("repro-trace-stats", body,
+                    diagnostics=args.diagnostics_json)
 
 
 # ----------------------------------------------------------------- sweep
@@ -174,9 +277,13 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-sweep",
         description="Run a sweep of reference+TG experiments from a "
                     "JSON spec (see repro.harness.sweep).")
-    parser.add_argument("spec", help="JSON sweep specification file")
+    parser.add_argument("spec", nargs="?",
+                        help="JSON sweep specification file")
     parser.add_argument("--csv", metavar="FILE",
                         help="also write results as CSV")
+    parser.add_argument("--cache-verify", action="store_true",
+                        help="audit the cache directory for corrupt/stale "
+                             "entries and exit (no sweep is run)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         metavar="N",
                         help="worker processes (default: all CPUs; "
@@ -201,8 +308,25 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         sweep_csv,
         sweep_table,
     )
-    with open(args.spec) as handle:
-        spec = SweepSpec.from_dict(json.load(handle))
+    if args.cache_verify:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+        issues = cache.verify()
+        clean = len(cache) - len(issues)
+        for issue in issues:
+            print(issue, file=sys.stderr)
+        print(f"[cache-verify] {cache.directory}: {clean} ok, "
+              f"{sum(1 for i in issues if i.kind == 'corrupt')} corrupt, "
+              f"{sum(1 for i in issues if i.kind == 'stale')} stale",
+              file=sys.stderr)
+        return 1 if issues else 0
+    if not args.spec:
+        parser.error("spec is required unless --cache-verify is given")
+    try:
+        with open(args.spec) as handle:
+            spec = SweepSpec.from_dict(json.load(handle))
+    except OSError as error:
+        print(f"repro-sweep: error: {error}", file=sys.stderr)
+        return EXIT_MISSING_FILE
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
@@ -249,21 +373,26 @@ def traceset_main(argv: Optional[List[str]] = None) -> int:
                            default=ReplayMode.REACTIVE.value)
     args = parser.parse_args(argv)
 
-    from repro.trace import load_trace_set, translate_trace_set
-    if args.command == "info":
-        manifest, traces = load_trace_set(args.directory)
-        print(f"benchmark:     {manifest.get('benchmark') or '(unknown)'}")
-        print(f"interconnect:  {manifest.get('interconnect') or '(unknown)'}")
-        print(f"masters:       {manifest['n_masters']}")
-        for master_id, events in sorted(traces.items()):
-            print(f"  core {master_id}: {len(events)} events")
+    def body() -> int:
+        from repro.trace import load_trace_set, translate_trace_set
+        if args.command == "info":
+            manifest, traces = load_trace_set(args.directory)
+            print(f"benchmark:     "
+                  f"{manifest.get('benchmark') or '(unknown)'}")
+            print(f"interconnect:  "
+                  f"{manifest.get('interconnect') or '(unknown)'}")
+            print(f"masters:       {manifest['n_masters']}")
+            for master_id, events in sorted(traces.items()):
+                print(f"  core {master_id}: {len(events)} events")
+            return 0
+        programs = translate_trace_set(args.directory,
+                                       mode=ReplayMode.from_name(args.mode))
+        for master_id, program in sorted(programs.items()):
+            print(f"core {master_id}: {len(program)} TG instructions -> "
+                  f"core{master_id}.tgp / .bin")
         return 0
-    programs = translate_trace_set(args.directory,
-                                   mode=ReplayMode.from_name(args.mode))
-    for master_id, program in sorted(programs.items()):
-        print(f"core {master_id}: {len(program)} TG instructions -> "
-              f"core{master_id}.tgp / .bin")
-    return 0
+
+    return _guarded("repro-traceset", body)
 
 
 # ------------------------------------------------------------ experiment

@@ -47,7 +47,21 @@ def assemble_binary(program: TGProgram) -> bytes:
 
 
 def disassemble_binary(image: bytes) -> TGProgram:
-    """Decode a ``.bin`` image back into a :class:`TGProgram`."""
+    """Decode a ``.bin`` image back into a :class:`TGProgram`.
+
+    Accepts both the legacy bare image and the checksummed ``RTGA``
+    container (see :mod:`repro.artifacts.header`); container-level
+    defects are re-raised as :class:`TGError` here — use
+    :func:`repro.artifacts.load_bin` for the typed
+    :class:`~repro.artifacts.errors.ArtifactError` hierarchy.
+    """
+    from repro.artifacts.errors import ArtifactError
+    from repro.artifacts.header import BIN_MAGIC, unwrap_binary
+    if image[:4] == BIN_MAGIC:
+        try:
+            _, image = unwrap_binary(image)
+        except ArtifactError as error:
+            raise TGError(f"bad TG container: {error.message}") from None
     if len(image) % 4 != 0 or len(image) < 20:
         raise TGError(f"truncated TG image ({len(image)} bytes)")
     words = list(struct.unpack(f"<{len(image) // 4}I", image))

@@ -26,6 +26,7 @@ Layers:
 
 from repro.cpu.isa import (
     AsmError,
+    IllegalInstruction,
     Instruction,
     Op,
     decode,
@@ -38,6 +39,7 @@ from repro.cpu.core_ip import CoreIP
 
 __all__ = [
     "AsmError",
+    "IllegalInstruction",
     "AssembledProgram",
     "Cache",
     "CacheConfig",

@@ -126,11 +126,48 @@ def _split_operands(text: str) -> List[str]:
 
 
 class _Evaluator:
-    """Evaluates constant expressions over .equ symbols and labels."""
+    """Evaluates constant expressions over .equ symbols and labels.
 
-    def __init__(self, equs: Dict[str, int], labels: Dict[str, int]):
+    ``.equ`` bodies are stored unevaluated as ``(expression, line)`` and
+    resolved on demand with memoisation, so an ``.equ`` may reference
+    constants defined later in the file.  Resolution tracks the active
+    chain: a self-referential or mutually-recursive ``.equ`` raises a
+    located :class:`AsmError` instead of hitting ``RecursionError``, and
+    chains deeper than :data:`MAX_EQU_DEPTH` are rejected outright.
+    """
+
+    MAX_EQU_DEPTH = 64
+
+    def __init__(self, equs: Dict[str, Tuple[str, int]],
+                 labels: Dict[str, int]):
         self.equs = equs
         self.labels = labels
+        self._values: Dict[str, int] = {}
+        self._resolving: List[str] = []
+
+    def resolve_equ(self, name: str) -> int:
+        if name in self._values:
+            return self._values[name]
+        expression, def_line = self.equs[name]
+        if name in self._resolving:
+            chain = " -> ".join(self._resolving[
+                self._resolving.index(name):] + [name])
+            raise AsmError(f"line {def_line}: recursive .equ {name!r} "
+                           f"({chain})")
+        if len(self._resolving) >= self.MAX_EQU_DEPTH:
+            raise AsmError(f"line {def_line}: .equ reference chain deeper "
+                           f"than {self.MAX_EQU_DEPTH}")
+        self._resolving.append(name)
+        try:
+            value = self.value(expression, def_line)
+        finally:
+            self._resolving.pop()
+        self._values[name] = value
+        return value
+
+    def poison_equ(self, name: str) -> None:
+        """Give a failed .equ a placeholder so each use doesn't re-raise."""
+        self._values[name] = 0
 
     def value(self, text: str, line_no: int) -> int:
         text = text.strip()
@@ -171,7 +208,7 @@ class _Evaluator:
         except ValueError:
             pass
         if token in self.equs:
-            return self.equs[token]
+            return self.resolve_equ(token)
         if token in self.labels:
             return self.labels[token]
         raise AsmError(f"line {line_no}: unknown symbol {token!r}")
@@ -203,12 +240,19 @@ def _parse_mem_operand(text: str, line_no: int) -> Tuple[str, str]:
 
 
 def assemble(source: str, base: int = 0) -> AssembledProgram:
-    """Assemble armlet source text loaded at byte address ``base``."""
+    """Assemble armlet source text loaded at byte address ``base``.
+
+    Defects do not stop the pass: every collectable error in the unit is
+    gathered and the raised :class:`AsmError` carries the full list in
+    its ``errors`` attribute (a single defect raises plainly, message
+    unchanged).
+    """
     if base % WORD_BYTES != 0:
         raise AsmError(f"base 0x{base:x} not word aligned")
-    equs: Dict[str, int] = {}
-    labels: Dict[str, int] = {}          # label -> word offset
+    equs: Dict[str, Tuple[str, int]] = {}   # name -> (expression, line)
+    labels: Dict[str, int] = {}             # label -> word offset
     items: List[_Item] = []
+    errors: List[AsmError] = []
     evaluator = _Evaluator(equs, labels)
 
     # ------------------------------------------------------------- pass 1
@@ -217,61 +261,72 @@ def assemble(source: str, base: int = 0) -> AssembledProgram:
         line = _strip_comment(raw_line)
         if not line:
             continue
-        while True:
-            match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*", line)
-            if not match:
-                break
-            label = match.group(1)
-            if label in labels or label in equs:
-                raise AsmError(f"line {line_no}: duplicate symbol {label!r}")
-            labels[label] = word_offset
-            line = line[match.end():]
-        if not line:
+        try:
+            while True:
+                match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*",
+                                 line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in labels or label in equs:
+                    raise AsmError(
+                        f"line {line_no}: duplicate symbol {label!r}")
+                labels[label] = word_offset
+                line = line[match.end():]
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            operands = _split_operands(rest)
+            if mnemonic == ".equ":
+                tokens = rest.split(None, 1)
+                if len(tokens) != 2:
+                    raise AsmError(f"line {line_no}: .equ needs NAME VALUE")
+                name, expr = tokens
+                if name in equs or name in labels:
+                    raise AsmError(
+                        f"line {line_no}: duplicate symbol {name!r}")
+                if not _LABEL_RE.match(name):
+                    raise AsmError(f"line {line_no}: bad .equ name {name!r}")
+                equs[name] = (expr, line_no)
+                continue
+            if mnemonic == ".word":
+                if len(operands) != 1:
+                    raise AsmError(
+                        f"line {line_no}: .word needs one expression")
+                item = _Item("word", mnemonic, operands, line_no, 1)
+            elif mnemonic == ".space":
+                if len(operands) != 1:
+                    raise AsmError(
+                        f"line {line_no}: .space needs a byte count")
+                nbytes = evaluator.value(operands[0], line_no)
+                if nbytes < 0 or nbytes % WORD_BYTES != 0:
+                    raise AsmError(f"line {line_no}: .space must be a "
+                                   f"non-negative word multiple, got {nbytes}")
+                item = _Item("space", mnemonic, operands, line_no,
+                             nbytes // WORD_BYTES)
+            elif mnemonic == ".align":
+                if len(operands) != 1:
+                    raise AsmError(
+                        f"line {line_no}: .align needs a byte count")
+                alignment = evaluator.value(operands[0], line_no)
+                if alignment < WORD_BYTES or alignment % WORD_BYTES != 0:
+                    raise AsmError(f"line {line_no}: .align must be a word "
+                                   f"multiple >= {WORD_BYTES}, "
+                                   f"got {alignment}")
+                align_words = alignment // WORD_BYTES
+                pad = (-word_offset) % align_words
+                item = _Item("space", mnemonic, operands, line_no, pad)
+            elif mnemonic == "li":
+                if len(operands) != 2:
+                    raise AsmError(f"line {line_no}: LI needs rd, expr")
+                item = _Item("li", mnemonic, operands, line_no, 2)
+            else:
+                item = _Item("instr", mnemonic, operands, line_no, 1)
+        except AsmError as error:
+            errors.append(error)
             continue
-        parts = line.split(None, 1)
-        mnemonic = parts[0].lower()
-        rest = parts[1] if len(parts) > 1 else ""
-        operands = _split_operands(rest)
-        if mnemonic == ".equ":
-            tokens = rest.split(None, 1)
-            if len(tokens) != 2:
-                raise AsmError(f"line {line_no}: .equ needs NAME VALUE")
-            name, expr = tokens
-            if name in equs or name in labels:
-                raise AsmError(f"line {line_no}: duplicate symbol {name!r}")
-            if not _LABEL_RE.match(name):
-                raise AsmError(f"line {line_no}: bad .equ name {name!r}")
-            equs[name] = evaluator.value(expr, line_no)
-            continue
-        if mnemonic == ".word":
-            if len(operands) != 1:
-                raise AsmError(f"line {line_no}: .word needs one expression")
-            item = _Item("word", mnemonic, operands, line_no, 1)
-        elif mnemonic == ".space":
-            if len(operands) != 1:
-                raise AsmError(f"line {line_no}: .space needs a byte count")
-            nbytes = evaluator.value(operands[0], line_no)
-            if nbytes < 0 or nbytes % WORD_BYTES != 0:
-                raise AsmError(f"line {line_no}: .space must be a "
-                               f"non-negative word multiple, got {nbytes}")
-            item = _Item("space", mnemonic, operands, line_no,
-                         nbytes // WORD_BYTES)
-        elif mnemonic == ".align":
-            if len(operands) != 1:
-                raise AsmError(f"line {line_no}: .align needs a byte count")
-            alignment = evaluator.value(operands[0], line_no)
-            if alignment < WORD_BYTES or alignment % WORD_BYTES != 0:
-                raise AsmError(f"line {line_no}: .align must be a word "
-                               f"multiple >= {WORD_BYTES}, got {alignment}")
-            align_words = alignment // WORD_BYTES
-            pad = (-word_offset) % align_words
-            item = _Item("space", mnemonic, operands, line_no, pad)
-        elif mnemonic == "li":
-            if len(operands) != 2:
-                raise AsmError(f"line {line_no}: LI needs rd, expr")
-            item = _Item("li", mnemonic, operands, line_no, 2)
-        else:
-            item = _Item("instr", mnemonic, operands, line_no, 1)
         item.word_offset = word_offset
         word_offset += item.size
         items.append(item)
@@ -280,6 +335,15 @@ def assemble(source: str, base: int = 0) -> AssembledProgram:
     abs_labels = {name: base + offset * WORD_BYTES
                   for name, offset in labels.items()}
     evaluator = _Evaluator(equs, abs_labels)
+
+    # every .equ must resolve even if never used (and a failure must be
+    # reported once, not at each use site)
+    for name in equs:
+        try:
+            evaluator.resolve_equ(name)
+        except AsmError as error:
+            errors.append(error)
+            evaluator.poison_equ(name)
 
     # ------------------------------------------------------------- pass 2
     words: List[int] = []
@@ -291,32 +355,40 @@ def assemble(source: str, base: int = 0) -> AssembledProgram:
 
     for item in items:
         line_no = item.line_no
-        if item.kind == "word":
-            emit(evaluator.value(item.operands[0], line_no), line_no)
-            continue
-        if item.kind == "space":
-            for _ in range(item.size):
-                emit(0, line_no)
-            continue
-        if item.kind == "li":
-            rd = _parse_reg(item.operands[0], line_no)
-            value = evaluator.value(item.operands[1], line_no) & WORD_MASK
-            emit(encode(Instruction(Op.MOVI, rd=rd, imm=value & 0xFFFF)),
-                 line_no)
-            emit(encode(Instruction(Op.MOVT, rd=rd, imm=value >> 16)),
-                 line_no)
-            continue
         try:
-            op = Op[item.mnemonic.upper()]
-        except KeyError:
-            raise AsmError(
-                f"line {line_no}: unknown mnemonic {item.mnemonic!r}") from None
-        instr = _build_instruction(op, item, evaluator, line_no, base)
-        try:
-            emit(encode(instr), line_no)
+            if item.kind == "word":
+                emit(evaluator.value(item.operands[0], line_no), line_no)
+                continue
+            if item.kind == "space":
+                for _ in range(item.size):
+                    emit(0, line_no)
+                continue
+            if item.kind == "li":
+                rd = _parse_reg(item.operands[0], line_no)
+                value = evaluator.value(item.operands[1], line_no) & WORD_MASK
+                emit(encode(Instruction(Op.MOVI, rd=rd, imm=value & 0xFFFF)),
+                     line_no)
+                emit(encode(Instruction(Op.MOVT, rd=rd, imm=value >> 16)),
+                     line_no)
+                continue
+            try:
+                op = Op[item.mnemonic.upper()]
+            except KeyError:
+                raise AsmError(f"line {line_no}: unknown mnemonic "
+                               f"{item.mnemonic!r}") from None
+            instr = _build_instruction(op, item, evaluator, line_no, base)
+            try:
+                emit(encode(instr), line_no)
+            except AsmError as error:
+                raise AsmError(f"line {line_no}: {error}") from None
         except AsmError as error:
-            raise AsmError(f"line {line_no}: {error}") from None
+            errors.append(error)
+            # keep later word offsets aligned with pass-1 layout
+            while len(words) < item.word_offset + item.size:
+                emit(0, line_no)
 
+    if errors:
+        raise AsmError.collect(errors)
     return AssembledProgram(words, base, abs_labels, source_map)
 
 

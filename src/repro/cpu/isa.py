@@ -22,7 +22,7 @@ except U16, which is zero-extended.
 """
 
 import enum
-from typing import Dict, NamedTuple
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.ocp.types import WORD_MASK
 
@@ -33,7 +33,30 @@ LR = 14
 
 
 class AsmError(Exception):
-    """Bad assembly source, encoding overflow, or undecodable word."""
+    """Bad assembly source, encoding overflow, or undecodable word.
+
+    ``errors`` lists every collected defect: :func:`~repro.cpu.assembler.
+    assemble` reports *all* the problems of a translation unit in one
+    pass, so a single raised ``AsmError`` may carry many.  For a lone
+    defect it contains just the exception itself.
+    """
+
+    def __init__(self, message: str, errors: Optional[List["AsmError"]] = None):
+        super().__init__(message)
+        self.errors: List["AsmError"] = list(errors) if errors else [self]
+
+    @classmethod
+    def collect(cls, errors: List["AsmError"]) -> "AsmError":
+        """One exception summarising every collected defect."""
+        if len(errors) == 1:
+            return errors[0]
+        lines = [f"{len(errors)} assembly errors:"]
+        lines.extend(str(error) for error in errors)
+        return cls("\n".join(lines), errors=errors)
+
+
+class IllegalInstruction(AsmError):
+    """A fetched word that does not decode (e.g. a corrupted image)."""
 
 
 class Format(enum.Enum):

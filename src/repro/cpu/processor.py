@@ -20,6 +20,8 @@ from repro.cpu.cache import Cache
 from repro.cpu.isa import (
     BRANCH_TAKEN_PENALTY,
     EXTRA_CYCLES,
+    AsmError,
+    IllegalInstruction,
     Instruction,
     LR,
     NUM_REGS,
@@ -99,7 +101,14 @@ class Processor(Component):
     def _decode(self, word: int) -> Instruction:
         instr = self._decode_memo.get(word)
         if instr is None:
-            instr = decode(word)
+            try:
+                instr = decode(word)
+            except AsmError as error:
+                # a corrupted image or a wild jump landed execution on a
+                # non-instruction word — report *where*, not just what
+                raise IllegalInstruction(
+                    f"{self.name}: illegal instruction word 0x{word:08x} "
+                    f"at pc 0x{self.pc:08x}: {error}") from None
             self._decode_memo[word] = instr
         return instr
 

@@ -23,7 +23,12 @@ from repro.harness.experiments import (
     tg_flow,
     translate_traces,
 )
-from repro.harness.cache import ResultCache, default_cache_dir, point_cache_key
+from repro.harness.cache import (
+    CacheIssue,
+    ResultCache,
+    default_cache_dir,
+    point_cache_key,
+)
 from repro.harness.parallel import (
     PointResult,
     SweepPoint,
@@ -39,6 +44,7 @@ from repro.harness.sweep import (
 
 __all__ = [
     "PointResult",
+    "CacheIssue",
     "ResultCache",
     "SweepPoint",
     "SweepSpec",

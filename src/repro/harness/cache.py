@@ -30,11 +30,29 @@ import hashlib
 import json
 import os
 import tempfile
+import zlib
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, NamedTuple, Optional, Union
 
-__all__ = ["ResultCache", "default_cache_dir", "point_cache_key",
-           "repro_version"]
+__all__ = ["CacheIssue", "ResultCache", "default_cache_dir",
+           "point_cache_key", "repro_version"]
+
+
+class CacheIssue(NamedTuple):
+    """One defective cache entry found by :meth:`ResultCache.verify`."""
+
+    path: str
+    kind: str       # "corrupt" | "stale"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind:7s} {self.path}: {self.detail}"
+
+
+def _result_crc32(result: Dict) -> str:
+    """CRC32 (hex) of the canonical JSON of a stored result payload."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(blob.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 def repro_version() -> str:
@@ -81,10 +99,16 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict]:
+    def get(self, key: str,
+            artifact_checksums: Optional[Dict[str, str]] = None,
+            ) -> Optional[Dict]:
         """The cached result summary for ``key``, or None on a miss.
 
-        Corrupted, truncated, or otherwise unreadable entries are misses.
+        An entry is a miss — never an error, never a wrong answer — when
+        it is unreadable, malformed, recorded under a different package
+        version, fails its own embedded result checksum, or disagrees
+        with any caller-supplied ``artifact_checksums`` (``{name: crc32
+        hex}`` of the artifacts the result was computed from).
         """
         try:
             with open(self.path_for(key)) as handle:
@@ -94,19 +118,37 @@ class ResultCache:
         if not isinstance(entry, dict) or \
                 not isinstance(entry.get("result"), dict):
             return None
+        if entry.get("version") != repro_version():
+            return None
+        if entry.get("result_crc32") != _result_crc32(entry["result"]):
+            return None
+        if artifact_checksums:
+            recorded = entry.get("artifact_checksums") or {}
+            for name, checksum in artifact_checksums.items():
+                if name in recorded and recorded[name] != checksum:
+                    return None
         return entry["result"]
 
     def put(self, key: str, result: Dict,
-            provenance: Optional[Dict] = None) -> None:
+            provenance: Optional[Dict] = None,
+            artifact_checksums: Optional[Dict[str, str]] = None) -> None:
         """Store a result summary atomically under ``key``.
 
         ``provenance`` (the pre-hash key material) is stored alongside the
-        result so a human can read *what* an entry describes.
+        result so a human can read *what* an entry describes;
+        ``artifact_checksums`` records the CRC32 of any artifacts the
+        result depends on.  The entry embeds the package version and its
+        own result checksum, so :meth:`get` can tell corruption and
+        staleness from a valid hit.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
-        entry = {"key": key, "result": result}
+        entry = {"key": key, "result": result,
+                 "version": repro_version(),
+                 "result_crc32": _result_crc32(result)}
         if provenance is not None:
             entry["provenance"] = provenance
+        if artifact_checksums is not None:
+            entry["artifact_checksums"] = dict(artifact_checksums)
         fd, tmp_path = tempfile.mkstemp(dir=str(self.directory),
                                         suffix=".tmp")
         try:
@@ -119,6 +161,65 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def verify(self) -> List[CacheIssue]:
+        """Audit every entry; returns the corrupt/stale ones.
+
+        ``corrupt`` — unreadable JSON, malformed structure, a key that
+        does not match the filename or the provenance hash, or a result
+        that fails its embedded checksum.  ``stale`` — recorded under a
+        different package version (valid once, obsolete now).  A clean
+        cache returns an empty list.
+        """
+        issues: List[CacheIssue] = []
+        if not self.directory.is_dir():
+            return issues
+        for path in sorted(self.directory.glob("*.json")):
+            name = str(path)
+            try:
+                with open(path) as handle:
+                    entry = json.load(handle)
+            except OSError as error:
+                issues.append(CacheIssue(name, "corrupt",
+                                         f"unreadable: {error}"))
+                continue
+            except ValueError as error:
+                issues.append(CacheIssue(name, "corrupt",
+                                         f"not valid JSON: {error}"))
+                continue
+            if not isinstance(entry, dict) or \
+                    not isinstance(entry.get("result"), dict):
+                issues.append(CacheIssue(name, "corrupt",
+                                         "missing result payload"))
+                continue
+            if entry.get("key") != path.stem:
+                issues.append(CacheIssue(
+                    name, "corrupt",
+                    f"entry key {entry.get('key')!r} does not match "
+                    f"filename"))
+                continue
+            if "result_crc32" in entry and \
+                    entry["result_crc32"] != _result_crc32(entry["result"]):
+                issues.append(CacheIssue(name, "corrupt",
+                                         "result fails its checksum"))
+                continue
+            provenance = entry.get("provenance")
+            if isinstance(provenance, dict):
+                blob = json.dumps(provenance, sort_keys=True,
+                                  separators=(",", ":"))
+                digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+                if digest != path.stem:
+                    issues.append(CacheIssue(
+                        name, "corrupt",
+                        "provenance does not hash to the entry key"))
+                    continue
+            version = entry.get("version")
+            if version != repro_version():
+                issues.append(CacheIssue(
+                    name, "stale",
+                    f"recorded by version {version or 'unknown'}, "
+                    f"current is {repro_version()}"))
+        return issues
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -50,9 +50,10 @@ class TraceCollector(PortMonitor):
         return serialize_trc(self.events, self.master_id, header_comment)
 
     def save(self, path, header_comment: Optional[str] = None) -> None:
-        """Write the ``.trc`` file."""
-        with open(path, "w") as handle:
-            handle.write(self.to_trc(header_comment))
+        """Write the ``.trc`` file (with the verified artifact header)."""
+        from repro.artifacts.io import save_trc
+        save_trc(path, self.events, master_id=self.master_id,
+                 header_comment=header_comment)
 
 
 def collect_traces(platform) -> Dict[int, TraceCollector]:

@@ -6,7 +6,7 @@ re-translate later (pollable ranges, benchmark identity, the fabric they
 were collected on).  A *trace set* is a directory::
 
     traceset/
-      manifest.json      metadata + file index
+      manifest.json      metadata + file index + per-file checksums
       core0.trc
       core1.trc
       ...
@@ -14,22 +14,34 @@ were collected on).  A *trace set* is a directory::
 and, after :func:`translate_trace_set`, the derived programs::
 
       core0.tgp  core0.bin  ...
+
+Every file is written through :mod:`repro.artifacts` (versioned header +
+CRC32), and the manifest records each trace's payload checksum so a
+swapped or edited file is caught even when its own header still
+verifies.  Loading raises typed
+:class:`~repro.artifacts.errors.ArtifactError`\\ s; manifest-level
+defects raise :class:`ManifestError` (also a ``ValueError``, the
+exception historical callers catch).
 """
 
 import json
 import os
 from typing import Dict, List, Optional, Tuple
 
+from repro.artifacts.errors import ArtifactError, ChecksumMismatch
+from repro.artifacts.io import load_trc, save_bin, save_tgp, save_trc
 from repro.core import TGProgram
-from repro.core.assembler import assemble_binary
 from repro.core.modes import ReplayMode
 from repro.trace.collector import TraceCollector
 from repro.trace.events import TraceEvent
 from repro.trace.translator import Translator, TranslatorOptions
-from repro.trace.trc_format import parse_trc
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
+
+
+class ManifestError(ArtifactError, ValueError):
+    """A defective trace-set manifest (bad JSON, version, or file index)."""
 
 
 def save_trace_set(directory, collectors: Dict[int, TraceCollector],
@@ -43,12 +55,16 @@ def save_trace_set(directory, collectors: Dict[int, TraceCollector],
     """
     os.makedirs(directory, exist_ok=True)
     files = {}
+    checksums = {}
     for master_id, collector in sorted(collectors.items()):
         filename = f"core{master_id}.trc"
-        collector.save(os.path.join(directory, filename),
-                       header_comment=f"{benchmark} on {interconnect}"
-                       if benchmark else None)
+        checksum = save_trc(
+            os.path.join(directory, filename), collector.events,
+            master_id=collector.master_id,
+            header_comment=f"{benchmark} on {interconnect}"
+            if benchmark else None)
         files[str(master_id)] = filename
+        checksums[filename] = checksum
     manifest = {
         "version": FORMAT_VERSION,
         "benchmark": benchmark,
@@ -57,6 +73,7 @@ def save_trace_set(directory, collectors: Dict[int, TraceCollector],
         "pollable_ranges": [[base, size]
                             for base, size in (pollable_ranges or [])],
         "files": files,
+        "checksums": checksums,
     }
     if extra:
         manifest["extra"] = extra
@@ -66,22 +83,56 @@ def save_trace_set(directory, collectors: Dict[int, TraceCollector],
     return path
 
 
-def load_trace_set(directory) -> Tuple[dict, Dict[int, List[TraceEvent]]]:
-    """Read a trace set back; returns ``(manifest, {master_id: events})``."""
+def load_trace_set(directory, strict: bool = True,
+                   ) -> Tuple[dict, Dict[int, List[TraceEvent]]]:
+    """Read a trace set back; returns ``(manifest, {master_id: events})``.
+
+    Every trace is loaded through the verified artifact layer; when the
+    manifest records checksums (new-format sets), each file's payload
+    CRC32 is cross-checked against it, so swapping two intact files is
+    caught.  ``strict=False`` skips recoverably-bad trace records
+    instead of raising (see docs/ARTIFACTS.md).
+    """
     path = os.path.join(directory, MANIFEST_NAME)
     with open(path) as handle:
-        manifest = json.load(handle)
+        try:
+            manifest = json.load(handle)
+        except ValueError as error:
+            raise ManifestError(f"manifest is not valid JSON: {error}",
+                                path=path,
+                                hint="regenerate the trace set") from None
+    if not isinstance(manifest, dict) or \
+            not isinstance(manifest.get("files"), dict):
+        raise ManifestError("manifest has no file index", path=path,
+                            hint="regenerate the trace set")
     if manifest.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported trace-set version "
-                         f"{manifest.get('version')!r}")
+        raise ManifestError(
+            f"unsupported trace-set version {manifest.get('version')!r}",
+            path=path,
+            hint=f"this build reads version {FORMAT_VERSION}")
+    checksums = manifest.get("checksums") or {}
     traces: Dict[int, List[TraceEvent]] = {}
     for key, filename in manifest["files"].items():
-        with open(os.path.join(directory, filename)) as handle:
-            master_id, events = parse_trc(handle.read())
-        expected = int(key)
+        trace_path = os.path.join(directory, filename)
+        artifact = load_trc(trace_path, strict=strict)
+        master_id, events = artifact.value
+        try:
+            expected = int(key)
+        except ValueError:
+            raise ManifestError(f"bad master id {key!r} in file index",
+                                path=path) from None
         if master_id != expected:
-            raise ValueError(f"{filename}: header says master {master_id},"
-                             f" manifest says {expected}")
+            raise ManifestError(
+                f"{filename}: header says master {master_id}, manifest "
+                f"says {expected}", path=path,
+                hint="the trace files were renamed or shuffled")
+        recorded = checksums.get(filename)
+        if recorded is not None and artifact.checksum != recorded:
+            raise ChecksumMismatch(
+                f"payload CRC32 {artifact.checksum} != manifest "
+                f"{recorded}", path=trace_path,
+                hint="the trace changed after the set was archived — "
+                     "regenerate the trace set")
         traces[expected] = events
     return manifest, traces
 
@@ -108,8 +159,6 @@ def translate_trace_set(directory,
         programs[master_id] = program
         if write_programs:
             stem = os.path.join(directory, f"core{master_id}")
-            with open(stem + ".tgp", "w") as handle:
-                handle.write(program.to_tgp())
-            with open(stem + ".bin", "wb") as handle:
-                handle.write(assemble_binary(program))
+            save_tgp(stem + ".tgp", program)
+            save_bin(stem + ".bin", program)
     return programs

@@ -99,7 +99,21 @@ class Translator:
 
     def translate_events(self, events: List[TraceEvent],
                          core_id: int = 0) -> TGProgram:
-        """Translate a raw event stream."""
+        """Translate a raw event stream.
+
+        The stream must be in non-decreasing time order (what
+        :func:`~repro.trace.trc_format.parse_trc` and the collectors
+        guarantee); an unordered stream would silently translate into
+        wrong idle gaps, so it is rejected up front.
+        """
+        for previous, event in zip(events, events[1:]):
+            if event.time_ns < previous.time_ns:
+                from repro.trace.trc_format import TrcParseError
+                raise TrcParseError(
+                    f"event stream not in time order (@{event.time_ns}ns "
+                    f"after @{previous.time_ns}ns)",
+                    hint="re-parse the trace with parse_trc, which "
+                         "validates record order")
         return self.translate(group_events(events), core_id)
 
     def translate(self, transactions: List[Transaction],

@@ -18,8 +18,9 @@ the accept, and burst transfers.  Example::
 """
 
 import re
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.artifacts.errors import ParseDiagnostic
 from repro.ocp.types import OCPCommand, OCPError
 from repro.trace.events import Phase, TraceEvent
 
@@ -30,6 +31,19 @@ _LINE_RE = re.compile(
     r"(?:\s+len=(\d+))?"
     r"(?:\s+((?:0x[0-9a-fA-F]+)(?:,0x[0-9a-fA-F]+)*))?"
     r"\s+@(\d+)ns$")
+
+#: Largest accepted ``; master N`` id — beyond any plausible platform.
+MAX_MASTER_ID = 1023
+
+
+class TrcParseError(ParseDiagnostic, OCPError):
+    """A located ``.trc`` defect.
+
+    Subclasses both :class:`~repro.artifacts.errors.ParseDiagnostic`
+    (artifact-pipeline contract: file/line/column + hint + exit code) and
+    :class:`~repro.ocp.types.OCPError` (the exception historical callers
+    of :func:`parse_trc` catch).
+    """
 
 
 def _format_data(data) -> str:
@@ -55,18 +69,40 @@ def serialize_trc(events: List[TraceEvent], master_id: int = 0,
     return "\n".join(lines) + "\n"
 
 
-def parse_trc(text: str) -> Tuple[int, List[TraceEvent]]:
+def parse_trc(text: str,
+              on_error: Optional[Callable[[TrcParseError], None]] = None,
+              ) -> Tuple[int, List[TraceEvent]]:
     """Parse ``.trc`` text; returns ``(master_id, events)``.
 
     Request/accept/response records are re-linked by transaction order
     (uids are regenerated: the *n*-th REQ gets uid *n*, and ACC/RESP
     records attach to the most recent unsatisfied transaction of matching
     address — sufficient because a master has one transaction in flight).
+
+    Defective records raise :class:`TrcParseError` (an
+    :class:`~repro.ocp.types.OCPError` subclass): unparseable lines,
+    orphan ACC/RESP records, out-of-range master ids, timestamps that go
+    backwards, and exact duplicate records.  Pass ``on_error`` to recover
+    instead: it receives each diagnostic and the offending record is
+    skipped (permissive mode — see docs/ARTIFACTS.md).
     """
     master_id = 0
     events: List[TraceEvent] = []
     open_uids: List[Tuple[int, OCPCommand, int, int]] = []
     next_uid = 0
+    last_time: Optional[int] = None
+    last_record: Optional[Tuple] = None
+
+    def fail(message: str, line_no: int, line: str,
+             hint: Optional[str] = None) -> bool:
+        """Report one defect; returns True when the caller should skip."""
+        diagnostic = TrcParseError(message, line=line_no, column=1,
+                                   text=line, hint=hint)
+        if on_error is None:
+            raise diagnostic
+        on_error(diagnostic)
+        return True
+
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
@@ -74,17 +110,38 @@ def parse_trc(text: str) -> Tuple[int, List[TraceEvent]]:
         if line.startswith(";"):
             match = re.match(r";\s*master\s+(\d+)", line)
             if match:
-                master_id = int(match.group(1))
+                declared = int(match.group(1))
+                if declared > MAX_MASTER_ID:
+                    fail(f"master id {declared} out of range "
+                         f"[0, {MAX_MASTER_ID}]", line_no, line,
+                         hint="fix the '; master N' header line")
+                    continue
+                master_id = declared
             continue
         match = _LINE_RE.match(line)
         if not match:
-            raise OCPError(f".trc line {line_no}: cannot parse {line!r}")
+            fail(f"cannot parse record {line!r}", line_no, line,
+                 hint="expected 'REQ|ACC|RESP RD|WR|BRD|BWR 0xADDR "
+                      "[len=N] [0xDATA,...] @Tns'")
+            continue
         phase = Phase[match.group(1)]
         cmd = _CMD_BY_CODE[match.group(2)]
         addr = int(match.group(3), 16)
         length = int(match.group(4)) if match.group(4) else 1
         data_text = match.group(5)
         time_ns = int(match.group(6))
+        if last_time is not None and time_ns < last_time:
+            fail(f"timestamp @{time_ns}ns declines (previous record is "
+                 f"@{last_time}ns)", line_no, line,
+                 hint="trace records must be in non-decreasing time "
+                      "order — re-capture or sort the trace")
+            continue
+        record = (phase, cmd, addr, time_ns)
+        if record == last_record:
+            fail(f"duplicate record (same phase/command/address "
+                 f"@{time_ns}ns as the previous line)", line_no, line,
+                 hint="remove the repeated line")
+            continue
         data = None
         if data_text:
             words = [int(tok, 16) for tok in data_text.split(",")]
@@ -98,16 +155,20 @@ def parse_trc(text: str) -> Tuple[int, List[TraceEvent]]:
             open_uids.append((uid, cmd, addr, burst_len))
             events.append(TraceEvent(phase, time_ns, cmd, addr, burst_len,
                                      data, uid))
+            last_time, last_record = time_ns, record
             continue
         # attach to the oldest open transaction with this cmd+addr
         for slot, (uid, open_cmd, open_addr, burst_len) in enumerate(open_uids):
             if open_cmd == cmd and open_addr == addr:
                 break
         else:
-            raise OCPError(f".trc line {line_no}: {phase.value} without "
-                           f"open request")
+            fail(f"{phase.value} without open request", line_no, line,
+                 hint="every ACC/RESP needs a preceding REQ with the "
+                      "same command and address")
+            continue
         events.append(TraceEvent(phase, time_ns, cmd, addr, burst_len,
                                  data, uid))
+        last_time, last_record = time_ns, record
         closes = (phase == Phase.RESP) if cmd.is_read else (phase == Phase.ACC)
         if closes:
             open_uids.pop(slot)

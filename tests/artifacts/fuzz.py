@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Deterministic mutation fuzzer for the artifact pipeline.
+
+Feeds mutated ``.trc`` / ``.tgp`` / ``.bin`` bytes to the hardened
+loaders and asserts the failure contract of docs/ARTIFACTS.md: every
+input either parses cleanly or raises a typed
+:class:`~repro.artifacts.errors.ArtifactError` — never an ``IndexError``,
+``struct.error``, ``UnicodeDecodeError`` or any other escape.  A mutant
+whose integrity header still verifies must additionally reserialize to
+the identical payload (no silent wrong parse).
+
+The mutation stream is a pure function of ``(seed, kind)``, so a CI
+failure reproduces locally with the same seed::
+
+    python tests/artifacts/fuzz.py --seed 20260805 --mutants 300
+    python tests/artifacts/fuzz.py --kind bin --report fuzz.json
+
+Also collected by pytest (``-m artifacts``).
+"""
+
+import argparse
+import json
+import random
+import sys
+import warnings
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401 - probe only; script mode fixes sys.path
+except ImportError:  # pragma: no cover - script invocation from repo root
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.artifacts import ArtifactError, load_artifact_bytes, reserialize
+
+DEFAULT_SEED = 20260805
+DEFAULT_MUTANTS = 300
+KINDS = ("trc", "tgp", "bin")
+
+
+# -------------------------------------------------------------- baselines
+
+def _baseline_trc_text() -> str:
+    lines = ["; repro .trc v1", "; master 1"]
+    time = 50
+    for index in range(24):
+        addr = 0x1A000000 + 4 * index
+        if index % 3 == 2:
+            lines.append(f"REQ WR 0x{addr:08x} 0x{index:08x} @{time}ns")
+            lines.append(f"ACC WR 0x{addr:08x} @{time + 5}ns")
+            time += 12
+        else:
+            lines.append(f"REQ RD 0x{addr:08x} @{time}ns")
+            lines.append(f"ACC RD 0x{addr:08x} @{time + 5}ns")
+            lines.append(f"RESP RD 0x{addr:08x} 0x{0x1000 + index:08x} "
+                         f"@{time + 15}ns")
+            time += 20
+    lines.append(f"REQ BRD 0x00001000 len=4 @{time}ns")
+    lines.append(f"ACC BRD 0x00001000 @{time + 5}ns")
+    lines.append("RESP BRD 0x00001000 "
+                 "0x00000001,0x00000002,0x00000003,0x00000004 "
+                 f"@{time + 25}ns")
+    return "\n".join(lines) + "\n"
+
+
+def make_baseline(kind: str) -> bytes:
+    """A small but representative well-formed artifact of ``kind``."""
+    from repro.artifacts import dump_bin, dump_tgp, dump_trc
+    from repro.trace import Translator, TranslatorOptions
+    from repro.trace.trc_format import parse_trc
+
+    master_id, events = parse_trc(_baseline_trc_text())
+    if kind == "trc":
+        return dump_trc(events, master_id=master_id).encode("utf-8")
+    program = Translator(TranslatorOptions()).translate_events(
+        events, master_id)
+    if kind == "tgp":
+        return dump_tgp(program).encode("utf-8")
+    return dump_bin(program)
+
+
+# --------------------------------------------------------------- mutators
+
+def mutate_truncate(rng: random.Random, data: bytes) -> bytes:
+    if len(data) < 2:
+        return data
+    return data[:rng.randrange(1, len(data))]
+
+
+def mutate_bit_flip(rng: random.Random, data: bytes) -> bytes:
+    blob = bytearray(data)
+    for _ in range(rng.randint(1, 8)):
+        index = rng.randrange(len(blob))
+        blob[index] ^= 1 << rng.randrange(8)
+    return bytes(blob)
+
+
+def mutate_line_shuffle(rng: random.Random, data: bytes) -> bytes:
+    lines = data.split(b"\n")
+    if len(lines) < 3:
+        return data
+    rng.shuffle(lines)
+    return b"\n".join(lines)
+
+
+def mutate_field_mangle(rng: random.Random, data: bytes) -> bytes:
+    tokens = data.split(b" ")
+    if len(tokens) < 2:
+        return mutate_bit_flip(rng, data)
+    index = rng.randrange(len(tokens))
+    junk = bytes(rng.choice(b"0123456789abcdefxXZ@,;ns=")
+                 for _ in range(rng.randint(1, 12)))
+    tokens[index] = junk
+    return b" ".join(tokens)
+
+
+def mutate_header_forge(rng: random.Random, data: bytes) -> bytes:
+    """Rewrite bytes inside the header region only."""
+    if data[:4] == b"RTGA":
+        region = 32
+    else:
+        newline = data.find(b"\n")
+        region = newline if newline > 0 else min(len(data), 40)
+    blob = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        index = rng.randrange(min(region, len(blob)))
+        blob[index] = rng.randrange(256)
+    return bytes(blob)
+
+
+MUTATORS = {
+    "truncate": mutate_truncate,
+    "bit_flip": mutate_bit_flip,
+    "line_shuffle": mutate_line_shuffle,
+    "field_mangle": mutate_field_mangle,
+    "header_forge": mutate_header_forge,
+}
+
+
+# ---------------------------------------------------------------- harness
+
+def fuzz_format(kind: str, seed: int = DEFAULT_SEED,
+                mutants: int = DEFAULT_MUTANTS) -> dict:
+    """Fuzz one format; returns the outcome tally plus any escapes."""
+    rng = random.Random(f"{seed}:{kind}")
+    base = make_baseline(kind)
+    names = sorted(MUTATORS)
+    outcomes = {"clean": 0}
+    escapes = []
+    roundtrip_failures = []
+    for index in range(mutants):
+        name = names[index % len(names)]
+        mutant = MUTATORS[name](rng, base)
+        # .trc alternates strict/permissive; permissive must uphold the
+        # same contract (it only downgrades record-level defects)
+        strict = kind != "trc" or index % 2 == 0
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                artifact = load_artifact_bytes(kind, mutant, strict=strict)
+        except ArtifactError as error:
+            label = type(error).__name__
+            outcomes[label] = outcomes.get(label, 0) + 1
+        except Exception as error:  # the contract violation we hunt
+            escapes.append({
+                "index": index,
+                "mutator": name,
+                "strict": strict,
+                "error": f"{type(error).__name__}: {error}",
+                "mutant_prefix": repr(mutant[:80]),
+            })
+        else:
+            outcomes["clean"] += 1
+            if artifact.header is not None and not artifact.report:
+                if reserialize(artifact) != artifact.payload:
+                    roundtrip_failures.append({
+                        "index": index,
+                        "mutator": name,
+                        "detail": "verified header but payload does not "
+                                  "round-trip identically",
+                    })
+    return {
+        "kind": kind,
+        "seed": seed,
+        "mutants": mutants,
+        "outcomes": outcomes,
+        "escapes": escapes,
+        "roundtrip_failures": roundtrip_failures,
+    }
+
+
+def _summary_line(result: dict) -> str:
+    tally = ", ".join(f"{name}={count}" for name, count
+                      in sorted(result["outcomes"].items()))
+    return (f"[fuzz:{result['kind']}] seed={result['seed']} "
+            f"{result['mutants']} mutants: {tally}; "
+            f"{len(result['escapes'])} escape(s), "
+            f"{len(result['roundtrip_failures'])} round-trip failure(s)")
+
+
+# ----------------------------------------------------------------- pytest
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+    pytestmark = pytest.mark.artifacts
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fuzz_contract(kind):
+        result = fuzz_format(kind)
+        assert result["escapes"] == [], _summary_line(result)
+        assert result["roundtrip_failures"] == [], _summary_line(result)
+        assert sum(result["outcomes"].values()) == DEFAULT_MUTANTS
+        # the mutators must actually exercise the typed-error paths
+        assert sum(count for name, count in result["outcomes"].items()
+                   if name != "clean") > 0
+
+
+# ----------------------------------------------------------------- script
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Deterministic mutation fuzzer for the artifact "
+                    "loaders (see docs/ARTIFACTS.md).")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--mutants", type=int, default=DEFAULT_MUTANTS,
+                        help=f"mutants per format "
+                             f"(default {DEFAULT_MUTANTS})")
+    parser.add_argument("--kind", action="append", choices=KINDS,
+                        help="format(s) to fuzz (default: all)")
+    parser.add_argument("--report", metavar="FILE",
+                        help="write the full JSON report")
+    args = parser.parse_args(argv)
+
+    results = [fuzz_format(kind, seed=args.seed, mutants=args.mutants)
+               for kind in (args.kind or KINDS)]
+    for result in results:
+        print(_summary_line(result))
+    failed = any(result["escapes"] or result["roundtrip_failures"]
+                 for result in results)
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump({"ok": not failed, "results": results}, handle,
+                      indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    for result in results:
+        for escape in result["escapes"]:
+            print(f"ESCAPE {result['kind']}#{escape['index']} "
+                  f"({escape['mutator']}): {escape['error']}",
+                  file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

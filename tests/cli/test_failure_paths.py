@@ -1,0 +1,207 @@
+"""CLI failure-path contract: distinct exit codes, one-line messages,
+no tracebacks, machine-readable --diagnostics-json (docs/ARTIFACTS.md)."""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    EXIT_CHECKSUM,
+    EXIT_MISSING_FILE,
+    EXIT_PARSE,
+    EXIT_TRUNCATED,
+    EXIT_VERSION,
+    dump_bin,
+    save_tgp,
+    save_trc,
+)
+from repro.cli import (
+    sweep_main,
+    tgasm_main,
+    tgdump_main,
+    trace_stats_main,
+    traceset_main,
+    trc2tgp_main,
+)
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.trc_format import parse_trc
+
+pytestmark = [
+    pytest.mark.artifacts,
+    # several fixtures are deliberately headerless legacy artifacts
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
+
+TRACE = """\
+; master 0
+REQ RD 0x00000104 @55ns
+ACC RD 0x00000104 @60ns
+RESP RD 0x00000104 0x088000f0 @75ns
+REQ WR 0x00000020 0x00000111 @90ns
+ACC WR 0x00000020 @95ns
+"""
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """A consistent trio of valid artifacts in tmp_path."""
+    _, events = parse_trc(TRACE)
+    program = Translator(TranslatorOptions()).translate_events(events, 0)
+    trc = tmp_path / "a.trc"
+    tgp = tmp_path / "a.tgp"
+    image = tmp_path / "a.bin"
+    save_trc(trc, events)
+    save_tgp(tgp, program)
+    image.write_bytes(dump_bin(program))
+    return trc, tgp, image
+
+
+def _assert_one_line_error(capsys, tool):
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1
+    assert lines[0].startswith(f"{tool}: error: ")
+    return lines[0]
+
+
+# ------------------------------------------------------------ exit codes
+
+class TestMissingFile:
+    @pytest.mark.parametrize("main,args,tool", [
+        (trc2tgp_main, ["nope.trc"], "repro-trc2tgp"),
+        (tgasm_main, ["nope.tgp", "-o", "x.bin"], "repro-tgasm"),
+        (tgdump_main, ["nope.bin"], "repro-tgdump"),
+        (trace_stats_main, ["nope.trc"], "repro-trace-stats"),
+        (traceset_main, ["info", "nope-dir"], "repro-traceset"),
+    ])
+    def test_exit_3(self, main, args, tool, capsys, tmp_path,
+                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(args) == EXIT_MISSING_FILE
+        _assert_one_line_error(capsys, tool)
+
+
+class TestParseError:
+    def test_trc_exit_4(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trc"
+        bad.write_text("REQ banana @zzns\n")
+        assert trc2tgp_main([str(bad)]) == EXIT_PARSE
+        line = _assert_one_line_error(capsys, "repro-trc2tgp")
+        assert "hint:" in line
+
+    def test_tgp_exit_4(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tgp"
+        bad.write_text("MASTER[0,0]\nBEGIN\nFrobnicate r9\nEND\n")
+        assert tgasm_main([str(bad), "-o", str(tmp_path / "x.bin")]) \
+            == EXIT_PARSE
+        _assert_one_line_error(capsys, "repro-tgasm")
+
+    def test_bin_exit_4(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"\x7fELF" + b"\0" * 60)
+        assert tgdump_main([str(bad)]) == EXIT_PARSE
+        _assert_one_line_error(capsys, "repro-tgdump")
+
+
+class TestIntegrityErrors:
+    def test_checksum_exit_5(self, artifacts, capsys):
+        trc, _, _ = artifacts
+        trc.write_text(trc.read_text().replace("0x00000104",
+                                               "0x00000105"))
+        assert trace_stats_main([str(trc)]) == EXIT_CHECKSUM
+        _assert_one_line_error(capsys, "repro-trace-stats")
+
+    def test_version_exit_6(self, artifacts, capsys):
+        _, tgp, _ = artifacts
+        tgp.write_text(tgp.read_text().replace("tgp v1", "tgp v42", 1))
+        assert tgasm_main([str(tgp), "-o", "x.bin"]) == EXIT_VERSION
+        _assert_one_line_error(capsys, "repro-tgasm")
+
+    def test_truncated_exit_7(self, artifacts, capsys):
+        _, _, image = artifacts
+        image.write_bytes(image.read_bytes()[:40])
+        assert tgdump_main([str(image)]) == EXIT_TRUNCATED
+        _assert_one_line_error(capsys, "repro-tgdump")
+
+
+# ------------------------------------------------------ diagnostics JSON
+
+class TestDiagnosticsJson:
+    def test_failure_report(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trc"
+        bad.write_text("garbage\n")
+        out = tmp_path / "diag.json"
+        assert trc2tgp_main([str(bad), "--diagnostics-json",
+                             str(out)]) == EXIT_PARSE
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is False
+        assert payload["tool"] == "repro-trc2tgp"
+        error = payload["error"]
+        assert error["exit_code"] == EXIT_PARSE
+        assert error["line"] == 1
+        assert error["hint"]
+
+    def test_success_report_to_stdout(self, artifacts, capsys):
+        trc, _, _ = artifacts
+        assert trace_stats_main([str(trc), "--json",
+                                 "--diagnostics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        # first JSON document is the diagnostics, second the stats
+        decoder = json.JSONDecoder()
+        payload, _ = decoder.raw_decode(out)
+        assert payload == {"ok": True, "skipped": 0, "diagnostics": [],
+                           "tool": "repro-trace-stats"}
+
+    def test_permissive_lists_skips(self, tmp_path, capsys):
+        mixed = tmp_path / "mixed.trc"
+        mixed.write_text(TRACE + "not a record\n")
+        out = tmp_path / "diag.json"
+        assert trc2tgp_main([str(mixed), "--permissive",
+                             "--diagnostics-json", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "skipped 1 bad record" in err
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["skipped"] == 1
+        assert payload["diagnostics"][0]["text"] == "not a record"
+
+    def test_strict_fails_where_permissive_recovers(self, tmp_path):
+        mixed = tmp_path / "mixed.trc"
+        mixed.write_text(TRACE + "not a record\n")
+        assert trc2tgp_main([str(mixed)]) == EXIT_PARSE
+        assert trc2tgp_main([str(mixed), "--permissive"]) == 0
+
+
+# ------------------------------------------------------------- sweep CLI
+
+class TestSweepCacheVerify:
+    def test_clean_cache_exit_0(self, tmp_path, capsys):
+        from repro.harness import ResultCache
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("k" * 64, {"cycles": 1})
+        assert sweep_main(["--cache-verify", "--cache-dir",
+                           str(tmp_path / "cache")]) == 0
+        assert "1 ok, 0 corrupt, 0 stale" in capsys.readouterr().err
+
+    def test_corrupt_entry_exit_1(self, tmp_path, capsys):
+        from repro.harness import ResultCache
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("k" * 64, {"cycles": 1})
+        entry = cache.path_for("k" * 64)
+        entry.write_text(entry.read_text().replace('"cycles": 1',
+                                                   '"cycles": 2'))
+        assert sweep_main(["--cache-verify", "--cache-dir",
+                           str(tmp_path / "cache")]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+    def test_spec_required_without_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_main([])
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_missing_spec_file_exit_3(self, capsys):
+        assert sweep_main(["nope.json"]) == EXIT_MISSING_FILE
+        _assert_one_line_error(capsys, "repro-sweep")

@@ -1,0 +1,116 @@
+"""Assembler error collection and .equ resolution robustness."""
+
+import pytest
+
+from repro.cpu import AsmError, IllegalInstruction, assemble, decode
+from repro.cpu.assembler import _Evaluator
+
+
+class TestErrorCollection:
+    def test_single_error_message_unchanged(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble("FROB r1, r2")
+        assert "unknown mnemonic" in str(excinfo.value)
+        assert "assembly errors" not in str(excinfo.value)
+        assert len(excinfo.value.errors) == 1
+
+    def test_all_errors_reported_in_one_pass(self):
+        source = """
+            FROB r1, r2          ; unknown mnemonic
+            ADD r1, r2           ; wrong operand count
+            MOVI r1, #NOWHERE    ; unknown symbol
+            NOP
+        """
+        with pytest.raises(AsmError) as excinfo:
+            assemble(source)
+        error = excinfo.value
+        assert len(error.errors) == 3
+        message = str(error)
+        assert message.startswith("3 assembly errors:")
+        assert "unknown mnemonic" in message
+        assert "needs 3 operand(s)" in message
+        assert "unknown symbol" in message
+
+    def test_pass1_and_pass2_errors_both_collected(self):
+        source = """
+            .equ X              ; pass-1 defect (.equ needs NAME VALUE)
+            B nowhere           ; pass-2 defect (unknown symbol)
+        """
+        with pytest.raises(AsmError) as excinfo:
+            assemble(source)
+        assert len(excinfo.value.errors) == 2
+
+    def test_error_lines_stay_aligned_after_skip(self):
+        # a defective line must not shift the addresses of later labels
+        source = """
+                B end
+                FROB r0          ; bad, occupies one word placeholder
+            end:
+                HALT
+        """
+        with pytest.raises(AsmError) as excinfo:
+            assemble(source)
+        assert len(excinfo.value.errors) == 1
+        good = source.replace("FROB r0", "NOP     ")
+        program = assemble(good)
+        # branch skips exactly one word either way
+        assert decode(program.words[0]).imm == 1
+
+
+class TestEquResolution:
+    def test_forward_reference_resolves(self):
+        program = assemble("""
+            .equ A B+1
+            .equ B 4
+            MOVI r1, #A
+        """)
+        assert decode(program.words[0]).imm == 5
+
+    def test_self_referential_equ_raises_not_recursionerror(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble(".equ A A+1\nMOVI r1, #A")
+        assert "recursive .equ" in str(excinfo.value)
+
+    def test_mutually_recursive_equs_report_chain(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble(".equ A B\n.equ B A\nMOVI r1, #A")
+        message = str(excinfo.value)
+        assert "recursive .equ" in message
+        assert "->" in message
+
+    def test_unused_recursive_equ_still_errors_once(self):
+        with pytest.raises(AsmError) as excinfo:
+            assemble(".equ A A\nNOP")
+        assert len(excinfo.value.errors) == 1
+
+    def test_broken_equ_reported_once_despite_many_uses(self):
+        source = ".equ A A\n" + "MOVI r1, #A\n" * 5
+        with pytest.raises(AsmError) as excinfo:
+            assemble(source)
+        recursive = [e for e in excinfo.value.errors
+                     if "recursive" in str(e)]
+        assert len(recursive) == 1
+
+    def test_depth_cap(self):
+        depth = _Evaluator.MAX_EQU_DEPTH + 5
+        lines = [f".equ S{i} S{i + 1}+1" for i in range(depth)]
+        lines.append(f".equ S{depth} 0")
+        lines.append("MOVI r1, #S0")
+        with pytest.raises(AsmError) as excinfo:
+            assemble("\n".join(lines))
+        assert "deeper than" in str(excinfo.value)
+
+    def test_chain_within_cap_resolves(self):
+        depth = _Evaluator.MAX_EQU_DEPTH - 2
+        lines = [f".equ S{i} S{i + 1}+1" for i in range(depth)]
+        lines.append(f".equ S{depth} 0")
+        lines.append("MOVI r1, #S0")
+        program = assemble("\n".join(lines))
+        assert decode(program.words[0]).imm == depth
+
+
+class TestIllegalInstruction:
+    def test_decode_failure_is_typed(self):
+        with pytest.raises(AsmError):
+            decode(0xFFFF_FFFF)
+        assert issubclass(IllegalInstruction, AsmError)

@@ -1,0 +1,129 @@
+"""Cache integrity: embedded checksums, verify() audit, mismatch = miss."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.harness import CacheIssue, ResultCache
+from repro.harness.cache import repro_version
+
+pytestmark = pytest.mark.artifacts
+
+KEY = "a" * 64
+RESULT = {"ref_cycles": 1000, "tg_cycles": 990}
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _tamper(path, old, new):
+    path.write_text(path.read_text().replace(old, new))
+
+
+class TestIntegrityMiss:
+    def test_entry_embeds_version_and_checksum(self, cache):
+        cache.put(KEY, RESULT)
+        entry = json.loads(cache.path_for(KEY).read_text())
+        assert entry["version"] == repro_version()
+        assert len(entry["result_crc32"]) == 8
+
+    def test_tampered_result_is_a_miss(self, cache):
+        cache.put(KEY, RESULT)
+        _tamper(cache.path_for(KEY), '"ref_cycles": 1000',
+                '"ref_cycles": 1234')
+        assert cache.get(KEY) is None
+
+    def test_version_skew_is_a_miss(self, cache):
+        cache.put(KEY, RESULT)
+        _tamper(cache.path_for(KEY), repro_version(), "0.0.1")
+        assert cache.get(KEY) is None
+
+    def test_artifact_checksum_conflict_is_a_miss(self, cache):
+        cache.put(KEY, RESULT,
+                  artifact_checksums={"core0.trc": "deadbeef"})
+        assert cache.get(KEY) == RESULT
+        assert cache.get(KEY, artifact_checksums={
+            "core0.trc": "deadbeef"}) == RESULT
+        assert cache.get(KEY, artifact_checksums={
+            "core0.trc": "00000000"}) is None
+
+    def test_unknown_artifact_checksum_still_hits(self, cache):
+        cache.put(KEY, RESULT)
+        assert cache.get(KEY, artifact_checksums={
+            "core9.trc": "cafebabe"}) == RESULT
+
+
+class TestVerify:
+    def test_clean_cache(self, cache):
+        cache.put(KEY, RESULT)
+        assert cache.verify() == []
+
+    def test_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").verify() == []
+
+    def test_invalid_json_is_corrupt(self, cache):
+        cache.put(KEY, RESULT)
+        cache.path_for(KEY).write_text("{not json")
+        (issue,) = cache.verify()
+        assert issue.kind == "corrupt"
+        assert "JSON" in issue.detail
+
+    def test_missing_result_is_corrupt(self, cache):
+        cache.directory.mkdir(parents=True)
+        cache.path_for(KEY).write_text(json.dumps({"key": KEY}))
+        (issue,) = cache.verify()
+        assert issue.kind == "corrupt"
+        assert "result" in issue.detail
+
+    def test_renamed_entry_is_corrupt(self, cache):
+        cache.put(KEY, RESULT)
+        cache.path_for(KEY).rename(cache.path_for("b" * 64))
+        (issue,) = cache.verify()
+        assert issue.kind == "corrupt"
+        assert "does not match" in issue.detail
+
+    def test_checksum_failure_is_corrupt(self, cache):
+        cache.put(KEY, RESULT)
+        _tamper(cache.path_for(KEY), '"ref_cycles": 1000',
+                '"ref_cycles": 1234')
+        (issue,) = cache.verify()
+        assert issue.kind == "corrupt"
+        assert "checksum" in issue.detail
+
+    def test_provenance_hash_mismatch_is_corrupt(self, cache):
+        provenance = {"benchmark": "des", "n_cores": 2}
+        blob = json.dumps(provenance, sort_keys=True,
+                          separators=(",", ":"))
+        key = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        cache.put(key, RESULT, provenance=provenance)
+        assert cache.verify() == []
+        _tamper(cache.path_for(key), '"benchmark": "des"',
+                '"benchmark": "osk"')
+        # provenance no longer hashes to the key (crc only covers result)
+        kinds = [issue.kind for issue in cache.verify()]
+        assert kinds == ["corrupt"]
+
+    def test_version_skew_is_stale(self, cache):
+        cache.put(KEY, RESULT)
+        _tamper(cache.path_for(KEY), repro_version(), "0.0.1")
+        (issue,) = cache.verify()
+        assert issue.kind == "stale"
+        assert "0.0.1" in issue.detail
+
+    def test_issue_renders_one_line(self, cache):
+        issue = CacheIssue("/tmp/x.json", "stale", "old version")
+        assert str(issue) == "stale   /tmp/x.json: old version"
+        assert "\n" not in str(issue)
+
+    def test_mixed_issues_sorted_by_path(self, cache):
+        cache.put("a" * 64, RESULT)
+        cache.put("b" * 64, RESULT)
+        cache.put("c" * 64, RESULT)
+        _tamper(cache.path_for("a" * 64), '"ref_cycles": 1000',
+                '"ref_cycles": 9')
+        _tamper(cache.path_for("c" * 64), repro_version(), "0.0.1")
+        issues = cache.verify()
+        assert [issue.kind for issue in issues] == ["corrupt", "stale"]
