@@ -263,14 +263,45 @@ def trace_stats_main(argv: Optional[List[str]] = None) -> int:
 
 # ----------------------------------------------------------------- sweep
 
+def _sweep_diagnostics(results, interrupted: bool, journal_dir,
+                       exit_code: int) -> dict:
+    """Machine-readable sweep report (per-point failure taxonomy)."""
+    points = []
+    for result in results:
+        failure = getattr(result, "failure", None)
+        points.append({
+            "benchmark": result.benchmark,
+            "n_cores": result.n_cores,
+            "interconnect": result.interconnect,
+            "mode": result.mode.value,
+            "status": result.status,
+            "failure": failure.as_dict() if failure is not None else None,
+            "attempts": getattr(result, "attempts", 1),
+            "quarantined": getattr(result, "quarantined", False),
+            "cached": getattr(result, "cached", False),
+            "journaled": getattr(result, "journaled", False),
+        })
+    return {"tool": "repro-sweep",
+            "ok": exit_code == 0,
+            "interrupted": interrupted,
+            "journal": journal_dir,
+            "exit_code": exit_code,
+            "points": points}
+
+
 def sweep_main(argv: Optional[List[str]] = None) -> int:
     """Run a grid of TG-flow experiments described by a JSON spec.
 
-    Grid points fan out over a process pool and consult an on-disk
-    result cache first, so re-running an unchanged sweep performs zero
-    simulations (see docs/SWEEPS.md).  Exit status is 1 when any grid
-    point failed, 0 otherwise.
+    Grid points fan out over a supervised process pool and consult the
+    on-disk result cache first, so re-running an unchanged sweep
+    performs zero simulations.  With ``--journal DIR`` every state
+    transition is journalled, crashed/hung workers are replaced, and an
+    interrupted sweep (Ctrl-C → exit 8) resumes with ``--resume DIR``
+    re-running only the unfinished points (see docs/SWEEPS.md).
+    Exit status is 1 when any grid point failed, 0 otherwise.
     """
+    import signal
+    import threading
     import time as time_module
 
     parser = argparse.ArgumentParser(
@@ -280,7 +311,8 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("spec", nargs="?",
                         help="JSON sweep specification file")
     parser.add_argument("--csv", metavar="FILE",
-                        help="also write results as CSV")
+                        help="also write results as CSV (on interrupt: "
+                             "the partial results)")
     parser.add_argument("--cache-verify", action="store_true",
                         help="audit the cache directory for corrupt/stale "
                              "entries and exit (no sweep is run)")
@@ -296,18 +328,54 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                              "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
-                        help="per-point wall-clock budget; slower grid "
-                             "points are marked failed")
+                        help="per-point wall-clock budget, measured from "
+                             "worker pickup; the worker of an exceeded "
+                             "point is killed and the point marked failed")
+    parser.add_argument("--journal", metavar="DIR", default=None,
+                        help="journal every state transition to "
+                             "DIR/sweep.journal.jsonl (created fresh, or "
+                             "resumed when it already matches this spec)")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="continue the interrupted sweep journalled "
+                             "in DIR; completed points are served from "
+                             "the journal, only unfinished ones re-run "
+                             "(no spec file needed)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a transiently-failed point (worker "
+                             "crash, timeout) up to N extra times with "
+                             "exponential backoff; a point that exhausts "
+                             "the budget is quarantined (default 0)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base of the exponential retry backoff "
+                             "(default 0.5)")
+    parser.add_argument("--retry-quarantined", action="store_true",
+                        help="on --resume, re-run points the journal "
+                             "recorded as quarantined or terminally "
+                             "failed instead of keeping them failed")
+    parser.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="kill and replace a worker that sends no "
+                             "heartbeat for this long — presumed hung "
+                             "(default 30; 0 disables)")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable sweep report with "
+                             "the per-point failure taxonomy ('-' for "
+                             "stdout)")
     args = parser.parse_args(argv)
 
     from repro.harness import (
+        EXIT_INTERRUPTED,
         ResultCache,
+        SweepInterrupted,
+        SweepJournal,
         SweepSpec,
         default_cache_dir,
         run_sweep_parallel,
         sweep_csv,
         sweep_table,
     )
+    from repro.harness.cache import repro_version
     if args.cache_verify:
         cache = ResultCache(args.cache_dir or default_cache_dir())
         issues = cache.verify()
@@ -319,41 +387,135 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
               f"{sum(1 for i in issues if i.kind == 'stale')} stale",
               file=sys.stderr)
         return 1 if issues else 0
-    if not args.spec:
-        parser.error("spec is required unless --cache-verify is given")
+    if args.resume and args.journal:
+        parser.error("--resume and --journal are mutually exclusive "
+                     "(--resume reopens the existing journal)")
+    if not args.spec and not args.resume:
+        parser.error("spec is required unless --cache-verify or "
+                     "--resume DIR is given")
+
+    spec = None
+    if args.spec:
+        try:
+            with open(args.spec) as handle:
+                spec = SweepSpec.from_dict(json.load(handle))
+        except OSError as error:
+            print(f"repro-sweep: error: {error}", file=sys.stderr)
+            return EXIT_MISSING_FILE
+
+    journal = None
+    journal_dir = args.resume or args.journal
     try:
-        with open(args.spec) as handle:
-            spec = SweepSpec.from_dict(json.load(handle))
-    except OSError as error:
+        if args.resume:
+            journal = SweepJournal.resume(
+                args.resume, spec.to_dict() if spec is not None else None)
+            spec = SweepSpec.from_dict(journal.state.spec)
+            done = journal.state.records
+            print(f"[sweep] resuming {journal.path}: {done} of "
+                  f"{journal.state.total} point(s) already journalled",
+                  file=sys.stderr)
+        elif args.journal:
+            from repro.harness import journal_path
+            if journal_path(args.journal).exists():
+                journal = SweepJournal.resume(args.journal, spec.to_dict())
+                print(f"[sweep] journal matches this spec — resuming "
+                      f"{journal.path}", file=sys.stderr)
+            else:
+                journal = SweepJournal.create(
+                    args.journal, spec.to_dict(), spec.points,
+                    repro_version())
+    except ArtifactError as error:
         print(f"repro-sweep: error: {error}", file=sys.stderr)
-        return EXIT_MISSING_FILE
+        _write_diagnostics(args.diagnostics_json, _diagnostics_payload(
+            "repro-sweep", False, error=error))
+        return error.exit_code
+
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+
+    # graceful shutdown: first SIGINT/SIGTERM finishes the journal and
+    # terminates the workers; a second one force-raises
+    cancel = threading.Event()
+
+    def _interrupt_handler(signum, frame):
+        if cancel.is_set():
+            raise KeyboardInterrupt
+        print("[sweep] interrupt received — journalling in-flight points "
+              "and stopping workers (interrupt again to force)",
+              file=sys.stderr)
+        cancel.set()
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, _interrupt_handler)
+    except ValueError:
+        pass                       # not the main thread (tests)
+
+    interrupted = False
     print(f"running {spec.points} grid point(s)...", file=sys.stderr)
     start = time_module.perf_counter()
-    results = run_sweep_parallel(
-        spec, jobs=args.jobs, cache=cache, point_timeout_s=args.timeout,
-        progress=lambda line: print(line, file=sys.stderr))
+    try:
+        results = run_sweep_parallel(
+            spec, jobs=args.jobs, cache=cache,
+            point_timeout_s=args.timeout,
+            progress=lambda line: print(line, file=sys.stderr),
+            retries=args.retries, retry_backoff_s=args.retry_backoff,
+            journal=journal,
+            heartbeat_timeout_s=args.heartbeat_timeout or None,
+            requeue_failed=args.retry_quarantined, cancel=cancel)
+    except SweepInterrupted as stop:
+        results = stop.results
+        interrupted = True
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        if journal is not None:
+            journal.close()
     wall = time_module.perf_counter() - start
+
     print(sweep_table(results, title=f"Sweep: {spec.benchmark}"))
     simulated = sum(1 for r in results
-                    if not r.cached and r.status == "ok")
+                    if not r.cached and not getattr(r, "journaled", False)
+                    and r.status == "ok")
     cached = sum(1 for r in results if r.cached)
+    journaled = sum(1 for r in results
+                    if getattr(r, "journaled", False))
     failed = sum(1 for r in results if r.status != "ok")
-    print(f"[sweep] {len(results)} point(s): {simulated} simulated, "
-          f"{cached} cached, {failed} failed in {wall:.1f}s",
-          file=sys.stderr)
+    segments = [f"{simulated} simulated", f"{cached} cached"]
+    if journal is not None:
+        segments.append(f"{journaled} journaled")
+    segments.append(f"{failed} failed")
+    print(f"[sweep] {len(results)} point(s): {', '.join(segments)} "
+          f"in {wall:.1f}s", file=sys.stderr)
     for result in results:
-        if result.status != "ok" and result.traceback:
-            print(f"--- FAILED {result.benchmark} {result.n_cores}P "
+        failure = getattr(result, "failure", None)
+        if result.status != "ok" and result.traceback and (
+                failure is None or failure.kind != "interrupted"):
+            kind = f" ({failure.kind})" if failure is not None else ""
+            print(f"--- FAILED{kind} {result.benchmark} "
+                  f"{result.n_cores}P "
                   f"{result.interconnect}/{result.mode.value} ---\n"
                   f"{result.traceback}", file=sys.stderr)
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(sweep_csv(results))
         print(f"wrote {args.csv}", file=sys.stderr)
-    return 1 if failed else 0
+
+    exit_code = EXIT_INTERRUPTED if interrupted else (1 if failed else 0)
+    _write_diagnostics(args.diagnostics_json, _sweep_diagnostics(
+        results, interrupted, journal_dir, exit_code))
+    if interrupted:
+        hint = journal_dir if journal is not None else None
+        if hint:
+            print(f"[sweep] interrupted — resume with: "
+                  f"repro-sweep --resume {hint}", file=sys.stderr)
+        else:
+            print("[sweep] interrupted — re-run with --journal DIR to "
+                  "make sweeps resumable", file=sys.stderr)
+    return exit_code
 
 
 # -------------------------------------------------------------- traceset

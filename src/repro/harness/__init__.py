@@ -11,6 +11,12 @@ benchmark configuration:
    and speedup (wall-clock, Table 2's "Gain").
 
 ``table2_row`` formats the result like a row of the paper's Table 2.
+
+Sweeps over many configurations run through ``run_sweep_parallel``: a
+supervised worker pool (``repro.harness.supervisor``) with an on-disk
+result cache (``repro.harness.cache``) and a crash-safe write-ahead
+journal (``repro.harness.journal``) so interrupted sweeps resume
+without re-simulating completed points (see docs/SWEEPS.md).
 """
 
 from repro.harness.experiments import (
@@ -29,11 +35,24 @@ from repro.harness.cache import (
     default_cache_dir,
     point_cache_key,
 )
+from repro.harness.journal import (
+    JOURNAL_FILENAME,
+    JournalState,
+    SweepJournal,
+    journal_path,
+)
 from repro.harness.parallel import (
     PointResult,
     SweepPoint,
     expand_grid,
     run_sweep_parallel,
+)
+from repro.harness.supervisor import (
+    EXIT_INTERRUPTED,
+    FAILURE_KINDS,
+    SweepInterrupted,
+    SweepPointFailure,
+    WorkerSupervisor,
 )
 from repro.harness.sweep import (
     SweepSpec,
@@ -43,13 +62,22 @@ from repro.harness.sweep import (
 )
 
 __all__ = [
+    "EXIT_INTERRUPTED",
+    "FAILURE_KINDS",
+    "JOURNAL_FILENAME",
+    "JournalState",
     "PointResult",
     "CacheIssue",
     "ResultCache",
+    "SweepInterrupted",
+    "SweepJournal",
     "SweepPoint",
+    "SweepPointFailure",
     "SweepSpec",
+    "WorkerSupervisor",
     "default_cache_dir",
     "expand_grid",
+    "journal_path",
     "point_cache_key",
     "run_sweep_parallel",
     "TGFlowResult",

@@ -1,12 +1,14 @@
-"""Parallel, cached execution of sweep grids.
+"""Parallel, cached, journalled execution of sweep grids.
 
 The paper's economics argument — trace once, then evaluate every design
 alternative cheaply — only pays off if the *batch* of evaluations is
-cheap too.  This module fans the grid points of a
-:class:`~repro.harness.sweep.SweepSpec` out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and consults an
-on-disk :class:`~repro.harness.cache.ResultCache` first, so a re-run of
-an unchanged sweep performs zero simulations.
+cheap too, and stays cheap when something goes wrong at point 412 of a
+500-point overnight sweep.  This module fans the grid points of a
+:class:`~repro.harness.sweep.SweepSpec` out over a supervised worker
+pool (:mod:`repro.harness.supervisor`), consults an on-disk
+:class:`~repro.harness.cache.ResultCache` first, and can journal every
+state transition to a :class:`~repro.harness.journal.SweepJournal` so
+an interrupted sweep resumes exactly where it stopped.
 
 Execution contract:
 
@@ -15,29 +17,51 @@ Execution contract:
   finished first.  The simulator itself is deterministic, so cycle
   counts are identical between serial and parallel runs; only wall-time
   columns differ.
-* **Crash isolation** — an exception inside a grid point (including a
-  worker process dying) marks *that point* failed, with its traceback
-  attached; the sweep always returns one row per point.
-* **Per-point timeout** — a point still outstanding after
-  ``point_timeout_s`` (measured from submission) is marked failed; its
-  worker is abandoned, never joined mid-simulation.
+* **Crash isolation** — an exception inside a grid point marks *that
+  point* failed (``simulation-error``); a worker process dying
+  (``worker-crash``) costs only the point it was running — the
+  supervisor hard-kills and respawns the worker, the other lanes never
+  notice.
+* **Per-point timeout** — a point still running ``point_timeout_s``
+  after its *worker pickup* (not submission — queued points don't age)
+  has its worker hard-killed and is marked ``timeout``.
+* **Retries** — transient failures (``worker-crash``/``timeout``) are
+  retried up to ``retries`` times with exponential backoff and seeded
+  jitter; a point that exhausts its budget is quarantined.
+  Deterministic failures (``simulation-error``) are never retried.
+* **Interruption** — when ``cancel`` is set (or Ctrl-C arrives),
+  in-flight points are journalled ``interrupted``, every worker is
+  terminated, and :class:`~repro.harness.supervisor.SweepInterrupted`
+  carries the partial results out.
 * **Progress** — an optional callback receives ``k/N done`` lines with
   cached/failed counts and an ETA extrapolated from completed points.
 
-``jobs=1`` runs the same engine in-process (no pool), which is also the
-fallback for single-point grids.
+``jobs=1`` runs the same engine in-process (no pool, so no crash/hang
+protection), which is also the fallback for single-point grids.
 """
 
 import copy
 import os
+import random
+import threading
 import time
 import traceback as traceback_module
-from concurrent import futures as cf
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.modes import ReplayMode
 from repro.harness.cache import ResultCache, point_cache_key, repro_version
+from repro.harness.journal import SweepJournal
+from repro.harness.supervisor import (
+    INTERRUPTED,
+    SIMULATION_ERROR,
+    SweepInterrupted,
+    SweepPointFailure,
+    TIMEOUT,
+    WORKER_CRASH,
+    WorkerSupervisor,
+)
 from repro.harness.sweep import SweepSpec, _resolve_app
 
 __all__ = ["PointResult", "SweepPoint", "expand_grid",
@@ -46,6 +70,9 @@ __all__ = ["PointResult", "SweepPoint", "expand_grid",
 #: Test-only knob: every worker sleeps this many seconds before
 #: simulating (set the env var in tests to exercise the timeout path).
 _TEST_SLEEP_ENV = "REPRO_SWEEP_TEST_SLEEP_S"
+
+#: Kill a worker that stops heartbeating for this long (presumed hung).
+DEFAULT_HEARTBEAT_TIMEOUT_S = 30.0
 
 
 @dataclass(frozen=True)
@@ -120,9 +147,13 @@ class PointResult:
     Mirrors the scalar fields and derived columns of
     :class:`~repro.harness.experiments.TGFlowResult` (so the
     ``sweep_table``/``sweep_csv`` renderers accept either), plus the
-    execution metadata parallel sweeps need: ``status`` (``"ok"`` or
-    ``"failed"``), the failure ``traceback``, whether the row was served
-    from ``cached`` results, and the ``cache_key`` it lives under.
+    execution metadata resilient sweeps need: ``status`` (``"ok"`` or
+    ``"failed"``), the typed ``failure``
+    (:class:`~repro.harness.supervisor.SweepPointFailure`, None when
+    ok), how many ``attempts`` the point consumed, whether it was
+    ``quarantined`` after exhausting retries, and whether the row was
+    served from the ``cached`` results or the ``journaled`` record of
+    an earlier run.  ``traceback`` mirrors ``failure`` for rendering.
     """
 
     def __init__(self, benchmark: str, n_cores: int, interconnect: str,
@@ -138,9 +169,22 @@ class PointResult:
         self.ref_events = 0
         self.tg_events = 0
         self.status = "ok"
+        self.failure: Optional[SweepPointFailure] = None
         self.traceback: Optional[str] = None
+        self.attempts = 1
+        self.quarantined = False
         self.cached = False
+        self.journaled = False
         self.cache_key: Optional[str] = None
+
+    def fail(self, failure: SweepPointFailure,
+             quarantined: bool = False) -> "PointResult":
+        self.status = "failed"
+        self.failure = failure
+        self.traceback = failure.traceback or failure.message
+        self.attempts = failure.attempts
+        self.quarantined = quarantined
+        return self
 
     @classmethod
     def from_summary(cls, point: SweepPoint, summary: Dict,
@@ -148,12 +192,25 @@ class PointResult:
                      cache_key: Optional[str] = None) -> "PointResult":
         result = cls(point.benchmark, point.n_cores, point.interconnect,
                      ReplayMode.from_name(point.mode))
-        result.status = summary.get("status", "ok")
-        result.traceback = summary.get("traceback")
-        for name in ("ref_cycles", "tg_cycles", "ref_wall", "tg_wall",
-                     "ref_events", "tg_events"):
-            if name in summary:
-                setattr(result, name, summary[name])
+        status = summary.get("status")
+        if status == "ok":
+            for name in ("ref_cycles", "tg_cycles", "ref_wall", "tg_wall",
+                         "ref_events", "tg_events"):
+                if name in summary:
+                    setattr(result, name, summary[name])
+        elif status == "failed":
+            result.fail(SweepPointFailure(
+                SIMULATION_ERROR, "grid point raised inside the worker",
+                traceback=summary.get("traceback")))
+        else:
+            # a summary with no (or an unknown) status is untrustworthy —
+            # e.g. a stale cache entry from an older schema; defaulting
+            # to "ok" here would report zeros as real cycle counts
+            result.fail(SweepPointFailure(
+                SIMULATION_ERROR,
+                f"result summary carries an invalid status {status!r} "
+                f"(stale cache entry from an older schema?); treating "
+                f"the point as failed"))
         result.cached = cached
         result.cache_key = cache_key
         return result
@@ -174,8 +231,11 @@ class PointResult:
 
     def __repr__(self) -> str:
         flags = " cached" if self.cached else ""
+        flags += " journaled" if self.journaled else ""
+        status = self.status if self.failure is None \
+            else f"{self.status}:{self.failure.kind}"
         return (f"<PointResult {self.benchmark} {self.n_cores}P "
-                f"{self.interconnect} {self.status}{flags}>")
+                f"{self.interconnect} {status}{flags}>")
 
 
 def _execute_point(payload: Dict) -> Dict:
@@ -206,33 +266,95 @@ def _execute_point(payload: Dict) -> Dict:
                 "traceback": traceback_module.format_exc()}
 
 
+def _retry_delay(attempt: int, backoff_s: float, jitter_seed: int,
+                 index: int) -> float:
+    """Exponential backoff with deterministic (seeded) jitter."""
+    rng = random.Random(f"{jitter_seed}:{index}:{attempt}")
+    return backoff_s * (2 ** attempt) + rng.uniform(0.0, backoff_s)
+
+
+@dataclass
+class _Task:
+    """Engine-side state of one not-yet-finished grid point."""
+
+    point: SweepPoint
+    key: Optional[str]
+    attempt: int = 0
+    eligible_at: float = 0.0       # monotonic time a retry may dispatch
+    picked_up: Optional[float] = None
+
+
 def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
                        cache: Optional[ResultCache] = None,
                        point_timeout_s: Optional[float] = None,
                        progress: Optional[Callable[[str], None]] = None,
+                       retries: int = 0,
+                       retry_backoff_s: float = 0.5,
+                       retry_jitter_seed: int = 0,
+                       journal: Optional[SweepJournal] = None,
+                       heartbeat_timeout_s: Optional[float]
+                       = DEFAULT_HEARTBEAT_TIMEOUT_S,
+                       requeue_failed: bool = False,
+                       cancel: Optional[threading.Event] = None,
                        ) -> List[PointResult]:
-    """Run a sweep grid over a worker pool, consulting ``cache`` first.
+    """Run a sweep grid over a supervised worker pool.
+
+    Completed points are served, in priority order, from the sweep
+    ``journal`` (a resumed run), then the result ``cache``, and only
+    then simulated.
 
     Args:
         spec: The validated sweep description.
         jobs: Worker processes (default: ``os.cpu_count()``); ``1`` runs
-            in-process with identical semantics.
+            in-process with identical result semantics (but no
+            crash/hang/timeout protection).
         cache: Optional :class:`ResultCache`; hits skip simulation, and
             fresh ``ok`` results are stored back.
         point_timeout_s: Per-point wall-clock budget, measured from
-            submission; exceeded points are marked failed.
+            *worker pickup*; the worker of an exceeded point is
+            hard-killed and the point fails with kind ``timeout``.
         progress: Callback for human-readable progress lines.
+        retries: Re-run a transiently-failed point (worker crash,
+            timeout) up to this many extra times; a point that exhausts
+            the budget is quarantined.
+        retry_backoff_s: Base of the exponential retry backoff.
+        retry_jitter_seed: Seed of the deterministic retry jitter.
+        journal: Open :class:`SweepJournal`; every state transition is
+            appended (write-ahead), and points already terminal in the
+            journal are served from it without re-simulation.
+        heartbeat_timeout_s: Kill a worker silent for this long
+            (presumed hung); None disables hang detection.
+        requeue_failed: Re-run points the journal recorded as
+            terminally failed or quarantined (default: leave them
+            failed).
+        cancel: Event checked between dispatches; once set, the sweep
+            journals in-flight points as interrupted, terminates every
+            worker and raises :class:`SweepInterrupted` with the
+            partial results.
 
     Returns:
         One :class:`PointResult` per grid point, in grid order.
+
+    Raises:
+        SweepInterrupted: The sweep was cancelled (``cancel`` set, or
+            ``KeyboardInterrupt``); ``.results`` holds one row per
+            point with unfinished ones marked ``interrupted``.
     """
     points = expand_grid(spec)
     total = len(points)
     results: List[Optional[PointResult]] = [None] * total
-    counters = {"done": 0, "cached": 0, "failed": 0}
+    counters = {"done": 0, "cached": 0, "journaled": 0, "failed": 0}
     walls: List[float] = []
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
+    if cancel is None:
+        cancel = threading.Event()
+    journal_state = journal.state if journal is not None else None
+    if journal_state is not None and \
+            journal_state.version != repro_version():
+        # results recorded by another simulator version are not
+        # bit-identity-trustworthy; re-run everything unfinished
+        journal_state = None
 
     def emit() -> None:
         if progress is None:
@@ -247,79 +369,237 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
                  f"({counters['cached']} cached, "
                  f"{counters['failed']} failed), ETA {eta}")
 
-    def finish(point: SweepPoint, key: Optional[str], summary: Dict,
-               wall: Optional[float] = None) -> None:
+    def finish_ok(task: _Task, summary: Dict,
+                  wall: Optional[float] = None) -> None:
+        point = task.point
         result = PointResult.from_summary(point, summary, cached=False,
-                                          cache_key=key)
+                                          cache_key=task.key)
+        result.attempts = task.attempt + 1
         if result.status == "ok":
             if wall is not None:
                 walls.append(wall)
-            if cache is not None and key is not None:
-                cache.put(key, summary, provenance=point.provenance())
-        else:
+            if journal is not None:
+                journal.record_ok(point.index, task.attempt, summary,
+                                  wall=wall)
+            if cache is not None and task.key is not None:
+                cache.put(task.key, summary,
+                          provenance=point.provenance())
+        else:                      # a "failed" summary from the worker
+            if journal is not None:
+                journal.record_failed(
+                    point.index, task.attempt, SIMULATION_ERROR,
+                    result.failure.message,
+                    traceback=result.failure.traceback, final=True)
             counters["failed"] += 1
         results[point.index] = result
         counters["done"] += 1
         emit()
 
-    pending: List[tuple] = []
+    def finish_failed(task: _Task, failure: SweepPointFailure,
+                      quarantined: bool = False) -> None:
+        point = task.point
+        if journal is not None:
+            journal.record_failed(point.index, task.attempt, failure.kind,
+                                  failure.message,
+                                  traceback=failure.traceback, final=True)
+            if quarantined:
+                journal.record_quarantined(point.index, failure.attempts)
+        result = PointResult(point.benchmark, point.n_cores,
+                             point.interconnect,
+                             ReplayMode.from_name(point.mode))
+        result.cache_key = task.key
+        result.fail(failure, quarantined=quarantined)
+        results[point.index] = result
+        counters["failed"] += 1
+        counters["done"] += 1
+        emit()
+
+    def serve_journal(point: SweepPoint, key: Optional[str]) -> bool:
+        """Fill a row from the journal's terminal record, if any."""
+        if journal_state is None:
+            return False
+        if point.index in journal_state.ok:
+            record = journal_state.ok[point.index]
+            result = PointResult.from_summary(point, record["summary"],
+                                              cached=False, cache_key=key)
+            result.journaled = True
+            result.attempts = record.get("attempt", 0) + 1
+            results[point.index] = result
+            counters["done"] += 1
+            counters["journaled"] += 1
+            return True
+        if requeue_failed:
+            return False
+        if point.index in journal_state.failed:
+            record = journal_state.failed[point.index]
+            result = PointResult(point.benchmark, point.n_cores,
+                                 point.interconnect,
+                                 ReplayMode.from_name(point.mode))
+            result.cache_key = key
+            result.fail(
+                SweepPointFailure(
+                    record.get("kind", SIMULATION_ERROR),
+                    record.get("message", "failed in an earlier run"),
+                    traceback=record.get("traceback"),
+                    attempts=record.get("attempt", 0) + 1),
+                quarantined=point.index in journal_state.quarantined)
+            result.journaled = True
+            results[point.index] = result
+            counters["done"] += 1
+            counters["journaled"] += 1
+            counters["failed"] += 1
+            return True
+        return False
+
+    def interrupt(unfinished: List[_Task]) -> None:
+        """Mark every unfinished point interrupted and carry results out."""
+        for task in unfinished:
+            point = task.point
+            failure = SweepPointFailure(
+                INTERRUPTED, "sweep interrupted before the point finished",
+                attempts=task.attempt + 1)
+            result = PointResult(point.benchmark, point.n_cores,
+                                 point.interconnect,
+                                 ReplayMode.from_name(point.mode))
+            result.cache_key = task.key
+            result.fail(failure)
+            results[point.index] = result
+        journal_dir = str(journal.path.parent) if journal is not None \
+            else None
+        raise SweepInterrupted([r for r in results if r is not None],
+                               journal_dir=journal_dir)
+
+    pending: List[_Task] = []
     for point in points:
         key = point.cache_key() if cache is not None else None
+        if serve_journal(point, key):
+            continue
         summary = cache.get(key) if cache is not None else None
         if summary is not None:
             results[point.index] = PointResult.from_summary(
                 point, summary, cached=True, cache_key=key)
             counters["done"] += 1
             counters["cached"] += 1
+            if journal is not None and point.index not in \
+                    (journal_state.ok if journal_state else {}):
+                journal.record_ok(point.index, 0, summary, source="cache")
             continue
-        pending.append((point, key))
+        pending.append(_Task(point, key))
     emit()
 
     if not pending:
-        return results            # every point served from cache
+        return results            # every point served without simulating
 
     if jobs == 1 or len(pending) == 1:
-        for point, key in pending:
-            start = time.perf_counter()
-            summary = _execute_point(point.payload())
-            finish(point, key, summary,
-                   wall=time.perf_counter() - start)
+        _run_in_process(pending, journal, cancel, finish_ok, interrupt)
         return results
 
-    pool = cf.ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
-    try:
-        submitted = {}
-        for point, key in pending:
-            future = pool.submit(_execute_point, point.payload())
-            submitted[future] = (point, key, time.perf_counter())
-        waiting = set(submitted)
-        while waiting:
-            done, waiting = cf.wait(waiting, timeout=0.2,
-                                    return_when=cf.FIRST_COMPLETED)
-            for future in done:
-                point, key, started = submitted[future]
-                try:
-                    summary = future.result()
-                except Exception:
-                    # the worker process died (BrokenProcessPool, ...) —
-                    # isolate the damage to this one grid point
-                    summary = {"status": "failed",
-                               "traceback": traceback_module.format_exc()}
-                finish(point, key, summary,
-                       wall=time.perf_counter() - started)
-            if point_timeout_s is None:
-                continue
-            now = time.perf_counter()
-            for future in list(waiting):
-                point, key, started = submitted[future]
-                if now - started > point_timeout_s:
-                    future.cancel()
-                    waiting.discard(future)
-                    finish(point, key, {
-                        "status": "failed",
-                        "traceback": (
-                            f"grid point exceeded the per-point timeout "
-                            f"of {point_timeout_s:g}s")})
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    _run_pool(pending, jobs=min(jobs, len(pending)), journal=journal,
+              cancel=cancel, point_timeout_s=point_timeout_s,
+              heartbeat_timeout_s=heartbeat_timeout_s, retries=retries,
+              retry_backoff_s=retry_backoff_s,
+              retry_jitter_seed=retry_jitter_seed,
+              finish_ok=finish_ok, finish_failed=finish_failed,
+              interrupt=interrupt)
     return results
+
+
+def _run_in_process(pending: List[_Task], journal: Optional[SweepJournal],
+                    cancel: threading.Event, finish_ok, interrupt) -> None:
+    """``jobs=1``: same engine, no pool (and no crash/hang protection)."""
+    for position, task in enumerate(pending):
+        if cancel.is_set():
+            interrupt(pending[position:])
+        if journal is not None:
+            journal.record_started(task.point.index, task.attempt,
+                                   key=task.key)
+        start = time.perf_counter()
+        try:
+            summary = _execute_point(task.point.payload())
+        except KeyboardInterrupt:
+            if journal is not None:
+                journal.record_interrupted(task.point.index, task.attempt)
+            interrupt(pending[position:])
+        finish_ok(task, summary, wall=time.perf_counter() - start)
+
+
+def _run_pool(pending: List[_Task], jobs: int,
+              journal: Optional[SweepJournal], cancel: threading.Event,
+              point_timeout_s: Optional[float],
+              heartbeat_timeout_s: Optional[float], retries: int,
+              retry_backoff_s: float, retry_jitter_seed: int,
+              finish_ok, finish_failed, interrupt) -> None:
+    """Fan the pending tasks over a supervised worker pool."""
+    tasks = {task.point.index: task for task in pending}
+    ready = deque(task.point.index for task in pending)
+    deferred: List[int] = []       # waiting out a retry backoff
+    in_flight: Dict[int, _Task] = {}
+    remaining = len(pending)
+    supervisor = WorkerSupervisor(
+        min(jobs, len(pending)), heartbeat_timeout_s=heartbeat_timeout_s)
+    interrupted = False
+    try:
+        while remaining > 0:
+            if cancel.is_set():
+                interrupted = True
+                break
+            now = time.monotonic()
+            for index in list(deferred):
+                if tasks[index].eligible_at <= now:
+                    deferred.remove(index)
+                    ready.append(index)
+            while ready and supervisor.idle_count > 0:
+                index = ready.popleft()
+                task = tasks[index]
+                task.picked_up = None
+                in_flight[index] = task
+                supervisor.dispatch(index, task.point.payload())
+            events = supervisor.poll(timeout=0.05,
+                                     point_timeout_s=point_timeout_s)
+            for event in events:
+                task = tasks.get(event.index)
+                if task is None or event.index not in in_flight:
+                    continue
+                if event.kind == "started":
+                    task.picked_up = time.monotonic()
+                    if journal is not None:
+                        journal.record_started(event.index, task.attempt,
+                                               key=task.key)
+                    continue
+                del in_flight[event.index]
+                if event.kind == "result":
+                    wall = None if task.picked_up is None \
+                        else time.monotonic() - task.picked_up
+                    finish_ok(task, event.summary, wall=wall)
+                    remaining -= 1
+                    continue
+                # "crashed" / "timeout" — transient machinery failures
+                kind = TIMEOUT if event.kind == "timeout" else WORKER_CRASH
+                if task.attempt < retries:
+                    if journal is not None:
+                        journal.record_failed(event.index, task.attempt,
+                                              kind, event.detail,
+                                              final=False)
+                    delay = _retry_delay(task.attempt, retry_backoff_s,
+                                         retry_jitter_seed, event.index)
+                    task.attempt += 1
+                    task.eligible_at = time.monotonic() + delay
+                    deferred.append(event.index)
+                else:
+                    finish_failed(
+                        task,
+                        SweepPointFailure(kind, event.detail,
+                                          attempts=task.attempt + 1),
+                        quarantined=True)
+                    remaining -= 1
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        if interrupted and journal is not None:
+            for index, task in sorted(in_flight.items()):
+                journal.record_interrupted(index, task.attempt)
+        supervisor.shutdown(graceful=not interrupted)
+    if interrupted:
+        unfinished = [tasks[i] for i in sorted(
+            set(in_flight) | set(ready) | set(deferred))]
+        interrupt(unfinished)

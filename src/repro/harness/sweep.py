@@ -116,6 +116,22 @@ class SweepSpec:
             fault_spec=data.get("fault_spec"),
             fault_seed=data.get("fault_seed", 0))
 
+    def to_dict(self) -> Dict:
+        """The canonical JSON-friendly form; round-trips via ``from_dict``.
+
+        This is what the sweep journal stores in its header, so a
+        ``--resume`` can rebuild the exact grid without the spec file.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "cores": list(self.cores),
+            "interconnects": list(self.interconnects),
+            "modes": [mode.value for mode in self.modes],
+            "app_params": copy.deepcopy(self.app_params),
+            "fault_spec": copy.deepcopy(self.fault_spec),
+            "fault_seed": self.fault_seed,
+        }
+
     @property
     def points(self) -> int:
         return len(self.cores) * len(self.interconnects) * len(self.modes)
@@ -158,9 +174,12 @@ def sweep_table(results: List, title: Optional[str] = None) -> str:
                   title=title)
     for result in results:
         if getattr(result, "status", "ok") != "ok":
+            failure = getattr(result, "failure", None)
+            label = "FAILED" if failure is None \
+                else f"FAILED:{failure.kind}"
             table.add_row(result.benchmark, result.interconnect,
                           result.mode.value, f"{result.n_cores}P",
-                          "-", "-", "FAILED", "-", "-")
+                          "-", "-", label, "-", "-")
             continue
         table.add_row(result.benchmark, result.interconnect,
                       result.mode.value, f"{result.n_cores}P",
@@ -173,13 +192,18 @@ def sweep_table(results: List, title: Optional[str] = None) -> str:
 def sweep_csv(results: List) -> str:
     """Render sweep results as CSV text.
 
-    The trailing ``status`` column is ``ok`` or ``failed``; failed rows
-    carry zeros in the numeric columns.
+    The trailing ``status`` column is ``ok``, or ``failed:<kind>`` with
+    the failure-taxonomy kind (``worker-crash`` | ``timeout`` |
+    ``simulation-error`` | ``interrupted``) when the row carries a typed
+    failure; failed rows carry zeros in the numeric columns.
     """
     lines = ["benchmark,interconnect,mode,n_cores,ref_cycles,tg_cycles,"
              "error,ref_wall,tg_wall,gain,event_gain,status"]
     for result in results:
         status = getattr(result, "status", "ok")
+        failure = getattr(result, "failure", None)
+        if status != "ok" and failure is not None:
+            status = f"{status}:{failure.kind}"
         lines.append(",".join(str(value) for value in (
             result.benchmark, result.interconnect, result.mode.value,
             result.n_cores, result.ref_cycles, result.tg_cycles,

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Scripted crash-then-resume smoke test for the sweep-resilience CI job.
+
+Exercises the full story end to end, outside pytest, the way an
+operator would hit it:
+
+1. start a journalled sweep in a subprocess (points slowed down);
+2. SIGKILL one pool worker mid-point — the supervisor must replace it;
+3. SIGINT the driver — it must flush the journal and exit with the
+   distinct interrupted status (8);
+4. ``--resume`` the journal — it must finish with exit 0, re-running
+   only the unfinished points (completed points keep their original
+   attempt counts: zero re-simulations).
+
+Usage: PYTHONPATH=src python tests/harness/resilience_smoke.py WORKDIR
+The journal is left in WORKDIR/run for CI to upload on failure.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.harness import EXIT_INTERRUPTED, SweepJournal, journal_path  # noqa: E402
+from repro.harness.parallel import _TEST_SLEEP_ENV  # noqa: E402
+
+SPEC = {"benchmark": "cacheloop", "cores": [1, 2],
+        "interconnects": ["ahb", "tlm"], "app_params": {"iters": 40}}
+
+DRIVER = """\
+import sys
+from repro.cli import sweep_main
+sys.exit(sweep_main(sys.argv[1:]))
+"""
+
+
+def say(message):
+    print(f"[smoke] {message}", flush=True)
+
+
+def fail(message):
+    say(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def journal_lines(journal_dir):
+    path = journal_path(journal_dir)
+    if not path.exists():
+        return 0
+    return sum(1 for line in path.read_text().splitlines() if line.strip())
+
+
+def wait_for(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    fail(f"timed out waiting for {what}")
+
+
+def worker_pids(driver_pid):
+    """The sweep worker children of the driver, via /proc."""
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = (Path("/proc") / entry / "stat").read_text()
+            comm_end = stat.rindex(")")
+            ppid = int(stat[comm_end + 1:].split()[1])
+        except (OSError, ValueError, IndexError):
+            continue
+        if ppid != driver_pid:
+            continue
+        try:
+            cmdline = (Path("/proc") / entry / "cmdline").read_bytes()
+        except OSError:
+            continue
+        # the driver's other child is multiprocessing's resource
+        # tracker — killing that would not test worker supervision
+        if b"tracker" in cmdline:
+            continue
+        pids.append(int(entry))
+    return pids
+
+
+def main():
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else "smoke-work")
+    workdir.mkdir(parents=True, exist_ok=True)
+    spec_file = workdir / "spec.json"
+    spec_file.write_text(json.dumps(SPEC))
+    journal_dir = workdir / "run"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    env[_TEST_SLEEP_ENV] = "3.0"
+
+    say("starting journalled sweep (workers slowed to 3s/point)")
+    driver = subprocess.Popen(
+        [sys.executable, "-c", DRIVER, str(spec_file), "--no-cache",
+         "-j", "2", "--journal", str(journal_dir), "--retries", "1",
+         "--retry-backoff", "0.1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        # wait for the pool to pick work up (header + started records)
+        wait_for(lambda: journal_lines(journal_dir) >= 3, 60,
+                 "workers to pick up the first points")
+
+        victims = worker_pids(driver.pid)
+        if not victims:
+            fail("no worker children found under the driver")
+        say(f"SIGKILLing worker pid {victims[0]} mid-point")
+        os.kill(victims[0], signal.SIGKILL)
+
+        # the supervisor must notice, journal the crash and carry on:
+        # with --retries 1 the killed point is re-queued, so the sweep
+        # keeps making progress — wait for fresh journal traffic
+        lines_after_kill = journal_lines(journal_dir)
+        wait_for(lambda: journal_lines(journal_dir) > lines_after_kill,
+                 60, "the supervisor to journal the crash and move on")
+
+        say("SIGINTing the driver")
+        driver.send_signal(signal.SIGINT)
+        try:
+            _, stderr = driver.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            driver.kill()
+            fail("driver did not exit after SIGINT")
+    finally:
+        if driver.poll() is None:
+            driver.kill()
+            driver.communicate()
+
+    if driver.returncode != EXIT_INTERRUPTED:
+        sys.stderr.write(stderr)
+        fail(f"expected exit {EXIT_INTERRUPTED} after SIGINT, "
+             f"got {driver.returncode}")
+    if f"--resume {journal_dir}" not in stderr:
+        fail("driver printed no resume hint")
+    say(f"driver exited {driver.returncode} with a resume hint")
+
+    state = SweepJournal.read_state(journal_dir)   # must load cleanly
+    finished_before = dict(state.ok)
+    attempts_before = dict(state.attempts)
+    say(f"journal is clean: {len(finished_before)} point(s) finished, "
+        f"{len(state.unfinished_of(4))} to go")
+
+    say("resuming the sweep")
+    env.pop(_TEST_SLEEP_ENV)
+    resumed = subprocess.run(
+        [sys.executable, "-c", DRIVER, "--resume", str(journal_dir),
+         "--no-cache", "-j", "2", "--retries", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        timeout=300)
+    if resumed.returncode != 0:
+        sys.stderr.write(resumed.stderr)
+        fail(f"resume exited {resumed.returncode}")
+
+    after = SweepJournal.read_state(journal_dir)
+    if set(after.ok) != {0, 1, 2, 3}:
+        fail(f"resume left unfinished points: {after.unfinished_of(4)}")
+    for index in finished_before:
+        if after.attempts.get(index) != attempts_before.get(index):
+            fail(f"completed point {index} was re-simulated on resume")
+    say("resume finished every point without re-simulating completed work")
+    say("PASS")
+
+
+if __name__ == "__main__":
+    main()

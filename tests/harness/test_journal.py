@@ -1,0 +1,171 @@
+"""Sweep journal: checksummed records, torn-tail tolerance, replay,
+resume-state exactness (property-tested over random interrupt points)."""
+
+import json
+
+import pytest
+
+from repro.artifacts import ChecksumMismatch, ParseDiagnostic
+from repro.harness import (
+    JournalState,
+    SweepJournal,
+    SweepSpec,
+    journal_path,
+)
+from repro.harness.cache import repro_version
+
+pytestmark = pytest.mark.sweep
+
+
+def spec_dict():
+    return SweepSpec("cacheloop", [1, 2], interconnects=["ahb", "tlm"],
+                     app_params={"iters": 40}).to_dict()
+
+
+def fresh(tmp_path, total=4):
+    return SweepJournal.create(tmp_path, spec_dict(), total,
+                               repro_version())
+
+
+class TestJournalWriting:
+    def test_create_then_read_state(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0, key="k0")
+        journal.record_ok(0, 0, {"status": "ok", "tg_cycles": 7},
+                          wall=0.5)
+        journal.record_started(1, 0)
+        journal.record_failed(1, 0, "simulation-error", "boom",
+                              traceback="tb", final=True)
+        journal.close()
+        state = SweepJournal.read_state(tmp_path)
+        assert state.spec == spec_dict()
+        assert state.version == repro_version()
+        assert state.total == 4
+        assert state.ok[0]["summary"]["tg_cycles"] == 7
+        assert state.failed[1]["kind"] == "simulation-error"
+        assert state.unfinished_of(4) == {2, 3}
+        assert not state.torn_tail
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        fresh(tmp_path).close()
+        with pytest.raises(ParseDiagnostic):
+            fresh(tmp_path)
+
+    def test_every_line_is_checksummed(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.close()
+        for line in journal_path(tmp_path).read_text().splitlines():
+            assert "crc32" in json.loads(line)
+
+    def test_quarantine_and_interrupt_replay(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.record_failed(0, 0, "worker-crash", "died", final=False)
+        journal.record_started(0, 1)
+        journal.record_failed(0, 1, "timeout", "slow", final=True)
+        journal.record_quarantined(0, attempts=2)
+        journal.record_started(1, 0)
+        journal.record_interrupted(1, 0)
+        journal.close()
+        state = SweepJournal.read_state(tmp_path)
+        assert state.quarantined == {0}
+        assert 0 in state.failed
+        assert state.attempts[0] == 2
+        assert state.in_flight == {1}
+        assert state.unfinished_of(4) == {1, 2, 3}
+
+
+class TestJournalDurability:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        path = journal_path(tmp_path)
+        # simulate a crash mid-append: half a record at the tail
+        with open(path, "a") as handle:
+            handle.write('{"type":"ok","index":1,"summ')
+        state = SweepJournal.read_state(tmp_path)
+        assert state.torn_tail
+        assert 0 in state.ok and 1 not in state.ok
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        path = journal_path(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"started"', '"stopped"')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ChecksumMismatch):
+            SweepJournal.read_state(tmp_path)
+
+    def test_missing_journal_raises_located_error(self, tmp_path):
+        with pytest.raises(ParseDiagnostic):
+            SweepJournal.read_state(tmp_path)
+
+    def test_resume_rejects_different_spec(self, tmp_path):
+        fresh(tmp_path).close()
+        other = SweepSpec("cacheloop", [8]).to_dict()
+        with pytest.raises(ParseDiagnostic):
+            SweepJournal.resume(tmp_path, other)
+
+    def test_resume_appends_after_existing_records(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        resumed = SweepJournal.resume(tmp_path, spec_dict())
+        assert 0 in resumed.state.ok
+        resumed.record_started(1, 0)
+        resumed.record_ok(1, 0, {"status": "ok"}, wall=0.2)
+        resumed.close()
+        state = SweepJournal.read_state(tmp_path)
+        assert set(state.ok) == {0, 1}
+
+
+class TestResumeExactness:
+    """The replayed unfinished set is exactly the complement of the
+    terminal records, whatever order events landed in."""
+
+    def test_property_random_interrupt_points(self, tmp_path):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(st.lists(
+            st.tuples(st.integers(0, 11),
+                      st.sampled_from(["ok", "failed", "started",
+                                       "interrupted"])),
+            max_size=30))
+        def check(events):
+            state = JournalState()
+            finished = {}
+            for index, kind in events:
+                if index in finished:
+                    continue        # terminal records are final
+                if kind == "ok":
+                    record = {"type": "ok", "index": index,
+                              "attempt": 0, "summary": {"status": "ok"}}
+                    finished[index] = "ok"
+                elif kind == "failed":
+                    record = {"type": "failed", "index": index,
+                              "attempt": 0, "kind": "simulation-error",
+                              "message": "x", "final": True}
+                    finished[index] = "failed"
+                elif kind == "started":
+                    record = {"type": "started", "index": index,
+                              "attempt": 0}
+                else:
+                    record = {"type": "interrupted", "index": index,
+                              "attempt": 0}
+                from repro.harness.journal import _replay
+                _replay(state, record)
+            expected = set(range(12)) - set(finished)
+            assert state.unfinished_of(12) == expected
+            assert set(state.ok) == {i for i, k in finished.items()
+                                     if k == "ok"}
+
+        check()

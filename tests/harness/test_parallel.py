@@ -103,8 +103,11 @@ class TestCrashIsolation:
     def test_failed_rows_render(self):
         spec = SweepSpec("cacheloop", [1], app_params={"bogus": 1})
         results = run_sweep_parallel(spec, jobs=1)
-        assert "FAILED" in sweep_table(results)
-        assert sweep_csv(results).strip().splitlines()[1].endswith(",failed")
+        assert "FAILED:simulation-error" in sweep_table(results)
+        assert sweep_csv(results).strip().splitlines()[1].endswith(
+            ",failed:simulation-error")
+        assert results[0].failure is not None
+        assert not results[0].failure.transient
 
     def test_failed_point_is_never_cached(self, tmp_path):
         from repro.harness import ResultCache
@@ -125,6 +128,32 @@ class TestPointTimeout:
         results = run_sweep_parallel(spec, jobs=2, point_timeout_s=0.2)
         assert [r.status for r in results] == ["failed", "failed"]
         assert all("timeout" in r.traceback for r in results)
+        assert all(r.failure.kind == "timeout" for r in results)
+        assert all(r.failure.transient for r in results)
+
+    def test_clock_starts_at_pickup_not_submission(self, monkeypatch):
+        # 6 points over 2 workers = 3 waves; by the time the last wave
+        # runs, more wall time has passed since *submission* (~1.2s)
+        # than the whole budget — the old submission-based clock marked
+        # queued points failed before they ever executed.  Each point
+        # itself (~0.4s) comfortably fits the budget, so all must pass.
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "0.4")
+        spec = SweepSpec("cacheloop", [1],
+                         interconnects=["ahb", "tlm", "stbus"],
+                         modes=["reactive", "cloning"],
+                         app_params={"iters": 30})
+        results = run_sweep_parallel(spec, jobs=2, point_timeout_s=1.0)
+        assert [r.status for r in results] == ["ok"] * 6
+
+    def test_timed_out_worker_is_killed_not_abandoned(self, monkeypatch):
+        import multiprocessing
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "30.0")
+        spec = SweepSpec("cacheloop", [1, 2], app_params={"iters": 40})
+        results = run_sweep_parallel(spec, jobs=2, point_timeout_s=0.3)
+        assert [r.status for r in results] == ["failed", "failed"]
+        # the 30s-sleeping worker must not survive the sweep
+        assert not [p for p in multiprocessing.active_children()
+                    if p.name.startswith("repro-sweep-worker")]
 
 
 class TestProgressReporting:
@@ -137,3 +166,66 @@ class TestProgressReporting:
         assert "(0 cached, 0 failed)" in lines[-1]
         # one line up front plus one per completed point
         assert len(lines) == 5
+
+
+class TestSummaryValidation:
+    """A summary without a trustworthy status must never report ok."""
+
+    def point(self):
+        from repro.harness import expand_grid
+        return expand_grid(SweepSpec("cacheloop", [1]))[0]
+
+    def test_missing_status_is_failed_with_diagnostic(self):
+        from repro.harness import PointResult
+        # e.g. a stale cache entry written by an older result schema
+        stale = {"ref_cycles": 100, "tg_cycles": 100}
+        result = PointResult.from_summary(self.point(), stale, cached=True)
+        assert result.status == "failed"
+        assert result.failure is not None
+        assert "invalid status" in result.failure.message
+        assert "stale cache entry" in result.traceback
+        # the bogus numbers must not leak into the row
+        assert result.ref_cycles == 0 and result.tg_cycles == 0
+
+    def test_unknown_status_is_failed(self):
+        from repro.harness import PointResult
+        result = PointResult.from_summary(
+            self.point(), {"status": "maybe", "ref_cycles": 7})
+        assert result.status == "failed"
+        assert "'maybe'" in result.failure.message
+
+    def test_ok_status_still_ok(self):
+        from repro.harness import PointResult
+        result = PointResult.from_summary(
+            self.point(), {"status": "ok", "ref_cycles": 7})
+        assert result.status == "ok"
+        assert result.ref_cycles == 7
+
+
+class TestNoWorkerLeak:
+    """Every child the pool spawned must be reaped before returning."""
+
+    def leaked_workers(self):
+        import multiprocessing
+        return [p for p in multiprocessing.active_children()
+                if p.name.startswith("repro-sweep-worker")]
+
+    def test_normal_sweep_leaves_no_children(self):
+        run_sweep_parallel(small_spec(), jobs=2)
+        assert self.leaked_workers() == []
+
+    def test_failed_sweep_leaves_no_children(self):
+        spec = SweepSpec("cacheloop", [1, 2], app_params={"bogus": 1})
+        run_sweep_parallel(spec, jobs=2)
+        assert self.leaked_workers() == []
+
+    def test_interrupted_sweep_leaves_no_children(self, monkeypatch):
+        import threading
+        from repro.harness import SweepInterrupted
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "30.0")
+        cancel = threading.Event()
+        cancel.set()                 # cancel before the first dispatch
+        spec = SweepSpec("cacheloop", [1, 2], app_params={"iters": 40})
+        with pytest.raises(SweepInterrupted):
+            run_sweep_parallel(spec, jobs=2, cancel=cancel)
+        assert self.leaked_workers() == []

@@ -1,0 +1,308 @@
+"""Supervised sweep execution: worker-crash recovery, hang detection,
+retry/quarantine, journalled resume through the engine."""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.harness import (
+    SweepInterrupted,
+    SweepJournal,
+    SweepPointFailure,
+    SweepSpec,
+    run_sweep_parallel,
+)
+from repro.harness import parallel as parallel_module
+from repro.harness import supervisor as supervisor_module
+from repro.harness.cache import repro_version
+
+pytestmark = pytest.mark.sweep
+
+
+def small_spec():
+    return SweepSpec("cacheloop", [1, 2], interconnects=["ahb", "tlm"],
+                     app_params={"iters": 40})
+
+
+class TestFailureTaxonomy:
+    def test_kinds_and_transience(self):
+        crash = SweepPointFailure("worker-crash", "died")
+        assert crash.transient
+        timeout = SweepPointFailure("timeout", "slow")
+        assert timeout.transient
+        sim = SweepPointFailure("simulation-error", "raised")
+        assert not sim.transient
+        stop = SweepPointFailure("interrupted", "ctrl-c")
+        assert not stop.transient
+
+    def test_as_dict(self):
+        failure = SweepPointFailure("timeout", "slow", attempts=3)
+        data = failure.as_dict()
+        assert data["kind"] == "timeout"
+        assert data["transient"] is True
+        assert data["attempts"] == 3
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkilled_worker_fails_only_its_point(self, tmp_path,
+                                                   monkeypatch):
+        # the first worker to claim the marker dies mid-point with
+        # os._exit — the moral equivalent of an OOM SIGKILL
+        monkeypatch.setenv(supervisor_module._TEST_CRASH_ONCE_ENV,
+                           str(tmp_path / "crashed"))
+        results = run_sweep_parallel(small_spec(), jobs=2)
+        statuses = [r.status for r in results]
+        assert statuses.count("failed") == 1
+        assert statuses.count("ok") == 3      # the pool recovered
+        failed = [r for r in results if r.status == "failed"][0]
+        assert failed.failure.kind == "worker-crash"
+        assert failed.quarantined
+
+    def test_crashed_point_recovers_with_retries(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(supervisor_module._TEST_CRASH_ONCE_ENV,
+                           str(tmp_path / "crashed"))
+        results = run_sweep_parallel(small_spec(), jobs=2, retries=1,
+                                     retry_backoff_s=0.05)
+        assert [r.status for r in results] == ["ok"] * 4
+        assert max(r.attempts for r in results) == 2
+        assert os.path.exists(tmp_path / "crashed")
+
+    def test_always_crashing_point_is_quarantined(self, monkeypatch,
+                                                  tmp_path):
+        # every worker handed point 0 dies; the others sail through
+        monkeypatch.setenv(supervisor_module._TEST_CRASH_INDEX_ENV, "0")
+        journal = SweepJournal.create(tmp_path, small_spec().to_dict(), 4,
+                                      repro_version())
+        results = run_sweep_parallel(small_spec(), jobs=2, retries=2,
+                                     retry_backoff_s=0.05,
+                                     journal=journal)
+        journal.close()
+        assert results[0].status == "failed"
+        assert results[0].quarantined
+        assert results[0].attempts == 3
+        assert [r.status for r in results[1:]] == ["ok"] * 3
+        state = SweepJournal.read_state(tmp_path)
+        assert state.quarantined == {0}
+        assert 0 in state.failed
+
+
+class TestHangDetection:
+    def test_silent_worker_is_killed_and_point_fails(self, monkeypatch):
+        import multiprocessing
+        # workers skip their heartbeat thread and sleep forever: only
+        # heartbeat-based hang detection can end this sweep
+        monkeypatch.setenv(supervisor_module._TEST_NO_HEARTBEAT_ENV, "1")
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "60.0")
+        spec = SweepSpec("cacheloop", [1, 2], app_params={"iters": 40})
+        start = time.monotonic()
+        results = run_sweep_parallel(spec, jobs=2,
+                                     heartbeat_timeout_s=0.5)
+        assert time.monotonic() - start < 30.0
+        assert results[0].status == "failed"
+        assert results[0].failure.kind == "worker-crash"
+        assert "heartbeat" in results[0].traceback
+        assert not [p for p in multiprocessing.active_children()
+                    if p.name.startswith("repro-sweep-worker")]
+
+
+class TestInterrupt:
+    def test_cancel_mid_sweep_journals_in_flight(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "5.0")
+        spec = small_spec()
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 4,
+                                      repro_version())
+        cancel = threading.Event()
+        timer = threading.Timer(1.0, cancel.set)
+        timer.start()
+        try:
+            with pytest.raises(SweepInterrupted) as stop:
+                run_sweep_parallel(spec, jobs=2, journal=journal,
+                                   cancel=cancel)
+        finally:
+            timer.cancel()
+            journal.close()
+        results = stop.value.results
+        assert len(results) == 4
+        assert all(r.status == "failed" for r in results)
+        assert all(r.failure.kind == "interrupted" for r in results)
+        state = SweepJournal.read_state(tmp_path)
+        # the two picked-up points carry interrupted records
+        assert state.in_flight
+        assert state.unfinished_of(4) == {0, 1, 2, 3}
+
+    def test_interrupted_results_render(self, monkeypatch):
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "5.0")
+        cancel = threading.Event()
+        cancel.set()
+        from repro.harness import sweep_csv, sweep_table
+        with pytest.raises(SweepInterrupted) as stop:
+            run_sweep_parallel(small_spec(), jobs=2, cancel=cancel)
+        table = sweep_table(stop.value.results)
+        assert "FAILED:interrupted" in table
+        assert ",failed:interrupted" in sweep_csv(stop.value.results)
+
+
+class TestJournalledResume:
+    def test_resume_runs_exactly_the_unfinished_points(self, tmp_path,
+                                                       monkeypatch):
+        spec = small_spec()
+        # first run: interrupt after the first two points complete
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 4,
+                                      repro_version())
+        cancel = threading.Event()
+        executed_first = []
+        real = parallel_module._execute_point
+
+        def first_run(payload):
+            executed_first.append(payload["interconnect"])
+            if len(executed_first) == 2:
+                cancel.set()
+            return real(payload)
+
+        monkeypatch.setattr(parallel_module, "_execute_point", first_run)
+        with pytest.raises(SweepInterrupted):
+            run_sweep_parallel(spec, jobs=1, journal=journal,
+                               cancel=cancel)
+        journal.close()
+        state = SweepJournal.read_state(tmp_path)
+        assert set(state.ok) == {0, 1}
+
+        # resume: only the two unfinished points may simulate
+        executed_second = []
+
+        def second_run(payload):
+            executed_second.append(payload["interconnect"])
+            return real(payload)
+
+        monkeypatch.setattr(parallel_module, "_execute_point", second_run)
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=1, journal=resumed)
+        resumed.close()
+        assert executed_second == ["tlm", "tlm"]
+        assert [r.status for r in results] == ["ok"] * 4
+        assert [r.journaled for r in results] == [True, True, False,
+                                                  False]
+
+    def test_resumed_results_bit_identical_to_uninterrupted(
+            self, tmp_path, monkeypatch):
+        spec = small_spec()
+        reference = run_sweep_parallel(spec, jobs=1)
+
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 4,
+                                      repro_version())
+        cancel = threading.Event()
+        count = [0]
+        real = parallel_module._execute_point
+
+        def interrupt_after_two(payload):
+            count[0] += 1
+            if count[0] == 3:
+                raise KeyboardInterrupt
+            return real(payload)
+
+        monkeypatch.setattr(parallel_module, "_execute_point",
+                            interrupt_after_two)
+        with pytest.raises(SweepInterrupted):
+            run_sweep_parallel(spec, jobs=1, journal=journal,
+                               cancel=cancel)
+        journal.close()
+        monkeypatch.setattr(parallel_module, "_execute_point", real)
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=1, journal=resumed)
+        resumed.close()
+        assert [r.tg_cycles for r in results] == \
+            [r.tg_cycles for r in reference]
+        assert [r.ref_cycles for r in results] == \
+            [r.ref_cycles for r in reference]
+
+    def test_quarantined_points_stay_failed_unless_requeued(
+            self, tmp_path, monkeypatch):
+        spec = SweepSpec("cacheloop", [1, 2], app_params={"iters": 40})
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 2,
+                                      repro_version())
+        journal.record_started(0, 0)
+        journal.record_failed(0, 0, "worker-crash", "died", final=True)
+        journal.record_quarantined(0, attempts=1)
+        journal.close()
+
+        ran = []
+        real = parallel_module._execute_point
+
+        def spy(payload):
+            ran.append(payload["n_cores"])
+            return real(payload)
+
+        monkeypatch.setattr(parallel_module, "_execute_point", spy)
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=1, journal=resumed)
+        resumed.close()
+        assert ran == [2]                    # quarantined point skipped
+        assert results[0].status == "failed"
+        assert results[0].quarantined
+        assert results[0].journaled
+
+        ran.clear()
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=1, journal=resumed,
+                                     requeue_failed=True)
+        resumed.close()
+        assert ran == [1]                    # re-queued; point 1 is ok now
+        assert results[0].status == "ok"
+
+
+class TestSupervisorShutdown:
+    def test_shutdown_kills_stuck_workers(self, monkeypatch):
+        from repro.harness.supervisor import WorkerSupervisor
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "60.0")
+        supervisor = WorkerSupervisor(2, heartbeat_timeout_s=None)
+        supervisor.dispatch(0, {"benchmark": "cacheloop", "n_cores": 1,
+                                "interconnect": "ahb", "mode": "reactive",
+                                "app_params": {"iters": 10},
+                                "fault_spec": None, "fault_seed": 0})
+        time.sleep(0.3)
+        pids = supervisor.pids
+        assert pids
+        supervisor.shutdown(graceful=False)
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_sigkilled_worker_is_detected_and_replaced(self, monkeypatch):
+        from repro.harness.supervisor import WorkerSupervisor
+        # keep the point running long enough to SIGKILL its worker
+        monkeypatch.setenv(parallel_module._TEST_SLEEP_ENV, "30.0")
+        supervisor = WorkerSupervisor(2, heartbeat_timeout_s=None)
+        try:
+            payload = {"benchmark": "cacheloop", "n_cores": 1,
+                       "interconnect": "ahb", "mode": "reactive",
+                       "app_params": {"iters": 40}, "fault_spec": None,
+                       "fault_seed": 0}
+            supervisor.dispatch(0, payload)
+            deadline = time.monotonic() + 10.0
+            victim = None
+            while time.monotonic() < deadline and victim is None:
+                supervisor.poll(timeout=0.05)
+                for handle in supervisor._workers.values():
+                    if handle.busy and handle.started_at is not None:
+                        victim = handle.process.pid
+                        break
+            assert victim is not None
+            os.kill(victim, signal.SIGKILL)
+            events = []
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not any(
+                    e.kind == "crashed" for e in events):
+                events.extend(supervisor.poll(timeout=0.05))
+            crashed = [e for e in events if e.kind == "crashed"]
+            assert crashed and crashed[0].index == 0
+            # the pool healed itself back to two live workers
+            assert len(supervisor._workers) == 2
+            assert all(h.process.is_alive()
+                       for h in supervisor._workers.values())
+        finally:
+            supervisor.shutdown(graceful=False)
