@@ -13,8 +13,9 @@ canonical JSON (the same checksum convention as the ``.trc``/``.tgp``
 artifact headers and the result cache), so a half-written record from a
 crash is distinguishable from silent corruption:
 
-* a **torn final line** (the process died mid-append) is expected and
-  silently dropped on load;
+* a **torn final line** (the process died mid-append) is expected:
+  it is dropped on load, and :meth:`SweepJournal.resume` truncates it
+  away before appending so the resumed run starts on a fresh line;
 * a **corrupt interior record** means the file was edited or damaged
   and raises :class:`~repro.artifacts.ChecksumMismatch` — resuming from
   an untrustworthy journal would silently skip work.
@@ -86,6 +87,10 @@ class JournalState:
     attempts: Dict[int, int] = field(default_factory=dict)
     #: a torn trailing record was dropped on load.
     torn_tail: bool = False
+    #: byte offset of the end of the last valid record (newline
+    #: included) — everything past it is torn/blank tail to discard
+    #: before appending.
+    valid_bytes: int = 0
 
     def finished(self, index: int) -> bool:
         return index in self.ok or index in self.failed
@@ -142,6 +147,11 @@ class SweepJournal:
         When ``spec`` is given it must fingerprint-match the journal's
         header — resuming a journal against a *different* sweep would
         serve wrong results.
+
+        A torn tail (the previous run died mid-append) is truncated
+        away *before* reopening for append; otherwise the first record
+        of the resumed run would be glued onto the partial line,
+        producing a corrupt interior record on the next replay.
         """
         path = journal_path(directory)
         state = cls.read_state(directory)
@@ -156,7 +166,31 @@ class SweepJournal:
                 path=path,
                 hint="resume without a spec file, or use a fresh "
                      "--journal directory for the new spec")
+        cls._repair_tail(path, state)
         return cls(path, open(path, "a"), state)
+
+    @staticmethod
+    def _repair_tail(path: Path, state: JournalState) -> None:
+        """Drop torn trailing bytes so appends start on a fresh line."""
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            last_byte = b""
+            if size:
+                handle.seek(size - 1)
+                last_byte = handle.read(1)
+            if size == state.valid_bytes and \
+                    (size == 0 or last_byte == b"\n"):
+                state.torn_tail = False
+                return
+            handle.truncate(state.valid_bytes)
+            if state.valid_bytes:
+                handle.seek(state.valid_bytes - 1)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        state.torn_tail = False
 
     @staticmethod
     def read_state(directory: Union[str, Path]) -> JournalState:
@@ -169,19 +203,42 @@ class SweepJournal:
         path = journal_path(directory)
         state = JournalState()
         try:
-            lines = path.read_text().splitlines()
+            data = path.read_bytes()
         except FileNotFoundError:
             raise ParseDiagnostic(
                 "no sweep journal found", path=path,
                 hint=f"expected {JOURNAL_FILENAME} in the sweep directory")
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            record = _decode(path, number, line, last=(number == len(lines)))
+        raw_lines = data.split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()        # the file ends with a newline
+        offset = 0
+        for number, raw in enumerate(raw_lines, start=1):
+            end = offset + len(raw)
+            has_newline = end < len(data)     # data[end] == b"\n"
+            line_bytes = end + (1 if has_newline else 0) - offset
+            last = number == len(raw_lines)
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                if not last:
+                    raise ChecksumMismatch(
+                        f"journal line {number} is not a valid record",
+                        path=path,
+                        hint="the journal was edited or damaged mid-file; "
+                             "start a fresh sweep")
+                record = None
+            else:
+                if not line.strip():
+                    offset += line_bytes
+                    state.valid_bytes = offset
+                    continue
+                record = _decode(path, number, line, last=last)
             if record is None:
                 state.torn_tail = True
                 break
             _replay(state, record)
+            offset += line_bytes
+            state.valid_bytes = offset
         return state
 
     # ----------------------------------------------------------- records

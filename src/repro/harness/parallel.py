@@ -480,11 +480,17 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
                 point, summary, cached=True, cache_key=key)
             counters["done"] += 1
             counters["cached"] += 1
-            if journal is not None and point.index not in \
-                    (journal_state.ok if journal_state else {}):
+            # guard on the live journal state (not the version-nulled
+            # journal_state) so a resume under a new repro version does
+            # not re-append a duplicate cache record every run
+            if journal is not None and point.index not in journal.state.ok:
                 journal.record_ok(point.index, 0, summary, source="cache")
             continue
-        pending.append(_Task(point, key))
+        # attempts consumed by earlier runs count against the retry
+        # budget; a resume must not hand every point a fresh one
+        prior_attempts = journal_state.attempts.get(point.index, 0) \
+            if journal_state is not None else 0
+        pending.append(_Task(point, key, attempt=prior_attempts))
     emit()
 
     if not pending:

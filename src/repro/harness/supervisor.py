@@ -285,14 +285,22 @@ class WorkerSupervisor:
 
     def dispatch(self, index: int, payload: Dict) -> None:
         """Hand one grid point to an idle worker (caller checks idle_count)."""
-        for handle in self._workers.values():
-            if not handle.busy:
-                handle.index = index
-                handle.dispatched_at = time.monotonic()
-                handle.started_at = None
-                handle.last_heartbeat = time.monotonic()
-                handle.task_queue.put((index, payload))
-                return
+        for handle in list(self._workers.values()):
+            if handle.busy:
+                continue
+            if not handle.process.is_alive():
+                # died idle since the last poll(); queueing into the
+                # corpse would misclassify a never-run point as a
+                # worker-crash — reap and hand the point to a fresh
+                # worker instead
+                self._kill(handle)
+                handle = self._spawn()
+            handle.index = index
+            handle.dispatched_at = time.monotonic()
+            handle.started_at = None
+            handle.last_heartbeat = time.monotonic()
+            handle.task_queue.put((index, payload))
+            return
         raise RuntimeError("dispatch() called with no idle worker")
 
     # ------------------------------------------------------------ polling

@@ -112,6 +112,54 @@ class TestJournalDurability:
         with pytest.raises(ParseDiagnostic):
             SweepJournal.resume(tmp_path, other)
 
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_started(0, 0)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        # crash mid-append: half a record, no trailing newline
+        with open(journal_path(tmp_path), "a") as handle:
+            handle.write('{"type":"ok","index":1,"summ')
+        resumed = SweepJournal.resume(tmp_path, spec_dict())
+        assert not resumed.state.torn_tail
+        resumed.record_started(1, 0)
+        resumed.record_ok(1, 0, {"status": "ok"}, wall=0.2)
+        resumed.close()
+        # the torn bytes are gone: nothing glued, every line replays
+        # (this used to raise ChecksumMismatch on the second resume)
+        state = SweepJournal.read_state(tmp_path)
+        assert set(state.ok) == {0, 1}
+        assert not state.torn_tail
+        SweepJournal.resume(tmp_path, spec_dict()).close()
+
+    def test_resume_tolerates_torn_binary_tail(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        # a crash can tear mid-UTF-8-sequence too
+        with open(journal_path(tmp_path), "ab") as handle:
+            handle.write(b'{"type":"ok","ind\xff\xfe')
+        state = SweepJournal.read_state(tmp_path)
+        assert state.torn_tail
+        assert 0 in state.ok
+        resumed = SweepJournal.resume(tmp_path, spec_dict())
+        resumed.record_ok(1, 0, {"status": "ok"}, wall=0.2)
+        resumed.close()
+        assert set(SweepJournal.read_state(tmp_path).ok) == {0, 1}
+
+    def test_resume_repairs_missing_final_newline(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record_ok(0, 0, {"status": "ok"}, wall=0.1)
+        journal.close()
+        path = journal_path(tmp_path)
+        # crash ate only the newline: the last record is intact
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        resumed = SweepJournal.resume(tmp_path, spec_dict())
+        resumed.record_ok(1, 0, {"status": "ok"}, wall=0.2)
+        resumed.close()
+        state = SweepJournal.read_state(tmp_path)
+        assert set(state.ok) == {0, 1}
+
     def test_resume_appends_after_existing_records(self, tmp_path):
         journal = fresh(tmp_path)
         journal.record_started(0, 0)

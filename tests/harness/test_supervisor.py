@@ -220,6 +220,84 @@ class TestJournalledResume:
         assert [r.ref_cycles for r in results] == \
             [r.ref_cycles for r in reference]
 
+    def test_resume_seeds_attempt_counts_from_journal(self, tmp_path):
+        import json
+        from repro.harness import journal_path
+        spec = SweepSpec("cacheloop", [1], app_params={"iters": 40})
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 1,
+                                      repro_version())
+        journal.record_started(0, 0)
+        journal.record_failed(0, 0, "worker-crash", "died", final=False)
+        journal.record_started(0, 1)
+        journal.record_interrupted(0, 1)
+        journal.close()
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=1, journal=resumed)
+        resumed.close()
+        assert results[0].status == "ok"
+        assert results[0].attempts == 3      # two prior tries + this one
+        state = SweepJournal.read_state(tmp_path)
+        assert state.attempts[0] == 3
+        # the resumed run continues the attempt numbering instead of
+        # journalling a duplicate (index, attempt=0) record
+        records = [json.loads(line) for line in
+                   journal_path(tmp_path).read_text().splitlines()]
+        started = [r["attempt"] for r in records if r["type"] == "started"]
+        assert started == [0, 1, 2]
+
+    def test_resume_does_not_reset_retry_budget(self, tmp_path,
+                                                monkeypatch):
+        # point 0 always crashes its worker; two attempts are already
+        # journalled, so with --retries 2 the resumed run gets exactly
+        # one more try, not a fresh budget of three
+        monkeypatch.setenv(supervisor_module._TEST_CRASH_INDEX_ENV, "0")
+        spec = small_spec()
+        journal = SweepJournal.create(tmp_path, spec.to_dict(), 4,
+                                      repro_version())
+        journal.record_started(0, 0)
+        journal.record_failed(0, 0, "worker-crash", "died", final=False)
+        journal.record_started(0, 1)
+        journal.record_failed(0, 1, "worker-crash", "died", final=False)
+        journal.close()
+        resumed = SweepJournal.resume(tmp_path, spec.to_dict())
+        results = run_sweep_parallel(spec, jobs=2, retries=2,
+                                     retry_backoff_s=0.05,
+                                     journal=resumed)
+        resumed.close()
+        assert results[0].status == "failed"
+        assert results[0].quarantined
+        assert results[0].attempts == 3      # 2 journalled + 1 here
+        # the terminal failure continues the attempt numbering (a reset
+        # budget would have journalled attempts 0..2 again)
+        state = SweepJournal.read_state(tmp_path)
+        assert state.failed[0]["attempt"] == 2
+        assert state.quarantined == {0}
+
+    def test_version_mismatch_resume_keeps_one_cache_record_per_point(
+            self, tmp_path):
+        import json
+        from repro.harness import journal_path
+        from repro.harness.cache import ResultCache
+        spec = small_spec()
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep_parallel(spec, jobs=1, cache=cache)   # warm the cache
+        run_dir = tmp_path / "run"
+        # a journal written by an older repro version: its results are
+        # not trusted, but cache hits must not be re-journalled on
+        # every subsequent resume
+        SweepJournal.create(run_dir, spec.to_dict(), 4,
+                            "0.0.0-stale").close()
+        for _ in range(2):
+            resumed = SweepJournal.resume(run_dir, spec.to_dict())
+            results = run_sweep_parallel(spec, jobs=1, cache=cache,
+                                         journal=resumed)
+            resumed.close()
+            assert all(r.cached for r in results)
+        records = [json.loads(line) for line in
+                   journal_path(run_dir).read_text().splitlines()]
+        ok_records = [r for r in records if r["type"] == "ok"]
+        assert len(ok_records) == 4          # one per point, not per resume
+
     def test_quarantined_points_stay_failed_unless_requeued(
             self, tmp_path, monkeypatch):
         spec = SweepSpec("cacheloop", [1, 2], app_params={"iters": 40})
@@ -271,6 +349,35 @@ class TestSupervisorShutdown:
         for pid in pids:
             with pytest.raises(ProcessLookupError):
                 os.kill(pid, 0)
+
+    def test_dispatch_replaces_worker_that_died_idle(self):
+        from repro.harness.supervisor import WorkerSupervisor
+        supervisor = WorkerSupervisor(1, heartbeat_timeout_s=None)
+        try:
+            victim = next(iter(supervisor._workers.values()))
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            # poll() has not run, so the corpse still counts as idle;
+            # dispatch must not queue the point into it (the point
+            # would be misclassified worker-crash without ever running)
+            assert supervisor.idle_count == 1
+            supervisor.dispatch(0, {"benchmark": "cacheloop",
+                                    "n_cores": 1, "interconnect": "ahb",
+                                    "mode": "reactive",
+                                    "app_params": {"iters": 10},
+                                    "fault_spec": None, "fault_seed": 0})
+            holders = [h for h in supervisor._workers.values()
+                       if h.index == 0]
+            assert holders and holders[0].process.is_alive()
+            events = []
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not any(
+                    e.kind == "result" for e in events):
+                events.extend(supervisor.poll(timeout=0.05))
+            assert any(e.kind == "result" for e in events)
+            assert not any(e.kind == "crashed" for e in events)
+        finally:
+            supervisor.shutdown(graceful=False)
 
     def test_sigkilled_worker_is_detected_and_replaced(self, monkeypatch):
         from repro.harness.supervisor import WorkerSupervisor
