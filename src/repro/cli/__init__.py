@@ -15,6 +15,7 @@ command                   purpose
 ``repro-traceset``        inspect/translate trace-set directories
 ``repro-experiment``      run one Table-2 configuration end to end
 ``repro-sweep``           run an experiment grid from a JSON spec
+``repro-traffic``         generate/simulate synthetic TG traffic
 ========================= ============================================
 
 Each command is also importable (``main(argv) -> int``) for testing.
@@ -27,6 +28,7 @@ from repro.cli.tools import (
     tgdump_main,
     trace_stats_main,
     traceset_main,
+    traffic_main,
     trc2tgp_main,
 )
 
@@ -37,5 +39,6 @@ __all__ = [
     "tgdump_main",
     "trace_stats_main",
     "traceset_main",
+    "traffic_main",
     "trc2tgp_main",
 ]

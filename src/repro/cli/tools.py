@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from repro.artifacts import (
     EXIT_MISSING_FILE,
+    EXIT_PARSE,
     ArtifactError,
     DiagnosticReport,
 )
@@ -96,6 +97,11 @@ def trc2tgp_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--default-poll-gap", type=int, default=4,
                         help="inner poll idle when the trace shows no "
                              "failed polls (cycles, default 4)")
+    parser.add_argument("--borrow-idle-debt", action="store_true",
+                        help="carry negative idle gaps (setup overhead "
+                             "exceeding the trace gap) forward into later "
+                             "idles instead of dropping them; changes "
+                             "emitted idle values")
     parser.add_argument("--permissive", action="store_true",
                         help="skip recoverably-bad trace records instead "
                              "of failing on the first defect")
@@ -114,8 +120,11 @@ def trc2tgp_main(argv: Optional[List[str]] = None) -> int:
         options = TranslatorOptions(
             mode=ReplayMode.from_name(args.mode),
             pollable_ranges=args.pollable,
-            default_poll_gap=args.default_poll_gap)
-        program = Translator(options).translate_events(events, master_id)
+            default_poll_gap=args.default_poll_gap,
+            borrow_idle_debt=args.borrow_idle_debt)
+        translator = Translator(options)
+        program = translator.translate_events(events, master_id)
+        stats = translator.stats
         if args.output:
             save_tgp(args.output, program)
             print(f"{args.trace}: {len(events)} events -> "
@@ -123,8 +132,16 @@ def trc2tgp_main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
         else:
             sys.stdout.write(program.to_tgp())
-        _write_diagnostics(args.diagnostics_json, _diagnostics_payload(
-            "repro-trc2tgp", True, report=artifact.report))
+        if stats is not None and stats.clamped_gaps:
+            print(f"repro-trc2tgp: {stats.clamped_gaps} clamped idle "
+                  f"gap(s) totalling {stats.clamped_cycles} cycle(s); "
+                  f"{stats.borrowed_cycles} borrowed, "
+                  f"{stats.residual_debt} residual", file=sys.stderr)
+        payload = _diagnostics_payload("repro-trc2tgp", True,
+                                       report=artifact.report)
+        if stats is not None:
+            payload["translation_stats"] = stats.as_dict()
+        _write_diagnostics(args.diagnostics_json, payload)
         return 0
 
     return _guarded("repro-trc2tgp", body,
@@ -402,6 +419,15 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         except OSError as error:
             print(f"repro-sweep: error: {error}", file=sys.stderr)
             return EXIT_MISSING_FILE
+        except ArtifactError as error:
+            print(f"repro-sweep: error: {error}", file=sys.stderr)
+            return error.exit_code
+        except ValueError as error:
+            # invalid JSON or a spec that fails validation — a defect in
+            # the input file, not a crash
+            print(f"repro-sweep: error: {args.spec}: {error}",
+                  file=sys.stderr)
+            return EXIT_PARSE
 
     journal = None
     journal_dir = args.resume or args.journal
@@ -687,3 +713,190 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
             from repro.stats import resilience_report
             print(resilience_report(resilience))
     return 0
+
+
+# --------------------------------------------------------------- traffic
+
+def _parse_burst(text: str):
+    """``ON:OFF`` transaction/idle phase lengths."""
+    try:
+        on_text, off_text = text.split(":")
+        return {"on": int(on_text, 0), "off": int(off_text, 0)}
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected ON:OFF (e.g. 8:200), got {text!r}")
+
+
+def _parse_hot_target(text: str):
+    """``shared`` or a slave/core index."""
+    if text == "shared":
+        return text
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'shared' or a core index, got {text!r}")
+
+
+def traffic_main(argv: Optional[List[str]] = None) -> int:
+    """Generate synthetic-traffic TG programs from a declarative spec.
+
+    The spec comes from a JSON file, command-line flags, or both (flags
+    override file values).  Programs are written as ``core<i>.tgp`` +
+    ``core<i>.bin`` pairs; generation is deterministic, so re-running
+    with the same spec produces byte-identical artifacts.  With
+    ``--simulate FABRIC`` the workload also runs on the TG platform and
+    the load/latency metrics are printed (see docs/TRAFFIC.md).
+    """
+    from repro.apps.synthetic import PATTERNS
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Generate (and optionally simulate) synthetic "
+                    "TG traffic from a declarative spec.")
+    parser.add_argument("spec", nargs="?",
+                        help="JSON traffic specification file "
+                             "(flags override its values)")
+    parser.add_argument("-o", "--output", metavar="DIR",
+                        help="write core<i>.tgp/.bin program pairs here")
+    parser.add_argument("--cores", type=int, default=None, metavar="N",
+                        help="number of traffic generators")
+    parser.add_argument("--pattern", choices=list(PATTERNS), default=None,
+                        help="spatial destination pattern")
+    parser.add_argument("--load", type=float, default=None,
+                        help="offered load fraction in (0, 1]")
+    parser.add_argument("--transactions", type=int, default=None,
+                        metavar="N", help="transactions per core")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="RNG seed (same seed -> same programs)")
+    parser.add_argument("--read-fraction", type=float, default=None,
+                        metavar="F", help="fraction of reads in [0, 1]")
+    parser.add_argument("--size-words", type=int, default=None,
+                        metavar="N", help="fixed transaction size (words)")
+    parser.add_argument("--size-uniform", type=_parse_range, default=None,
+                        metavar="MIN:MAX",
+                        help="uniform transaction size range (words)")
+    parser.add_argument("--size-cdf", metavar="FILE", default=None,
+                        help="packet-size CDF file "
+                             "(lines: '<bytes> <cumulative-percent>')")
+    parser.add_argument("--burst", type=_parse_burst, default=None,
+                        metavar="ON:OFF",
+                        help="bursty on/off phases: ON transactions, "
+                             "then OFF idle cycles")
+    parser.add_argument("--hot-target", type=_parse_hot_target,
+                        default=None, metavar="SLAVE",
+                        help="hotspot target: 'shared' or a core index")
+    parser.add_argument("--hot-weight", type=float, default=None,
+                        help="hotspot weight relative to other slaves")
+    parser.add_argument("--mode", choices=[m.value for m in ReplayMode],
+                        default=None, help="TG replay mode")
+    parser.add_argument("--simulate", metavar="FABRIC", default=None,
+                        choices=["ahb", "xpipes", "stbus", "tlm"],
+                        help="also run the workload on this fabric and "
+                             "print load/latency metrics")
+    parser.add_argument("--json", action="store_true",
+                        help="print the simulation summary as JSON")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    def body() -> int:
+        import os
+
+        from repro.apps.synthetic import (
+            TrafficSpec,
+            TrafficSpecError,
+            generate,
+            synthetic_flow,
+        )
+        from repro.artifacts import save_bin, save_tgp
+
+        data = {}
+        if args.spec:
+            with open(args.spec) as handle:
+                try:
+                    data = json.load(handle)
+                except ValueError as error:
+                    raise TrafficSpecError(str(error), path=args.spec)
+            if not isinstance(data, dict):
+                raise TrafficSpecError(
+                    "traffic spec must be a JSON object", path=args.spec)
+        overrides = {
+            "n_cores": args.cores,
+            "pattern": args.pattern,
+            "load": args.load,
+            "transactions": args.transactions,
+            "seed": args.seed,
+            "read_fraction": args.read_fraction,
+            "burst": args.burst,
+            "hot_target": args.hot_target,
+            "hot_weight": args.hot_weight,
+            "mode": args.mode,
+        }
+        data.update({key: value for key, value in overrides.items()
+                     if value is not None})
+        sizes = [flag for flag in (args.size_words, args.size_uniform,
+                                   args.size_cdf) if flag is not None]
+        if len(sizes) > 1:
+            parser.error("--size-words, --size-uniform and --size-cdf "
+                         "are mutually exclusive")
+        if args.size_words is not None:
+            data["size"] = {"kind": "fixed", "words": args.size_words}
+        elif args.size_uniform is not None:
+            low, high = args.size_uniform
+            data["size"] = {"kind": "uniform", "min_words": low,
+                            "max_words": high}
+        elif args.size_cdf is not None:
+            data["size"] = {"kind": "cdf", "file": args.size_cdf}
+        if "n_cores" not in data:
+            parser.error("--cores N is required (or an 'n_cores' key "
+                         "in the spec file)")
+        try:
+            spec = TrafficSpec.from_dict(data)
+        except ValueError as error:
+            raise TrafficSpecError(str(error), path=args.spec)
+
+        programs, report = generate(spec)
+        payload = _diagnostics_payload("repro-traffic", True)
+        payload["spec"] = spec.to_dict()
+        payload["cores"] = report
+
+        if args.output:
+            os.makedirs(args.output, exist_ok=True)
+            for core_id in sorted(programs):
+                base = os.path.join(args.output, f"core{core_id}")
+                save_tgp(base + ".tgp", programs[core_id])
+                save_bin(base + ".bin", programs[core_id])
+            total = sum(entry["instructions"] for entry in report)
+            print(f"repro-traffic: {spec.pattern} x{spec.n_cores} "
+                  f"load={spec.load:g}: {total} instructions -> "
+                  f"{args.output}/core<i>.tgp|.bin", file=sys.stderr)
+
+        if args.simulate:
+            result = synthetic_flow(spec, args.simulate)
+            summary = result.summary()
+            payload["simulation"] = summary
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(f"{spec.pattern} {spec.n_cores}P {args.simulate} "
+                      f"load={spec.load:g}: {result.tg_cycles} cycles, "
+                      f"{result.issued} transactions, "
+                      f"scheduled={result.scheduled_load:.3f} "
+                      f"realised={result.realised_load:.3f}, "
+                      f"latency avg={result.latency_avg:.1f} "
+                      f"max={result.latency_max}, "
+                      f"{result.throughput_wpkc:.1f} words/kcycle")
+        elif args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif not args.output:
+            # no sink requested: dump the .tgp text like the other tools
+            for core_id in sorted(programs):
+                sys.stdout.write(f"# --- core {core_id} ---\n")
+                sys.stdout.write(programs[core_id].to_tgp())
+
+        _write_diagnostics(args.diagnostics_json, payload)
+        return 0
+
+    return _guarded("repro-traffic", body,
+                    diagnostics=args.diagnostics_json)

@@ -77,6 +77,10 @@ class TGMaster(Component):
         self.instructions_executed = 0
         self.max_outstanding_observed = 0
         self.error_responses = 0
+        self.ocp_transactions = 0
+        self.ocp_beats = 0
+        self.ocp_latency_cycles = 0
+        self.ocp_latency_max = 0
         self.retries = 0
         self.retry_backoff_cycles = 0
         self.degraded_transactions = 0
@@ -127,6 +131,27 @@ class TGMaster(Component):
     def _transact(self, cmd: OCPCommand, addr: int, data=None,
                   burst_len: int = 1):
         """One OCP transaction with optional watchdog and retry-on-error.
+
+        Wraps :meth:`_transact_attempts` with latency bookkeeping only —
+        no extra yields, so simulated timing and event counts are
+        bit-identical to the unwrapped transaction.  Latency is measured
+        from issue to unblock: response arrival for reads, command
+        accept for posted writes (whose beats drain in the background).
+        """
+        start = self.sim.now
+        response = yield from self._transact_attempts(cmd, addr, data,
+                                                      burst_len)
+        elapsed = self.sim.now - start
+        self.ocp_transactions += 1
+        self.ocp_beats += burst_len
+        self.ocp_latency_cycles += elapsed
+        if elapsed > self.ocp_latency_max:
+            self.ocp_latency_max = elapsed
+        return response
+
+    def _transact_attempts(self, cmd: OCPCommand, addr: int, data=None,
+                           burst_len: int = 1):
+        """The transaction loop proper (watchdog + retry-on-error).
 
         With neither feature configured this is exactly
         ``port.transaction(Request(...))`` — same requests, same yields,

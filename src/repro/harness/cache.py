@@ -64,8 +64,14 @@ def repro_version() -> str:
 def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
                     mode: str, app_params: Optional[Dict] = None,
                     fault_spec: Optional[Dict] = None, fault_seed: int = 0,
+                    traffic: Optional[Dict] = None,
                     version: Optional[str] = None) -> str:
-    """Content hash identifying one grid point's simulation outcome."""
+    """Content hash identifying one grid point's simulation outcome.
+
+    ``traffic`` (the resolved synthetic-traffic spec dict) joins the key
+    material only when present, so every pre-existing classic-benchmark
+    key is unchanged.
+    """
     provenance = {
         "benchmark": benchmark,
         "n_cores": n_cores,
@@ -76,6 +82,8 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
         "fault_seed": fault_seed,
         "version": version if version is not None else repro_version(),
     }
+    if traffic is not None:
+        provenance["traffic"] = traffic
     blob = json.dumps(provenance, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

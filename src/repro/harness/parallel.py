@@ -62,7 +62,12 @@ from repro.harness.supervisor import (
     WORKER_CRASH,
     WorkerSupervisor,
 )
-from repro.harness.sweep import SweepSpec, _resolve_app
+from repro.harness.sweep import (
+    SYNTHETIC,
+    SweepSpec,
+    _resolve_app,
+    resolve_traffic,
+)
 
 __all__ = ["PointResult", "SweepPoint", "expand_grid",
            "run_sweep_parallel"]
@@ -87,10 +92,11 @@ class SweepPoint:
     app_params: Dict = field(default_factory=dict)
     fault_spec: Optional[Dict] = None
     fault_seed: int = 0
+    traffic: Optional[Dict] = None  # synthetic sweeps: resolved spec dict
 
     def provenance(self, version: Optional[str] = None) -> Dict:
         """The pre-hash cache-key material (human-readable)."""
-        return {
+        provenance = {
             "benchmark": self.benchmark,
             "n_cores": self.n_cores,
             "interconnect": self.interconnect,
@@ -100,12 +106,15 @@ class SweepPoint:
             "fault_seed": self.fault_seed,
             "version": version if version is not None else repro_version(),
         }
+        if self.traffic is not None:
+            provenance["traffic"] = self.traffic
+        return provenance
 
     def cache_key(self, version: Optional[str] = None) -> str:
         return point_cache_key(
             self.benchmark, self.n_cores, self.interconnect, self.mode,
             self.app_params, self.fault_spec, self.fault_seed,
-            version=version)
+            traffic=self.traffic, version=version)
 
     def payload(self) -> Dict:
         """The dict shipped to a worker process (deep-copied params)."""
@@ -117,6 +126,7 @@ class SweepPoint:
             "app_params": copy.deepcopy(self.app_params),
             "fault_spec": copy.deepcopy(self.fault_spec),
             "fault_seed": self.fault_seed,
+            "traffic": copy.deepcopy(self.traffic),
         }
 
 
@@ -131,6 +141,21 @@ def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
     for interconnect in spec.interconnects:
         for mode in spec.modes:
             for n_cores in spec.cores:
+                if spec.benchmark == SYNTHETIC:
+                    for pattern in (spec.patterns or [None]):
+                        for load in (spec.loads or [None]):
+                            points.append(SweepPoint(
+                                index=len(points),
+                                benchmark=spec.benchmark,
+                                n_cores=n_cores,
+                                interconnect=interconnect,
+                                mode=mode.value,
+                                fault_spec=copy.deepcopy(spec.fault_spec),
+                                fault_seed=spec.fault_seed,
+                                traffic=resolve_traffic(
+                                    spec.traffic, n_cores, mode.value,
+                                    pattern=pattern, load=load)))
+                    continue
                 points.append(SweepPoint(
                     index=len(points), benchmark=spec.benchmark,
                     n_cores=n_cores, interconnect=interconnect,
@@ -168,6 +193,17 @@ class PointResult:
         self.tg_wall = 0.0
         self.ref_events = 0
         self.tg_events = 0
+        # synthetic-sweep columns (None on classic benchmark rows; a
+        # non-None offered_load marks the row synthetic for renderers)
+        self.offered_load: Optional[float] = None
+        self.pattern: Optional[str] = None
+        self.scheduled_load: Optional[float] = None
+        self.realised_load: Optional[float] = None
+        self.latency_avg: Optional[float] = None
+        self.latency_max: Optional[int] = None
+        self.issued: Optional[int] = None
+        self.words: Optional[int] = None
+        self.throughput_wpkc: Optional[float] = None
         self.status = "ok"
         self.failure: Optional[SweepPointFailure] = None
         self.traceback: Optional[str] = None
@@ -195,7 +231,10 @@ class PointResult:
         status = summary.get("status")
         if status == "ok":
             for name in ("ref_cycles", "tg_cycles", "ref_wall", "tg_wall",
-                         "ref_events", "tg_events"):
+                         "ref_events", "tg_events", "offered_load",
+                         "pattern", "scheduled_load", "realised_load",
+                         "latency_avg", "latency_max", "issued", "words",
+                         "throughput_wpkc"):
                 if name in summary:
                     setattr(result, name, summary[name])
         elif status == "failed":
@@ -249,6 +288,20 @@ def _execute_point(payload: Dict) -> Dict:
     if sleep_s > 0:
         time.sleep(sleep_s)
     try:
+        if payload["benchmark"] == SYNTHETIC:
+            from repro.apps.synthetic import TrafficSpec, synthetic_flow
+            spec = TrafficSpec.from_dict(payload["traffic"])
+            overrides = None
+            if payload.get("fault_spec") is not None:
+                overrides = {
+                    "fault_spec": payload["fault_spec"],
+                    "fault_seed": payload.get("fault_seed", 0),
+                }
+            result = synthetic_flow(spec, payload["interconnect"],
+                                    config_overrides=overrides)
+            summary = result.summary()
+            summary["status"] = "ok"
+            return summary
         from repro.harness.experiments import tg_flow
         app = _resolve_app(payload["benchmark"])
         result = tg_flow(
@@ -549,6 +602,10 @@ def _run_pool(pending: List[_Task], jobs: int,
             if cancel.is_set():
                 interrupted = True
                 break
+            # the pool tracks the outstanding work: a long sweep's last
+            # few points (or a mostly-cached resume) must not keep a
+            # full complement of idle workers alive
+            supervisor.resize(min(jobs, remaining))
             now = time.monotonic()
             for index in list(deferred):
                 if tasks[index].eligible_at <= now:

@@ -238,6 +238,7 @@ class WorkerSupervisor:
         self._context = multiprocessing.get_context()
         self._result_queue = self._context.Queue()
         self._workers: Dict[int, _WorkerHandle] = {}
+        self._retired: List[_WorkerHandle] = []
         self._dead_ids: set = set()
         self._next_id = 0
         for _ in range(self.target):
@@ -280,6 +281,45 @@ class WorkerSupervisor:
             handle.process.kill()
         handle.process.join(timeout=5.0)
         handle.task_queue.close()
+
+    # ----------------------------------------------------------- resizing
+
+    def resize(self, target: int) -> None:
+        """Match the pool to the outstanding work (never below 1).
+
+        Shrinking retires surplus *idle* workers immediately (sentinel;
+        reaped asynchronously) — a 2-point tail of a 16-worker sweep
+        must not keep 14 idle processes alive.  Busy workers always
+        finish their point first; :meth:`poll` retires them once idle.
+        Growing just raises the respawn target.
+        """
+        target = max(1, target)
+        if target == self.target:
+            return
+        self.target = target
+        self._retire_surplus()
+
+    def _retire_surplus(self) -> None:
+        for handle in list(self._workers.values()):
+            if len(self._workers) <= self.target:
+                break
+            if handle.busy:
+                continue
+            self._dead_ids.add(handle.worker_id)
+            del self._workers[handle.worker_id]
+            try:
+                handle.task_queue.put(None)   # graceful: exits at once
+            except (OSError, ValueError):
+                pass
+            self._retired.append(handle)
+
+    def _reap_retired(self) -> None:
+        for handle in self._retired[:]:
+            if handle.process.is_alive():
+                continue
+            handle.process.join(timeout=0)
+            handle.task_queue.close()
+            self._retired.remove(handle)
 
     # --------------------------------------------------------- dispatch
 
@@ -347,6 +387,8 @@ class WorkerSupervisor:
                     f"for {self.heartbeat_timeout_s:g}s — presumed hung; "
                     f"hard-killed"))
                 self._kill(handle)
+        self._retire_surplus()         # workers freed past a shrunk target
+        self._reap_retired()
         if respawn:
             while len(self._workers) < self.target:
                 self._spawn()
@@ -392,8 +434,9 @@ class WorkerSupervisor:
         way stragglers are escalated SIGTERM → SIGKILL with bounded
         joins, then joined once more so nothing is left as a zombie.
         """
-        handles = list(self._workers.values())
+        handles = list(self._workers.values()) + self._retired
         self._workers.clear()
+        self._retired = []
         self._dead_ids.update(h.worker_id for h in handles)
         if graceful:
             for handle in handles:

@@ -19,7 +19,11 @@ The simulation flow of paper Section 5:
 from repro.trace.events import Phase, TraceEvent, Transaction, group_events
 from repro.trace.trc_format import parse_trc, serialize_trc
 from repro.trace.collector import TraceCollector, collect_traces
-from repro.trace.translator import Translator, TranslatorOptions
+from repro.trace.translator import (
+    TranslationStats,
+    Translator,
+    TranslatorOptions,
+)
 from repro.trace.manifest import (
     load_trace_set,
     save_trace_set,
@@ -31,6 +35,7 @@ __all__ = [
     "TraceCollector",
     "TraceEvent",
     "Transaction",
+    "TranslationStats",
     "Translator",
     "TranslatorOptions",
     "collect_traces",

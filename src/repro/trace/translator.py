@@ -32,6 +32,7 @@ the paper cites as its residual error source.
 """
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.isa import (
@@ -54,6 +55,33 @@ from repro.trace.events import TraceEvent, Transaction, group_events
 DEFAULT_POLL_GAP = 4
 
 
+@dataclass
+class TranslationStats:
+    """Timing-conversion accounting for one translated program.
+
+    A *clamped* gap is a transaction whose setup overhead exceeded the
+    trace gap before it — the TG cannot issue that early, and without
+    borrowing the deficit silently vanishes (the TG cursor drifts ahead
+    of the trace for the rest of the program).  With
+    ``borrow_idle_debt`` the deficit is carried forward instead and
+    repaid by shortening later idles (``borrowed_cycles``); whatever
+    the program never manages to repay remains as ``residual_debt``.
+    The clamp counters are maintained either way, so the residual
+    Table-2 error is attributable even under the default behaviour.
+    """
+
+    clamped_gaps: int = 0        # transactions whose idle gap went negative
+    clamped_cycles: int = 0      # total deficit cycles across those gaps
+    borrowed_cycles: int = 0     # deficit repaid by shortening later idles
+    residual_debt: int = 0       # deficit still unpaid at program end
+
+    def as_dict(self) -> dict:
+        return {"clamped_gaps": self.clamped_gaps,
+                "clamped_cycles": self.clamped_cycles,
+                "borrowed_cycles": self.borrowed_cycles,
+                "residual_debt": self.residual_debt}
+
+
 class TranslatorOptions:
     """Translation configuration.
 
@@ -65,19 +93,28 @@ class TranslatorOptions:
         default_poll_gap: Inner poll idle when the trace shows no failed
             polls to learn it from.
         cycle_ns: Trace timestamp resolution (ns per TG cycle).
+        borrow_idle_debt: Carry a negative idle gap (setup overhead
+            exceeding the trace gap) forward as timing debt, repaid by
+            shortening later idles, instead of silently dropping it.
+            Off by default: borrowing changes emitted idle values, so
+            enabling it perturbs the locked Table-2 cycle counts —
+            the clamp *statistics* are collected either way (see
+            :class:`TranslationStats`).
     """
 
     def __init__(self, mode: ReplayMode = ReplayMode.REACTIVE,
                  pollable_ranges: Optional[Sequence[Tuple[int, int]]] = None,
                  default_poll_gap: int = DEFAULT_POLL_GAP,
                  cycle_ns: int = CYCLE_NS,
-                 address_registers: int = 1):
+                 address_registers: int = 1,
+                 borrow_idle_debt: bool = False):
         if not 1 <= address_registers <= 12:
             raise ValueError("address_registers must be in [1, 12]")
         self.mode = mode
         self.pollable_ranges = list(pollable_ranges or [])
         self.default_poll_gap = default_poll_gap
         self.cycle_ns = cycle_ns
+        self.borrow_idle_debt = borrow_idle_debt
         #: How many TG registers to allocate to addresses.  1 reproduces
         #: the paper's minimal ``addr`` register; more registers cache
         #: the hottest addresses (LRU), saving SetRegister cycles and
@@ -94,6 +131,9 @@ class Translator:
 
     def __init__(self, options: Optional[TranslatorOptions] = None):
         self.options = options or TranslatorOptions()
+        #: :class:`TranslationStats` of the most recent ``translate``
+        #: call (None before the first).
+        self.stats: Optional[TranslationStats] = None
 
     # ------------------------------------------------------------- public
 
@@ -138,6 +178,8 @@ class Translator:
             index += 1
         state.program.append(TGInstruction(TGOp.HALT))
         state.program.validate()
+        state.stats.residual_debt = state.debt
+        self.stats = state.stats
         return state.program
 
     # ------------------------------------------------------------ helpers
@@ -196,6 +238,10 @@ class _EmitState:
         #: Cycles of instructions already emitted since the cursor (e.g.
         #: the If that falls through after a successful poll).
         self.pending_overhead = 0
+        #: Unpaid timing debt from clamped (negative) idle gaps; only
+        #: accumulates when ``options.borrow_idle_debt`` is set.
+        self.debt = 0
+        self.stats = TranslationStats()
         # address-register allocation: ADDRREG plus generic registers
         # r4.. as configured, LRU-replaced (maps address -> register)
         self._addr_regs = [ADDRREG] + list(
@@ -244,8 +290,23 @@ class _EmitState:
 
     def _emit_idle(self, request_cycles: int, overhead: int) -> None:
         gap = request_cycles - self.cursor - self.pending_overhead - overhead
-        if gap > 0:
-            self.program.append(TGInstruction(TGOp.IDLE, imm=gap))
+        if gap < 0:
+            # setup overhead exceeded the trace gap: the TG cannot issue
+            # this early.  The deficit is counted always; with
+            # borrow_idle_debt it is additionally carried forward and
+            # repaid out of later idles instead of vanishing.
+            self.stats.clamped_gaps += 1
+            self.stats.clamped_cycles += -gap
+            if self.options.borrow_idle_debt:
+                self.debt += -gap
+        elif gap > 0:
+            if self.debt:
+                repay = min(self.debt, gap)
+                self.debt -= repay
+                gap -= repay
+                self.stats.borrowed_cycles += repay
+            if gap > 0:
+                self.program.append(TGInstruction(TGOp.IDLE, imm=gap))
         self.pending_overhead = 0
 
     def emit_transaction(self, txn: Transaction) -> None:

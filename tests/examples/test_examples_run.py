@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "multitask_consolidation",
     "noc_debugging",
     "fault_injection",
+    "saturation_curve",
 ]
 
 

@@ -1,0 +1,80 @@
+"""Worker-pool right-sizing: never more workers than outstanding work."""
+
+import time
+
+import pytest
+
+from repro.harness import SweepSpec, run_sweep_parallel
+from repro.harness import parallel as parallel_module
+from repro.harness.supervisor import WorkerSupervisor
+
+pytestmark = pytest.mark.sweep
+
+
+def wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+class TestSupervisorResize:
+    def test_shrink_retires_idle_workers(self):
+        supervisor = WorkerSupervisor(4)
+        try:
+            assert len(supervisor._workers) == 4
+            supervisor.resize(2)
+            assert supervisor.target == 2
+            assert len(supervisor._workers) == 2
+            # the retired workers exit gracefully and get reaped
+            assert wait_until(
+                lambda: supervisor.poll(timeout=0.05) is not None
+                and not supervisor._retired)
+        finally:
+            supervisor.shutdown()
+
+    def test_resize_never_below_one(self):
+        supervisor = WorkerSupervisor(2)
+        try:
+            supervisor.resize(0)
+            assert supervisor.target == 1
+            assert len(supervisor._workers) == 1
+        finally:
+            supervisor.shutdown()
+
+    def test_grow_respawns_on_poll(self):
+        supervisor = WorkerSupervisor(1)
+        try:
+            supervisor.resize(3)
+            supervisor.poll(timeout=0.05)
+            assert len(supervisor._workers) == 3
+        finally:
+            supervisor.shutdown()
+
+    def test_shutdown_joins_retired_workers(self):
+        supervisor = WorkerSupervisor(3)
+        handles = list(supervisor._workers.values())
+        supervisor.resize(1)
+        supervisor.shutdown()
+        assert all(not h.process.is_alive() for h in handles)
+
+
+class TestPoolClamp:
+    def test_pool_sized_to_pending_not_jobs(self, monkeypatch):
+        """A 2-point sweep with --jobs 8 must not spawn 8 workers."""
+        sizes = []
+        original = WorkerSupervisor.__init__
+
+        def recording(self, workers, **kwargs):
+            sizes.append(workers)
+            original(self, workers, **kwargs)
+
+        monkeypatch.setattr(parallel_module.WorkerSupervisor,
+                            "__init__", recording)
+        spec = SweepSpec("cacheloop", [1, 2], interconnects=["ahb"],
+                         app_params={"iters": 10})
+        results = run_sweep_parallel(spec, jobs=8)
+        assert all(r.status == "ok" for r in results)
+        assert sizes == [2]

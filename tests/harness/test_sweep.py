@@ -207,9 +207,18 @@ class TestSweepCli:
         assert "1 failed" in captured.err
         assert "TypeError" in captured.err
 
-    def test_bad_spec(self, tmp_path):
+    def test_bad_spec(self, tmp_path, capsys):
+        # a defective spec is an input error: one stderr line and the
+        # parse exit code, never a traceback
         spec_path = tmp_path / "spec.json"
         spec_path.write_text(json.dumps({"benchmark": "nope",
                                          "cores": [1]}))
-        with pytest.raises(ValueError):
-            sweep_main([str(spec_path)])
+        from repro.artifacts import EXIT_PARSE
+        assert sweep_main([str(spec_path)]) == EXIT_PARSE
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_unparsable_spec_json(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text("{broken")
+        from repro.artifacts import EXIT_PARSE
+        assert sweep_main([str(spec_path)]) == EXIT_PARSE

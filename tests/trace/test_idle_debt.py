@@ -1,0 +1,119 @@
+"""Timing-debt handling in ``_emit_idle``: clamp vs. borrow.
+
+A dense trace can schedule a request before the translator's setup
+instructions (SetRegisters) can complete — the computed idle gap goes
+negative.  Historically the gap was silently dropped, making the TG
+*late* by the deficit with no record of it.  The fix counts every
+clamped gap in :class:`TranslationStats` and, behind the
+``borrow_idle_debt`` option (default off, preserving the Table-2 golden
+numbers bit-for-bit), repays the deficit out of later idle gaps.
+"""
+
+from repro.core import TGOp
+from repro.ocp.types import OCPCommand
+from repro.trace import Translator, TranslatorOptions
+from repro.trace.events import Transaction
+
+
+def write(addr, data, req, acc):
+    t = Transaction(OCPCommand.WRITE, addr, 1, req)
+    t.acc_ns = acc
+    t.write_data = data
+    return t
+
+
+def dense_trace():
+    """Three writes; the second arrives 1 cycle after the first accepts
+    but needs 2 setup cycles (new addr + new data) -> deficit of 1."""
+    return [
+        write(0x100, 1, req=50, acc=55),
+        write(0x200, 2, req=60, acc=65),    # gap 1, overhead 2
+        write(0x300, 3, req=200, acc=205),  # gap 27, overhead 2
+    ]
+
+
+def idles(program):
+    return [i.imm for i in program.instructions if i.op == TGOp.IDLE]
+
+
+class TestClampDefault:
+    def test_negative_gap_dropped_but_counted(self):
+        translator = Translator()
+        program = translator.translate(dense_trace())
+        stats = translator.stats
+        assert stats is not None
+        assert stats.clamped_gaps == 1
+        assert stats.clamped_cycles == 1
+        # default behaviour: nothing borrowed, the debt is just lost
+        assert stats.borrowed_cycles == 0
+        assert stats.residual_debt == 0
+        # the later gap is NOT reduced — bit-identical to the historic
+        # translator output (gap 27 cycles minus 2 setup = Idle(25))
+        assert idles(program)[-1] == 25
+
+    def test_clean_trace_counts_nothing(self):
+        translator = Translator()
+        translator.translate([
+            write(0x100, 1, req=50, acc=55),
+            write(0x200, 2, req=100, acc=105),
+        ])
+        assert translator.stats.clamped_gaps == 0
+        assert translator.stats.clamped_cycles == 0
+
+    def test_stats_as_dict(self):
+        translator = Translator()
+        translator.translate(dense_trace())
+        data = translator.stats.as_dict()
+        assert data == {"clamped_gaps": 1, "clamped_cycles": 1,
+                        "borrowed_cycles": 0, "residual_debt": 0}
+
+
+class TestBorrow:
+    def options(self):
+        return TranslatorOptions(borrow_idle_debt=True)
+
+    def test_debt_repaid_from_later_gap(self):
+        translator = Translator(self.options())
+        program = translator.translate(dense_trace())
+        stats = translator.stats
+        assert stats.clamped_gaps == 1
+        assert stats.borrowed_cycles == 1
+        assert stats.residual_debt == 0
+        # the 1-cycle deficit comes out of the later Idle(25) -> 24
+        assert idles(program)[-1] == 24
+
+    def test_instruction_stream_shape_unchanged(self):
+        base = Translator().translate(dense_trace())
+        borrowed = Translator(self.options()).translate(dense_trace())
+        assert [i.op for i in base.instructions] \
+            == [i.op for i in borrowed.instructions]
+
+    def test_unrepayable_debt_is_residual(self):
+        # every gap is too dense: the debt never finds an idle to repay
+        trace = [
+            write(0x100, 1, req=50, acc=55),
+            write(0x200, 2, req=60, acc=65),
+            write(0x300, 3, req=70, acc=75),
+        ]
+        translator = Translator(self.options())
+        program = translator.translate(trace)
+        stats = translator.stats
+        assert stats.clamped_gaps == 2
+        assert stats.residual_debt == stats.clamped_cycles \
+            - stats.borrowed_cycles > 0
+        # only the lead-in idle before the first request survives; the
+        # dense tail never has a gap for the debt to come out of
+        assert idles(program) == [8]
+
+    def test_total_timing_identity(self):
+        # clamped = borrowed + residual, always
+        for options in (TranslatorOptions(),
+                        TranslatorOptions(borrow_idle_debt=True)):
+            translator = Translator(options)
+            translator.translate(dense_trace())
+            stats = translator.stats
+            if options.borrow_idle_debt:
+                assert stats.clamped_cycles \
+                    == stats.borrowed_cycles + stats.residual_debt
+            else:
+                assert stats.borrowed_cycles == 0
