@@ -2,28 +2,38 @@
 
 Unlike the pytest-benchmark suite (``bench_simulator_performance.py``),
 this is a plain script so CI can run it, archive the numbers, and fail on
-gross regression against the committed baseline::
+regression against the committed baseline::
 
-    python benchmarks/kernel_perf.py --quick --out BENCH_kernel.json
-    python benchmarks/kernel_perf.py --quick --check BENCH_kernel.json
+    python benchmarks/kernel_perf.py --quick --backend both --out BENCH_kernel.json
+    python benchmarks/kernel_perf.py --quick --backend both \
+        --check BENCH_kernel.json --gate-speedup 3.0
 
-Workloads (all deterministic — same event sequence every run):
+Workloads (all deterministic — same event sequence every run, and the
+same under either backend):
 
 * ``event_chain``      — one process sleeping 1 cycle at a time: the bare
-  cost of schedule + heappop + generator resume.
+  cost of schedule + dispatch + generator resume.
 * ``watchdog_churn``   — the PR-1 resilient-TG pattern: every transaction
-  schedules a watchdog guard and cancels it on response, so the heap fills
-  with tombstones.  This is the workload tombstone compaction targets.
+  schedules a watchdog guard and cancels it on response, so the queue
+  fills with tombstones.  This is the workload lazy-deletion targets.
 * ``notify_storm``     — a popular signal notified every cycle with many
-  waiters: waiter bookkeeping and zero-delay scheduling.
+  waiters: waiter bookkeeping and zero-delay scheduling (the calendar
+  queue's batched same-cycle dispatch shines here).
 * ``timeout_churn``    — processes blocking on ``timeout()`` signals that
   are notified early: the waiter-removal + event-cancel path.
 
-The regression check compares events/sec per workload and fails when any
-drops by more than ``--max-regress`` (default 30%).  Wall-clock numbers
-are machine-dependent; compare runs from the same machine (CI runners are
-close enough for the 30% gate — the tombstone regressions this guards
-against are 2x-class, not 10%-class).
+``--backend both`` runs every workload under the classic heap engine and
+the fast calendar-queue engine, records the ``speedup`` ratio per
+workload, and verifies both engines fired identical event counts.
+
+Regression checking is **machine-relative**: ``--check`` compares each
+workload's fast/classic *speedup ratio* against the baseline's ratio and
+fails when it shrinks by more than ``--max-regress``.  Absolute events/sec
+are recorded and printed but never gated on — they vary machine to
+machine, so a committed baseline from one host would spuriously fail (or
+spuriously pass) on another.  ``--gate-speedup X`` additionally enforces
+an absolute floor on the ratio for the gated workloads (``event_chain``,
+``notify_storm``) — the fast backend's reason to exist.
 """
 
 import argparse
@@ -36,15 +46,19 @@ from pathlib import Path
 if __package__ in (None, ""):  # running as a script: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.kernel import Simulator  # noqa: E402
+from repro.kernel import KERNEL_BACKENDS, Simulator  # noqa: E402
+
+#: Workloads whose fast/classic speedup --gate-speedup enforces.
+GATED_WORKLOADS = ("event_chain", "notify_storm")
 
 
 def _noop() -> None:
     pass
 
 
-def wl_event_chain(n_events: int = 200_000) -> Simulator:
-    sim = Simulator()
+def wl_event_chain(n_events: int = 200_000,
+                   backend: str = "classic") -> Simulator:
+    sim = Simulator(backend=backend)
 
     def chain():
         for _ in range(n_events):
@@ -56,9 +70,10 @@ def wl_event_chain(n_events: int = 200_000) -> Simulator:
 
 
 def wl_watchdog_churn(transactions: int = 40_000, watchdog: int = 1_000,
-                      masters: int = 8) -> Simulator:
+                      masters: int = 8,
+                      backend: str = "classic") -> Simulator:
     """Schedule-then-cancel per transaction, as the resilient TG does."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     per_master = transactions // masters
 
     def master():
@@ -74,8 +89,9 @@ def wl_watchdog_churn(transactions: int = 40_000, watchdog: int = 1_000,
     return sim
 
 
-def wl_notify_storm(rounds: int = 15_000, waiters: int = 32) -> Simulator:
-    sim = Simulator()
+def wl_notify_storm(rounds: int = 15_000, waiters: int = 32,
+                    backend: str = "classic") -> Simulator:
+    sim = Simulator(backend=backend)
     sig = sim.signal("storm")
 
     def waiter():
@@ -94,11 +110,12 @@ def wl_notify_storm(rounds: int = 15_000, waiters: int = 32) -> Simulator:
     return sim
 
 
-def wl_timeout_churn(rounds: int = 15_000, deadline: int = 500) -> Simulator:
+def wl_timeout_churn(rounds: int = 15_000, deadline: int = 500,
+                     backend: str = "classic") -> Simulator:
     """Waiters on cancellable timeouts that are always woken early."""
     from repro.kernel.simulator import timeout
 
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     sig = sim.signal("early")
 
     def guarded_waiter():
@@ -134,28 +151,45 @@ def _kernel_counters(sim: Simulator) -> dict:
     return {"events_fired": sim.events_fired}
 
 
-def run_profile(quick: bool = False, repeats: int = 3) -> dict:
+def run_profile(quick: bool = False, repeats: int = 3,
+                backends=("classic",)) -> dict:
     results = {}
     for name, (factory, quick_params) in WORKLOADS.items():
         kwargs = quick_params if quick else {}
-        best = float("inf")
-        sim = None
-        for _ in range(repeats):
-            start = time.perf_counter()
-            sim = factory(**kwargs)
-            best = min(best, time.perf_counter() - start)
-        counters = _kernel_counters(sim)
-        results[name] = {
-            "events": sim.events_fired,
-            "sim_cycles": sim.now,
-            "wall_s": round(best, 6),
-            "events_per_sec": round(sim.events_fired / best, 1),
-            "counters": counters,
-        }
+        per_backend = {}
+        for backend in backends:
+            best = float("inf")
+            sim = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                sim = factory(backend=backend, **kwargs)
+                best = min(best, time.perf_counter() - start)
+            per_backend[backend] = {
+                "events": sim.events_fired,
+                "sim_cycles": sim.now,
+                "wall_s": round(best, 6),
+                "events_per_sec": round(sim.events_fired / best, 1),
+                "counters": _kernel_counters(sim),
+            }
+        row = {"backends": per_backend}
+        if "classic" in per_backend and "fast" in per_backend:
+            classic = per_backend["classic"]
+            fast = per_backend["fast"]
+            # the backends must simulate the *same* run before their
+            # wall-clocks are comparable at all
+            for field in ("events", "sim_cycles"):
+                if classic[field] != fast[field]:
+                    raise AssertionError(
+                        f"{name}: backend divergence — classic {field} "
+                        f"{classic[field]} != fast {field} {fast[field]}")
+            row["speedup"] = round(
+                fast["events_per_sec"] / classic["events_per_sec"], 3)
+        results[name] = row
     return {
-        "schema": 1,
+        "schema": 2,
         "profile": "quick" if quick else "full",
         "repeats": repeats,
+        "backends": list(backends),
         "python": _platform.python_version(),
         "implementation": _platform.python_implementation(),
         "workloads": results,
@@ -164,20 +198,43 @@ def run_profile(quick: bool = False, repeats: int = 3) -> dict:
 
 def check_regression(current: dict, baseline: dict,
                      max_regress: float) -> list:
-    """Return a list of failure strings (empty = within budget)."""
+    """Machine-relative regression check; returns failure strings.
+
+    Compares the fast/classic speedup *ratio* per workload — a property
+    of the code, not the host — so a baseline committed from one machine
+    gates runs on any other.  Workloads without a ratio on either side
+    (single-backend profiles, pre-schema-2 baselines) are skipped; the
+    absolute events/sec numbers in the baseline are informational only.
+    """
     failures = []
     base_wl = baseline.get("workloads", {})
     for name, row in current["workloads"].items():
-        base = base_wl.get(name)
-        if base is None:
+        speedup = row.get("speedup")
+        base_speedup = (base_wl.get(name) or {}).get("speedup")
+        if speedup is None or base_speedup is None:
             continue
-        base_rate = base["events_per_sec"]
-        rate = row["events_per_sec"]
-        if base_rate > 0 and rate < base_rate * (1.0 - max_regress):
+        if speedup < base_speedup * (1.0 - max_regress):
             failures.append(
-                f"{name}: {rate:,.0f} ev/s is "
-                f"{1.0 - rate / base_rate:.0%} below baseline "
-                f"{base_rate:,.0f} ev/s (budget {max_regress:.0%})")
+                f"{name}: fast/classic speedup {speedup:.2f}x is "
+                f"{1.0 - speedup / base_speedup:.0%} below baseline "
+                f"{base_speedup:.2f}x (budget {max_regress:.0%})")
+    return failures
+
+
+def check_gate(current: dict, threshold: float) -> list:
+    """Absolute speedup floor on the gated workloads."""
+    failures = []
+    for name in GATED_WORKLOADS:
+        row = current["workloads"].get(name, {})
+        speedup = row.get("speedup")
+        if speedup is None:
+            failures.append(
+                f"{name}: no fast/classic speedup measured — run with "
+                f"--backend both to gate")
+        elif speedup < threshold:
+            failures.append(
+                f"{name}: fast backend is {speedup:.2f}x classic, "
+                f"below the {threshold:.1f}x gate")
     return failures
 
 
@@ -188,36 +245,68 @@ def main(argv=None) -> int:
                         help="small workloads (CI smoke profile)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N wall time per workload")
+    parser.add_argument("--backend", default="classic",
+                        choices=sorted(KERNEL_BACKENDS) + ["both"],
+                        help="kernel engine(s) to profile; 'both' also "
+                             "records the per-workload speedup ratio")
     parser.add_argument("--out", metavar="FILE",
                         help="write the profile as JSON")
     parser.add_argument("--check", metavar="BASELINE",
-                        help="compare events/sec against a baseline JSON")
+                        help="compare the fast/classic speedup ratio "
+                             "against a baseline JSON (machine-relative; "
+                             "absolute ev/s is informational only)")
     parser.add_argument("--max-regress", type=float, default=0.30,
-                        help="fail --check when events/sec drops by more "
-                             "than this fraction (default 0.30)")
+                        help="fail --check when a workload's speedup "
+                             "ratio shrinks by more than this fraction "
+                             "(default 0.30)")
+    parser.add_argument("--gate-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the fast backend is at least "
+                             "X times the classic one on "
+                             + " and ".join(GATED_WORKLOADS))
     args = parser.parse_args(argv)
 
-    profile = run_profile(quick=args.quick, repeats=args.repeats)
+    backends = ("classic", "fast") if args.backend == "both" \
+        else (args.backend,)
+    profile = run_profile(quick=args.quick, repeats=args.repeats,
+                          backends=backends)
     width = max(len(name) for name in profile["workloads"])
     for name, row in profile["workloads"].items():
-        print(f"{name:<{width}}  {row['events']:>9,} events  "
-              f"{row['wall_s'] * 1000:8.1f} ms  "
-              f"{row['events_per_sec']:>12,.0f} ev/s")
+        for backend, stats in row["backends"].items():
+            print(f"{name:<{width}}  {backend:<7}  "
+                  f"{stats['events']:>9,} events  "
+                  f"{stats['wall_s'] * 1000:8.1f} ms  "
+                  f"{stats['events_per_sec']:>12,.0f} ev/s")
+        speedup = row.get("speedup")
+        if speedup is not None:
+            print(f"{name:<{width}}  speedup  fast = {speedup:.2f}x classic")
 
     if args.out:
         Path(args.out).write_text(json.dumps(profile, indent=2) + "\n")
         print(f"profile written to {args.out}")
 
+    status = 0
     if args.check:
         baseline = json.loads(Path(args.check).read_text())
         failures = check_regression(profile, baseline, args.max_regress)
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}", file=sys.stderr)
-            return 1
-        print(f"regression check OK against {args.check} "
-              f"(budget {args.max_regress:.0%})")
-    return 0
+            status = 1
+        else:
+            print(f"regression check OK against {args.check} "
+                  f"(speedup-ratio budget {args.max_regress:.0%})")
+
+    if args.gate_speedup is not None:
+        failures = check_gate(profile, args.gate_speedup)
+        if failures:
+            for failure in failures:
+                print(f"GATE {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"speedup gate OK: fast >= {args.gate_speedup:.1f}x "
+                  f"classic on {', '.join(GATED_WORKLOADS)}")
+    return status
 
 
 if __name__ == "__main__":

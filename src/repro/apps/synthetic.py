@@ -164,6 +164,16 @@ class _CdfSize:
                         (u - prev_pct) / (point_pct - prev_pct)
                 break
             prev_size, prev_pct = point_size, point_pct
+        # The first bin interpolates from an implicit (0, 0) origin, so a
+        # draw landing there — or before a zero-probability leading point —
+        # would produce a size *below the distribution's minimum*, a value
+        # the empirical data says never occurs.  Clamp to the first
+        # recorded size (inline point lists may also carry duplicate
+        # sizes, which the equal-percent guard above already handles
+        # without dividing by zero).
+        min_size = self.points[0][0]
+        if size < min_size:
+            size = min_size
         words = math.ceil(size / 4.0)
         return max(1, min(MAX_WORDS, words))
 
@@ -663,19 +673,24 @@ class SyntheticResult:
 
 
 def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
-                   config_overrides: Optional[Dict] = None
+                   config_overrides: Optional[Dict] = None,
+                   backend: Optional[str] = None
                    ) -> SyntheticResult:
     """Generate, assemble and simulate one synthetic workload.
 
     The programs are pushed through the ``.bin`` assemble/disassemble
     cycle (the TG executes the binary image, mirroring the trace flow),
     then run on an all-TG platform on the requested fabric.  Latency
-    statistics come from the per-TG OCP counters.
+    statistics come from the per-TG OCP counters.  ``backend`` picks the
+    kernel dispatch engine (results are bit-identical across backends).
     """
     from repro.core.assembler import assemble_binary, disassemble_binary
     from repro.harness.experiments import build_tg_platform
     import time
 
+    if backend is not None:
+        config_overrides = dict(config_overrides or {})
+        config_overrides["backend"] = backend
     result = SyntheticResult(spec, interconnect)
     programs, report = generate(spec)
     result.generator_report = report

@@ -375,6 +375,12 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                         help="kill and replace a worker that sends no "
                              "heartbeat for this long — presumed hung "
                              "(default 30; 0 disables)")
+    parser.add_argument("--backend", choices=["classic", "fast"],
+                        default=None,
+                        help="kernel event-dispatch engine for every grid "
+                             "point, overriding the spec's 'backend' key "
+                             "(bit-identical results; part of the cache "
+                             "key when not 'classic')")
     parser.add_argument("--diagnostics-json", metavar="FILE",
                         help="write a machine-readable sweep report with "
                              "the per-point failure taxonomy ('-' for "
@@ -411,11 +417,21 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         parser.error("spec is required unless --cache-verify or "
                      "--resume DIR is given")
 
+    def _apply_backend(spec):
+        """Fold the --backend override into a freshly-parsed spec."""
+        if args.backend is None or spec is None \
+                or spec.backend == args.backend:
+            return spec
+        data = spec.to_dict()
+        data["backend"] = args.backend
+        return SweepSpec.from_dict(data)
+
     spec = None
     if args.spec:
         try:
             with open(args.spec) as handle:
-                spec = SweepSpec.from_dict(json.load(handle))
+                spec = _apply_backend(
+                    SweepSpec.from_dict(json.load(handle)))
         except OSError as error:
             print(f"repro-sweep: error: {error}", file=sys.stderr)
             return EXIT_MISSING_FILE
@@ -435,7 +451,7 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         if args.resume:
             journal = SweepJournal.resume(
                 args.resume, spec.to_dict() if spec is not None else None)
-            spec = SweepSpec.from_dict(journal.state.spec)
+            spec = _apply_backend(SweepSpec.from_dict(journal.state.spec))
             done = journal.state.records
             print(f"[sweep] resuming {journal.path}: {done} of "
                   f"{journal.state.total} point(s) already journalled",
@@ -648,6 +664,10 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                         metavar="EVENTS",
                         help="kernel livelock watchdog: abort after EVENTS "
                              "events with no simulated-time progress")
+    parser.add_argument("--backend", choices=["classic", "fast"],
+                        default=None,
+                        help="kernel event-dispatch engine for both runs "
+                             "(bit-identical results; 'fast' is quicker)")
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
@@ -677,7 +697,8 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                      fault_seed=args.fault_seed,
                      retry_policy=retry_policy,
                      watchdog_cycles=args.watchdog,
-                     progress_window=args.progress_window)
+                     progress_window=args.progress_window,
+                     backend=args.backend)
     if args.save_traces:
         from repro.apps.common import pollable_ranges
         from repro.trace import save_trace_set
@@ -793,6 +814,10 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
                         choices=["ahb", "xpipes", "stbus", "tlm"],
                         help="also run the workload on this fabric and "
                              "print load/latency metrics")
+    parser.add_argument("--backend", choices=["classic", "fast"],
+                        default=None,
+                        help="kernel event-dispatch engine for --simulate "
+                             "(bit-identical results; 'fast' is quicker)")
     parser.add_argument("--json", action="store_true",
                         help="print the simulation summary as JSON")
     parser.add_argument("--diagnostics-json", metavar="FILE",
@@ -873,7 +898,8 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
                   f"{args.output}/core<i>.tgp|.bin", file=sys.stderr)
 
         if args.simulate:
-            result = synthetic_flow(spec, args.simulate)
+            result = synthetic_flow(spec, args.simulate,
+                                    backend=args.backend)
             summary = result.summary()
             payload["simulation"] = summary
             if args.json:

@@ -65,12 +65,16 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
                     mode: str, app_params: Optional[Dict] = None,
                     fault_spec: Optional[Dict] = None, fault_seed: int = 0,
                     traffic: Optional[Dict] = None,
+                    backend: Optional[str] = None,
                     version: Optional[str] = None) -> str:
     """Content hash identifying one grid point's simulation outcome.
 
     ``traffic`` (the resolved synthetic-traffic spec dict) joins the key
     material only when present, so every pre-existing classic-benchmark
-    key is unchanged.
+    key is unchanged.  ``backend`` joins the same way, only when it is
+    not the default ``"classic"`` engine: simulated numbers are
+    bit-identical across backends, but the stored summary carries
+    wall-clock columns, which are backend-dependent.
     """
     provenance = {
         "benchmark": benchmark,
@@ -84,6 +88,8 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
     }
     if traffic is not None:
         provenance["traffic"] = traffic
+    if backend is not None and backend != "classic":
+        provenance["backend"] = backend
     blob = json.dumps(provenance, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -93,6 +93,7 @@ class SweepPoint:
     fault_spec: Optional[Dict] = None
     fault_seed: int = 0
     traffic: Optional[Dict] = None  # synthetic sweeps: resolved spec dict
+    backend: str = "classic"        # kernel dispatch engine
 
     def provenance(self, version: Optional[str] = None) -> Dict:
         """The pre-hash cache-key material (human-readable)."""
@@ -108,13 +109,15 @@ class SweepPoint:
         }
         if self.traffic is not None:
             provenance["traffic"] = self.traffic
+        if self.backend != "classic":
+            provenance["backend"] = self.backend
         return provenance
 
     def cache_key(self, version: Optional[str] = None) -> str:
         return point_cache_key(
             self.benchmark, self.n_cores, self.interconnect, self.mode,
             self.app_params, self.fault_spec, self.fault_seed,
-            traffic=self.traffic, version=version)
+            traffic=self.traffic, backend=self.backend, version=version)
 
     def payload(self) -> Dict:
         """The dict shipped to a worker process (deep-copied params)."""
@@ -127,6 +130,7 @@ class SweepPoint:
             "fault_spec": copy.deepcopy(self.fault_spec),
             "fault_seed": self.fault_seed,
             "traffic": copy.deepcopy(self.traffic),
+            "backend": self.backend,
         }
 
 
@@ -154,7 +158,8 @@ def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
                                 fault_seed=spec.fault_seed,
                                 traffic=resolve_traffic(
                                     spec.traffic, n_cores, mode.value,
-                                    pattern=pattern, load=load)))
+                                    pattern=pattern, load=load),
+                                backend=spec.backend))
                     continue
                 points.append(SweepPoint(
                     index=len(points), benchmark=spec.benchmark,
@@ -162,7 +167,8 @@ def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
                     mode=mode.value,
                     app_params=copy.deepcopy(spec.app_params),
                     fault_spec=copy.deepcopy(spec.fault_spec),
-                    fault_seed=spec.fault_seed))
+                    fault_seed=spec.fault_seed,
+                    backend=spec.backend))
     return points
 
 
@@ -298,7 +304,8 @@ def _execute_point(payload: Dict) -> Dict:
                     "fault_seed": payload.get("fault_seed", 0),
                 }
             result = synthetic_flow(spec, payload["interconnect"],
-                                    config_overrides=overrides)
+                                    config_overrides=overrides,
+                                    backend=payload.get("backend"))
             summary = result.summary()
             summary["status"] = "ok"
             return summary
@@ -310,7 +317,8 @@ def _execute_point(payload: Dict) -> Dict:
             mode=ReplayMode.from_name(payload["mode"]),
             app_params=payload["app_params"] or None,
             fault_spec=payload.get("fault_spec"),
-            fault_seed=payload.get("fault_seed", 0))
+            fault_seed=payload.get("fault_seed", 0),
+            backend=payload.get("backend"))
         summary = result.summary()
         summary["status"] = "ok"
         return summary

@@ -99,7 +99,13 @@ class SweepSpec:
                  fault_seed: int = 0,
                  traffic: Optional[Dict] = None,
                  loads: Optional[List[float]] = None,
-                 patterns: Optional[List[str]] = None):
+                 patterns: Optional[List[str]] = None,
+                 backend: str = "classic"):
+        from repro.kernel.backend import KERNEL_BACKENDS
+        if backend not in KERNEL_BACKENDS:
+            raise ValueError(f"unknown kernel backend {backend!r}; choose "
+                             f"from {sorted(KERNEL_BACKENDS)}")
+        self.backend = backend
         self.benchmark = benchmark
         self.app = None if benchmark == SYNTHETIC \
             else _resolve_app(benchmark)
@@ -190,7 +196,7 @@ class SweepSpec:
     def from_dict(data: Dict) -> "SweepSpec":
         known = {"benchmark", "cores", "interconnects", "modes",
                  "app_params", "fault_spec", "fault_seed",
-                 "traffic", "loads", "patterns"}
+                 "traffic", "loads", "patterns", "backend"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
@@ -204,7 +210,8 @@ class SweepSpec:
             fault_seed=data.get("fault_seed", 0),
             traffic=data.get("traffic"),
             loads=data.get("loads"),
-            patterns=data.get("patterns"))
+            patterns=data.get("patterns"),
+            backend=data.get("backend", "classic"))
 
     def to_dict(self) -> Dict:
         """The canonical JSON-friendly form; round-trips via ``from_dict``.
@@ -221,6 +228,8 @@ class SweepSpec:
             "fault_spec": copy.deepcopy(self.fault_spec),
             "fault_seed": self.fault_seed,
         }
+        if self.backend != "classic":
+            data["backend"] = self.backend
         if self.benchmark == SYNTHETIC:
             data["traffic"] = copy.deepcopy(self.traffic)
             if self.loads is not None:
@@ -276,7 +285,8 @@ def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
                                 pattern, load))
                             results.append(synthetic_flow(
                                 traffic, interconnect,
-                                config_overrides=_fault_overrides(spec)))
+                                config_overrides=_fault_overrides(spec),
+                                backend=spec.backend))
         return results
     results = []
     for interconnect in spec.interconnects:
@@ -287,7 +297,8 @@ def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
                     spec.app, n_cores, interconnect=interconnect,
                     mode=mode, app_params=params or None,
                     fault_spec=copy.deepcopy(spec.fault_spec),
-                    fault_seed=spec.fault_seed))
+                    fault_seed=spec.fault_seed,
+                    backend=spec.backend))
     return results
 
 
@@ -310,11 +321,17 @@ def sweep_table(results: List, title: Optional[str] = None) -> str:
     (parallel and cached sweeps) and
     :class:`~repro.apps.synthetic.SyntheticResult` rows, which get a
     load/latency column layout instead of the reference-comparison one.
-    Failed grid points render as a ``FAILED`` row instead of fake
-    numbers.
+    A *mixed* result list (synthetic and trace-benchmark rows together,
+    e.g. concatenated sweeps) gets the union layout: one header with
+    both column families, each row padded with ``-`` in the columns
+    that do not apply to it.  Failed grid points render as a ``FAILED``
+    row instead of fake numbers.
     """
-    if any(_is_synthetic_row(r) for r in results):
+    flags = [_is_synthetic_row(r) for r in results]
+    if results and all(flags):
         return _synthetic_table(results, title)
+    if any(flags):
+        return _mixed_table(results, title)
     table = Table(["benchmark", "fabric", "mode", "#IPs", "ARM cycles",
                    "TG cycles", "error", "gain", "event gain"],
                   title=title)
@@ -359,6 +376,47 @@ def _synthetic_table(results: List, title: Optional[str]) -> str:
     return table.render()
 
 
+def _mixed_table(results: List, title: Optional[str]) -> str:
+    """Union layout for grids mixing synthetic and trace-benchmark rows.
+
+    The header is computed once for the whole list; every row fills the
+    columns its family defines and pads the rest with ``-`` — the old
+    behaviour routed *all* rows through the synthetic layout, which
+    crashed on trace-benchmark rows (no ``issued``/latency columns).
+    """
+    table = Table(["benchmark", "fabric", "mode", "#IPs",
+                   "ARM cycles", "TG cycles", "error", "gain",
+                   "load", "issued", "avg lat", "words/kcyc"],
+                  title=title)
+    for result in results:
+        synthetic = _is_synthetic_row(result)
+        name = result.benchmark
+        if synthetic:
+            name = getattr(result, "pattern", None) or name
+        if getattr(result, "status", "ok") != "ok":
+            failure = getattr(result, "failure", None)
+            label = "FAILED" if failure is None \
+                else f"FAILED:{failure.kind}"
+            table.add_row(name, result.interconnect, result.mode.value,
+                          f"{result.n_cores}P", "-", "-", label, "-",
+                          "-", "-", "-", "-")
+            continue
+        if synthetic:
+            load = getattr(result, "offered_load", None)
+            table.add_row(name, result.interconnect, result.mode.value,
+                          f"{result.n_cores}P", "-", result.tg_cycles,
+                          "-", "-",
+                          f"{load:.2f}" if load is not None else "-",
+                          result.issued, f"{result.latency_avg:.1f}",
+                          f"{result.throughput_wpkc:.1f}")
+        else:
+            table.add_row(name, result.interconnect, result.mode.value,
+                          f"{result.n_cores}P", result.ref_cycles,
+                          result.tg_cycles, f"{result.error:.2%}",
+                          f"{result.gain:.2f}x", "-", "-", "-", "-")
+    return table.render()
+
+
 #: Extra CSV columns appended when any row is synthetic.
 _SYNTHETIC_CSV_COLUMNS = ("pattern", "offered_load", "scheduled_load",
                           "realised_load", "issued", "latency_avg",
@@ -398,8 +456,12 @@ def sweep_csv(results: List) -> str:
                result.gain, result.event_gain, status]
         if synthetic:
             if _is_synthetic_row(result):
-                row += [getattr(result, name, "")
-                        for name in _SYNTHETIC_CSV_COLUMNS]
+                # a failed synthetic row can carry None in columns that
+                # were never measured; emit empty cells, not "None"
+                extras = [getattr(result, name, None)
+                          for name in _SYNTHETIC_CSV_COLUMNS]
+                row += [value if value is not None else ""
+                        for value in extras]
             else:
                 row += [""] * len(_SYNTHETIC_CSV_COLUMNS)
         writer.writerow(row)

@@ -78,7 +78,14 @@ class EventQueue:
     counters (:attr:`events_cancelled`, :attr:`compactions`,
     :attr:`peak_size`) are cumulative over the queue's lifetime and feed
     the simulator's ``kernel_counters()``.
+
+    This is the ``"classic"`` kernel backend (see
+    :mod:`repro.kernel.backend`): :meth:`push`, :meth:`push_fn`,
+    :meth:`push_resume`, :meth:`pop_entry`, :meth:`peek_time` and
+    :meth:`drain` form the narrow interface the simulator drives.
     """
+
+    name = "classic"
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -129,6 +136,21 @@ class EventQueue:
         heapq.heapify(heap)
         self.compactions += 1
 
+    def push_fn(self, time: int, fn: Callable[[], None]) -> None:
+        """Backend hook: schedule an uncancellable priority-0 callback.
+
+        The classic engine has no cheaper representation than an
+        :class:`Event`, so this is :meth:`push` with the handle dropped.
+        """
+        self.push(time, 0, fn)
+
+    def push_resume(self, time: int, process, payload) -> None:
+        """Backend hook: schedule a process resume at an absolute time."""
+        if payload is None:
+            self.push(time, 0, process._resume)
+        else:
+            self.push(time, 0, lambda: process._resume(payload))
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if drained."""
         heap = self._heap
@@ -140,6 +162,13 @@ class EventQueue:
                 return event
         return None
 
+    def pop_entry(self) -> Optional[tuple]:
+        """Backend hook: earliest live entry as ``(time, fire)`` or None."""
+        event = self.pop()
+        if event is None:
+            return None
+        return event.time, event.fn
+
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live event, or None if the queue is empty."""
         heap = self._heap
@@ -148,3 +177,27 @@ class EventQueue:
         if heap:
             return heap[0].time
         return None
+
+    def drain(self, sim) -> None:
+        """Backend hook: run-to-empty dispatch (the unbounded run() path).
+
+        The heap pop is inlined (the list identity is stable — compaction
+        rebuilds it in place), with the queue's live accounting kept exact
+        per event so callbacks that cancel events or read ``len(queue)``
+        see a consistent view.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        fired = 0
+        try:
+            while heap:
+                event = heappop(heap)
+                if event.cancelled:
+                    continue
+                event._queue = None
+                self._live -= 1
+                sim._now = event.time
+                event.fn()
+                fired += 1
+        finally:
+            sim._events_fired += fired

@@ -91,7 +91,8 @@ class Process:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {yielded}"
                 )
-            self.sim.schedule_after(yielded, self._resume)
+            sim = self.sim
+            sim._queue.push_resume(sim._now + yielded, self, None)
         elif isinstance(yielded, Signal):
             self._waiting_on = yielded
             yielded._add_waiter(self)

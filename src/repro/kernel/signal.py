@@ -46,9 +46,11 @@ class Signal:
         if not waiters:
             return 0
         self._waiters = {}
-        schedule = self.sim.schedule_after
+        sim = self.sim
+        push_resume = sim._queue.push_resume
+        now = sim._now
         for process in waiters:
-            schedule(0, lambda p=process: p._resume(payload))
+            push_resume(now, process, payload)
         return len(waiters)
 
     def __repr__(self) -> str:

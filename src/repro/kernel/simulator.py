@@ -1,10 +1,10 @@
 """The simulator: event loop, time base, and process management."""
 
-import heapq
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional, Union
 
+from repro.kernel.backend import make_backend
 from repro.kernel.errors import DeadlockError, LivelockError, SimulationError
-from repro.kernel.event import Event, EventQueue
+from repro.kernel.event import Event
 from repro.kernel.process import Process
 from repro.kernel.signal import Fifo, Signal, TimeoutSignal
 
@@ -24,6 +24,11 @@ class Simulator:
 
     The event order is fully deterministic (see :mod:`repro.kernel.event`),
     so any two runs of the same model are identical.
+
+    ``backend`` selects the event-dispatch engine (see
+    :mod:`repro.kernel.backend`): ``"classic"`` (default, binary heap) or
+    ``"fast"`` (batched calendar queue).  Both produce bit-identical
+    simulations; the fast engine is several times quicker.
     """
 
     #: Prune dead processes from the bookkeeping list once it reaches this
@@ -31,8 +36,8 @@ class Simulator:
     #: spawn a short-lived process per transaction.
     _PRUNE_START = 256
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, backend: Union[str, object] = "classic") -> None:
+        self._queue = make_backend(backend)
         self._now = 0
         self._events_fired = 0
         self._processes: List[Process] = []
@@ -42,9 +47,29 @@ class Simulator:
     # ------------------------------------------------------------------ time
 
     @property
+    def backend(self) -> str:
+        """Name of the kernel backend driving this simulator."""
+        return self._queue.name
+
+    @property
     def now(self) -> int:
         """Current simulation time in cycles."""
         return self._now
+
+    def _advance_clock(self, time: int) -> None:
+        """Advance the clock to ``time`` — monotonically, never backwards.
+
+        Every clock movement outside the backend drain loops goes through
+        this single helper (event fire, early-drain catch-up to ``until``,
+        and the ``next_time > until`` stop), so no path can reintroduce
+        the PR 2 clock-rewind bug: a ``run(until=earlier)`` after a later
+        stop is a no-op, and queue invariants (events never scheduled in
+        the past) make the event-fire case equivalent to plain assignment.
+        The backends' run-to-drain loops assign ``_now`` directly but pop
+        times in non-decreasing order, preserving the same invariant.
+        """
+        if time > self._now:
+            self._now = time
 
     @property
     def now_ns(self) -> int:
@@ -63,12 +88,17 @@ class Simulator:
 
     @property
     def heap_compactions(self) -> int:
-        """How many times the event heap was rebuilt to shed tombstones."""
+        """Tombstone-shedding passes: heap rebuilds on the classic
+        backend, tombstone-dropping bucket sweeps on the fast one."""
         return self._queue.compactions
 
     @property
     def peak_heap_size(self) -> int:
-        """High-water mark of the event heap (live + tombstones)."""
+        """High-water mark of resident entries (live + tombstones).
+
+        The classic backend samples per push; the fast backend samples at
+        dispatch-batch boundaries, so its value can lag by one batch.
+        """
         return self._queue.peak_size
 
     def kernel_counters(self) -> Dict[str, int]:
@@ -114,7 +144,9 @@ class Simulator:
             # spawns don't grow the list (and live_processes scans) forever
             self._processes = [p for p in processes if p.alive]
             self._prune_at = max(self._PRUNE_START, 2 * len(self._processes))
-        self.schedule_after(delay, process._resume)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._queue.push_resume(self._now + delay, process, None)
         return process
 
     def signal(self, name: str = "signal") -> Signal:
@@ -163,29 +195,11 @@ class Simulator:
                 f"progress_window must be >= 1, got {progress_window}")
         self._running = True
         drained = False
-        queue = self._queue
         try:
             if until is None and max_events is None and progress_window is None:
-                # Fast path: run-to-drain with no per-event bound checks.
-                # The heap pop is inlined (the list identity is stable —
-                # compaction rebuilds it in place), with the queue's live
-                # accounting kept exact per event so callbacks that cancel
-                # events or read len(queue) see a consistent view.
-                heap = queue._heap
-                heappop = heapq.heappop
-                fired = 0
-                try:
-                    while heap:
-                        event = heappop(heap)
-                        if event.cancelled:
-                            continue
-                        event._queue = None
-                        queue._live -= 1
-                        self._now = event.time
-                        event.fn()
-                        fired += 1
-                finally:
-                    self._events_fired += fired
+                # Fast path: run-to-drain with no per-event bound checks,
+                # delegated to the backend's batched dispatch loop.
+                self._queue.drain(self)
                 drained = True
             else:
                 drained = self._run_bounded(until, max_events,
@@ -215,31 +229,30 @@ class Simulator:
                     drained = True
                     # the queue drained before `until`: the caller asked
                     # for time to pass to that cycle, so advance the clock
-                    # there (but never move it backwards — see below)
-                    if until is not None and until > self._now:
-                        self._now = until
+                    # there (monotonically — see _advance_clock)
+                    if until is not None:
+                        self._advance_clock(until)
                     break
                 if until is not None and next_time > until:
-                    # never move time backwards: a later run(until=earlier)
-                    # call must not rewind the clock below a previous stop
-                    if until > self._now:
-                        self._now = until
+                    # stop short of the next event; a later
+                    # run(until=earlier) call must not rewind the clock
+                    self._advance_clock(until)
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                event = queue.pop()
+                time, fire = queue.pop_entry()
                 if progress_window is not None:
-                    if event.time > self._now:
+                    if time > self._now:
                         stagnant = 0
                     else:
                         stagnant += 1
                         if stagnant >= progress_window:
                             raise LivelockError(
                                 f"no simulated-time progress after "
-                                f"{stagnant} events at cycle {event.time}; "
+                                f"{stagnant} events at cycle {time}; "
                                 f"busy processes: {self.blocked_report()}")
-                self._now = event.time
-                event.fn()
+                self._advance_clock(time)
+                fire()
                 fired += 1
         finally:
             self._events_fired += fired
@@ -268,18 +281,19 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("cannot step() while run() is active")
-        event = self._queue.pop()
-        if event is None:
+        entry = self._queue.pop_entry()
+        if entry is None:
             return False
-        self._now = event.time
-        event.fn()
+        time, fire = entry
+        self._advance_clock(time)
+        fire()
         self._events_fired += 1
         return True
 
     def __repr__(self) -> str:
         live = sum(1 for p in self._processes if p.alive)
         return (f"<Simulator t={self._now} queued={len(self._queue)} "
-                f"processes={live}>")
+                f"processes={live} backend={self._queue.name}>")
 
 
 def timeout(sim: Simulator, cycles: int) -> TimeoutSignal:

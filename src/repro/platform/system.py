@@ -51,7 +51,7 @@ class MparmPlatform:
 
     def __init__(self, config: PlatformConfig):
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(backend=config.backend)
         self.address_map = AddressMap()
         self.private_mems: List[MemorySlave] = []
         for core_id in range(config.n_masters):

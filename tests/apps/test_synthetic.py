@@ -267,3 +267,57 @@ class TestSimulation:
         assert pickle.loads(pickle.dumps(summary)) == summary
         assert summary["pattern"] == "uniform"
         assert summary["offered_load"] == 0.5
+
+
+class TestCdfClampToMinimum:
+    """Regression: inverse-transform draws landing in the first bin
+    interpolated from an implicit (0, 0) origin, producing sizes *below*
+    the distribution's recorded minimum (the empirical data says those
+    never occur).  Samples must clamp to the first recorded size."""
+
+    class _FixedRng:
+        def __init__(self, u):
+            self.u = u
+
+        def uniform(self, lo, hi):
+            return self.u
+
+    def _sampler(self, points):
+        from repro.apps.synthetic import _CdfSize
+        return _CdfSize(points)
+
+    def test_first_bin_draw_clamps_to_min_size(self):
+        sampler = self._sampler([(64, 50), (128, 100)])
+        # u=1 interpolates to 64*1/50 = 1.28 bytes without the clamp
+        assert sampler.sample(self._FixedRng(1.0)) == 16  # 64 B = 16 words
+
+    def test_draw_at_zero_percent_clamps(self):
+        sampler = self._sampler([(64, 50), (128, 100)])
+        assert sampler.sample(self._FixedRng(0.0)) == 16
+
+    def test_zero_probability_leading_point_no_zero_division(self):
+        sampler = self._sampler([(32, 0), (64, 100)])
+        assert sampler.sample(self._FixedRng(0.0)) == 8   # 32 B = 8 words
+        assert sampler.sample(self._FixedRng(100.0)) == 16
+
+    def test_duplicate_percent_points_no_zero_division(self):
+        sampler = self._sampler([(64, 40), (128, 40), (256, 100)])
+        assert sampler.sample(self._FixedRng(40.0)) == 16
+        assert sampler.sample(self._FixedRng(100.0)) == 64
+
+    def test_every_sample_is_at_least_the_distribution_minimum(self):
+        import random
+
+        sampler = self._sampler([(64, 40), (128, 80), (256, 100)])
+        rng = random.Random(12345)
+        for _ in range(2000):
+            assert sampler.sample(rng) >= 16  # 64 B minimum
+
+    def test_generated_bursts_respect_the_minimum(self):
+        sizes = spec(size={"kind": "cdf",
+                           "points": [[64, 50], [256, 100]]},
+                     transactions=80)
+        for program in generate_programs(sizes).values():
+            for instr in program.instructions:
+                if instr.op.name in ("BURST_READ", "BURST_WRITE"):
+                    assert instr.b >= 16

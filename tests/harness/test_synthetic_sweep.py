@@ -187,3 +187,57 @@ class TestCsvQuoting:
         line = sweep_csv([row]).splitlines()[1]
         assert line == ("cacheloop,ahb,reactive,2,100,101,0.01,"
                         "1.0,0.5,2.0,3.0,ok")
+
+
+class TestMixedGridRendering:
+    """Regression: grids mixing synthetic and trace-benchmark rows used
+    to crash the renderers (the synthetic layout indexed columns that
+    classic rows lack, and the CSV emitted ragged rows).  Mixed lists
+    must render with one union header and per-kind "-"/empty padding."""
+
+    @pytest.fixture(scope="class")
+    def mixed_results(self):
+        from repro.harness import run_sweep
+        classic = run_sweep(SweepSpec.from_dict(
+            {"benchmark": "cacheloop", "cores": [2],
+             "app_params": {"iters": 40}}))
+        synthetic = run_sweep(synthetic_spec())
+        return classic + synthetic
+
+    def test_table_renders_union_layout(self, mixed_results):
+        text = sweep_table(mixed_results, title="mixed")
+        # union header: classic columns AND synthetic columns coexist
+        assert "ARM cycles" in text
+        assert "load" in text and "avg lat" in text
+        lines = [line for line in text.splitlines() if line.strip()]
+        # every data row has the same column count as the header
+        header_cols = len(lines[1].split("|"))
+        for line in lines[1:]:
+            assert len(line.split("|")) == header_cols
+        assert "cacheloop" in text and "uniform" in text
+        # padding: classic rows have no load column, synthetic no ARM
+        assert "-" in text
+
+    def test_csv_rows_are_rectangular(self, mixed_results):
+        import csv
+        import io
+
+        text = sweep_csv(mixed_results)
+        rows = list(csv.reader(io.StringIO(text)))
+        width = len(rows[0])
+        assert all(len(row) == width for row in rows)
+        # synthetic extras present in the header, empty on classic rows
+        assert "offered_load" in rows[0]
+        load_col = rows[0].index("offered_load")
+        classic_row = next(r for r in rows[1:] if r[0] == "cacheloop")
+        synthetic_row = next(r for r in rows[1:] if r[0] == "synthetic")
+        assert classic_row[load_col] == ""
+        assert synthetic_row[load_col] != ""
+
+    def test_pure_grids_unaffected(self, mixed_results):
+        classic = [r for r in mixed_results if r.benchmark == "cacheloop"]
+        synthetic = [r for r in mixed_results if r.benchmark == "synthetic"]
+        classic_text = sweep_table(classic, title="c")
+        synthetic_text = sweep_table(synthetic, title="s")
+        assert "load" not in classic_text.splitlines()[1]
+        assert "ARM cycles" not in synthetic_text

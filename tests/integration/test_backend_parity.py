@@ -1,0 +1,103 @@
+"""Classic-vs-fast kernel backend parity.
+
+The calendar-queue ``fast`` backend is a pure dispatch optimisation: it
+must produce *bit-identical* simulations to the ``classic`` binary-heap
+engine — same cycle counts, same event counts, same fabric statistics.
+These tests run the Table-2 regression configurations, a
+cross-interconnect flow and a synthetic-traffic flow under both backends
+and require byte-identical platform summaries.
+
+The only permitted divergence is structural bookkeeping that describes
+the queue itself rather than the simulation: ``heap_compactions`` (the
+heap compacts on a size heuristic, the calendar queue counts tombstone
+sweeps) and ``peak_heap_size`` (resident entries are organised
+differently).  Everything else in ``stats_summary()`` — including
+``events_fired`` and ``events_cancelled`` — must match exactly.
+"""
+
+import pytest
+
+from repro.apps import cacheloop, des, mp_matrix, sp_matrix
+from repro.apps.synthetic import TrafficSpec, synthetic_flow
+from repro.harness import tg_flow
+
+#: stats_summary()["kernel"] keys that legitimately differ per backend.
+BACKEND_STRUCTURAL = ("heap_compactions", "peak_heap_size")
+
+CONFIGS = [
+    (sp_matrix, 1, "ahb", {"n": 4}),
+    (cacheloop, 2, "ahb", {"iters": 100}),
+    (mp_matrix, 2, "ahb", {"n": 4}),
+    (mp_matrix, 3, "ahb", {"n": 4}),
+    (des, 3, "ahb", {"blocks": 2}),
+    # cross-interconnect locks: same apps on the other fabrics
+    (mp_matrix, 2, "xpipes", {"n": 4}),
+    (des, 3, "stbus", {"blocks": 2}),
+]
+
+
+def masked_summary(platform):
+    """``stats_summary()`` with backend-structural counters removed."""
+    summary = dict(platform.stats_summary())
+    kernel = dict(summary["kernel"])
+    for key in BACKEND_STRUCTURAL:
+        kernel.pop(key, None)
+    summary["kernel"] = kernel
+    return summary
+
+
+@pytest.mark.parametrize(
+    "app,n_cores,interconnect,params", CONFIGS,
+    ids=[f"{a.__name__.split('.')[-1]}-{n}P-{ic}"
+         for a, n, ic, _ in CONFIGS])
+def test_tg_flow_parity(app, n_cores, interconnect, params):
+    classic = tg_flow(app, n_cores, interconnect=interconnect,
+                      app_params=params, backend="classic")
+    fast = tg_flow(app, n_cores, interconnect=interconnect,
+                   app_params=params, backend="fast")
+
+    assert classic.ref_cycles == fast.ref_cycles
+    assert classic.tg_cycles == fast.tg_cycles
+    assert classic.ref_events == fast.ref_events
+    assert classic.tg_events == fast.tg_events
+    assert (masked_summary(classic.ref_platform)
+            == masked_summary(fast.ref_platform))
+    assert (masked_summary(classic.tg_platform)
+            == masked_summary(fast.tg_platform))
+
+
+def test_tg_flow_backends_report_their_engine():
+    classic = tg_flow(cacheloop, 2, app_params={"iters": 50},
+                      backend="classic")
+    fast = tg_flow(cacheloop, 2, app_params={"iters": 50}, backend="fast")
+    assert classic.tg_platform.sim.backend == "classic"
+    assert fast.tg_platform.sim.backend == "fast"
+
+
+def test_synthetic_flow_parity():
+    """A 4-core synthetic workload: generator + TG interpreter + fabric
+    must agree across backends down to per-transaction latencies."""
+    spec = TrafficSpec(n_cores=4, pattern="hotspot", transactions=40,
+                       load=0.6, seed=11,
+                       size={"kind": "uniform", "min_words": 1,
+                             "max_words": 8})
+    classic = synthetic_flow(spec, backend="classic")
+    fast = synthetic_flow(spec, backend="fast")
+
+    for field in ("tg_cycles", "tg_events", "issued", "words",
+                  "latency_avg", "latency_max", "throughput_wpkc",
+                  "scheduled_load", "realised_load"):
+        assert getattr(classic, field) == getattr(fast, field), field
+    assert (masked_summary(classic.tg_platform)
+            == masked_summary(fast.tg_platform))
+
+
+def test_counters_present_under_both_backends():
+    """kernel_counters() exposes the same schema for either engine."""
+    for backend in ("classic", "fast"):
+        result = tg_flow(cacheloop, 2, app_params={"iters": 50},
+                         backend=backend)
+        counters = result.tg_platform.sim.kernel_counters()
+        assert set(counters) == {
+            "events_fired", "events_cancelled", "heap_compactions",
+            "peak_heap_size", "queued_live", "queued_tombstones"}

@@ -257,3 +257,77 @@ class TestCancellableTimeout:
     def test_is_a_timeout_signal(self):
         sim = Simulator()
         assert isinstance(timeout(sim, 5), TimeoutSignal)
+
+
+class TestClockMonotonicityProperty:
+    """Property form of the single-helper clock rule (``_advance_clock``).
+
+    ``run()``, ``run(until=T)`` and ``step()`` historically advanced
+    ``_now`` at three separate sites; a unit mismatch between them could
+    rewind the clock or overshoot an ``until`` bound.  Any interleaving
+    must keep time monotonic, never pass a pending event, and land a
+    drained ``run(until=T)`` exactly on ``max(T, last event)``.
+    """
+
+    from hypothesis import given as _given, strategies as _st
+
+    _CALLS = _st.lists(
+        _st.one_of(
+            _st.tuples(_st.just("run_until"), _st.integers(0, 120)),
+            _st.tuples(_st.just("step")),
+            _st.tuples(_st.just("run"),),
+        ),
+        min_size=1, max_size=20,
+    )
+
+    @_given(_CALLS, _st.lists(_st.integers(1, 9), min_size=1, max_size=12),
+            _st.sampled_from(["classic", "fast"]))
+    def test_interleaved_runs_never_rewind(self, calls, delays, backend):
+        sim = Simulator(backend=backend)
+
+        def proc():
+            for delay in delays:
+                yield delay
+
+        sim.spawn(proc(), name="p")
+        last_event_time = sum(delays)
+        observed = [0]
+        for call in calls:
+            before = sim.now
+            if call[0] == "run_until":
+                now = sim.run(until=call[1])
+                # a drained bounded run lands on max(until, last event
+                # already fired); it never stops short of `until` and
+                # never overshoots past the next pending event
+                assert now == sim.now
+                pending = sim._queue.peek_time()
+                if pending is None:
+                    assert now == max(call[1], before, observed[-1])
+                else:
+                    assert now <= call[1] or now == before
+            elif call[0] == "step":
+                sim.step()
+            else:
+                sim.run()
+            assert sim.now >= before, "clock went backward"
+            observed.append(sim.now)
+        assert observed == sorted(observed)
+        sim.run()
+        assert sim.now == max(last_event_time, sim.now)
+        assert sim.now >= last_event_time  # every event has fired by now
+
+    @_given(_st.integers(0, 50), _st.lists(_st.integers(1, 9),
+                                           min_size=1, max_size=10))
+    def test_drained_until_lands_on_max(self, until, delays):
+        """With everything drained, run(until=T) == max(T, last event)."""
+        for backend in ("classic", "fast"):
+            sim = Simulator(backend=backend)
+
+            def proc():
+                for delay in delays:
+                    yield delay
+
+            sim.spawn(proc(), name="p")
+            sim.run()                      # drain completely
+            last = sim.now
+            assert sim.run(until=until) == max(until, last)
