@@ -674,7 +674,10 @@ class SyntheticResult:
 
 def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
                    config_overrides: Optional[Dict] = None,
-                   backend: Optional[str] = None
+                   backend: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_dir=None,
+                   checkpoint_keep: Optional[int] = None
                    ) -> SyntheticResult:
     """Generate, assemble and simulate one synthetic workload.
 
@@ -683,6 +686,9 @@ def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
     then run on an all-TG platform on the requested fabric.  Latency
     statistics come from the per-TG OCP counters.  ``backend`` picks the
     kernel dispatch engine (results are bit-identical across backends).
+    ``checkpoint_every``/``checkpoint_dir``/``checkpoint_keep`` arm
+    crash-durable auto-checkpointing exactly as in
+    :func:`~repro.harness.experiments.tg_flow`.
     """
     from repro.core.assembler import assemble_binary, disassemble_binary
     from repro.harness.experiments import build_tg_platform
@@ -699,7 +705,23 @@ def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
     platform = build_tg_platform(programs, spec.n_cores, interconnect,
                                  config_overrides)
     start = time.perf_counter()
-    platform.run()
+    if checkpoint_every is not None:
+        from repro.harness.checkpoint import (
+            DEFAULT_KEEP,
+            CheckpointManager,
+            checkpointed_run,
+            platform_recipe,
+        )
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        recipe = platform_recipe(programs, spec.n_cores, interconnect,
+                                 config_overrides)
+        manager = CheckpointManager(
+            checkpoint_dir,
+            keep=checkpoint_keep if checkpoint_keep else DEFAULT_KEEP)
+        checkpointed_run(platform, recipe, manager, checkpoint_every)
+    else:
+        platform.run()
     result.tg_wall = time.perf_counter() - start
     result.tg_platform = platform
     result.tg_events = platform.sim.events_fired

@@ -25,6 +25,7 @@ from repro.artifacts.errors import (
     EXIT_MISSING_FILE,
     EXIT_OK,
     EXIT_PARSE,
+    EXIT_SNAPSHOT,
     EXIT_TRUNCATED,
     EXIT_USAGE,
     EXIT_VERSION,
@@ -32,6 +33,7 @@ from repro.artifacts.errors import (
     ChecksumMismatch,
     DiagnosticReport,
     ParseDiagnostic,
+    SnapshotError,
     TruncatedArtifact,
     VersionMismatch,
 )
@@ -61,6 +63,12 @@ from repro.artifacts.io import (
     save_tgp,
     save_trc,
 )
+from repro.artifacts.snap import (
+    dump_snap,
+    load_snap,
+    load_snap_bytes,
+    save_snap,
+)
 
 __all__ = [
     "Artifact",
@@ -72,21 +80,26 @@ __all__ = [
     "EXIT_MISSING_FILE",
     "EXIT_OK",
     "EXIT_PARSE",
+    "EXIT_SNAPSHOT",
     "EXIT_TRUNCATED",
     "EXIT_USAGE",
     "EXIT_VERSION",
     "ParseDiagnostic",
+    "SnapshotError",
     "TruncatedArtifact",
     "VersionMismatch",
     "add_text_header",
     "crc32_hex",
     "dump_bin",
+    "dump_snap",
     "dump_tgp",
     "dump_trc",
     "file_crc32",
     "load_artifact_bytes",
     "load_bin",
     "load_bin_bytes",
+    "load_snap",
+    "load_snap_bytes",
     "load_tgp",
     "load_tgp_bytes",
     "load_trc",
@@ -94,6 +107,7 @@ __all__ = [
     "producer_version",
     "reserialize",
     "save_bin",
+    "save_snap",
     "save_tgp",
     "save_trc",
     "split_text_header",

@@ -21,6 +21,8 @@ EXIT_PARSE = 4
 EXIT_CHECKSUM = 5
 EXIT_VERSION = 6
 EXIT_TRUNCATED = 7
+# 8 is EXIT_INTERRUPTED (repro.harness.supervisor): an interrupted sweep.
+EXIT_SNAPSHOT = 9
 
 
 class ArtifactError(Exception):
@@ -123,6 +125,20 @@ class ParseDiagnostic(ArtifactError):
         data = super().as_dict()
         data.update(line=self.line, column=self.column, text=self.text)
         return data
+
+
+class SnapshotError(ArtifactError):
+    """A ``.snap`` checkpoint cannot be taken, loaded or applied.
+
+    Covers the *semantic* failures of the checkpoint pipeline — a
+    simulation that never reaches a quiescent cycle, a snapshot applied
+    to a mismatched platform, a non-checkpointable component, a
+    structurally-invalid payload.  Byte-level damage (bad CRC, truncated
+    payload, version skew) raises the shared header errors instead, with
+    their own exit codes.
+    """
+
+    exit_code = EXIT_SNAPSHOT
 
 
 class DiagnosticReport:

@@ -37,7 +37,7 @@ from repro.artifacts.errors import (
 
 TEXT_MAGIC = ";#ARTIFACT"
 #: Supported format version per text artifact kind.
-TEXT_FORMAT_VERSIONS = {"trc": 1, "tgp": 1}
+TEXT_FORMAT_VERSIONS = {"trc": 1, "tgp": 1, "snap": 1}
 
 BIN_MAGIC = b"RTGA"
 BIN_CONTAINER_VERSION = 1

@@ -231,13 +231,19 @@ def save_bin(path, program) -> str:
     return crc32_hex(blob[BIN_HEADER_BYTES:])
 
 
+def _load_snap_bytes(data: bytes, path=None) -> Artifact:
+    # deferred: repro.artifacts.snap imports Artifact from this module
+    from repro.artifacts.snap import load_snap_bytes
+    return load_snap_bytes(data, path=path)
+
+
 _LOADERS = {"trc": load_trc_bytes, "tgp": load_tgp_bytes,
-            "bin": load_bin_bytes}
+            "bin": load_bin_bytes, "snap": _load_snap_bytes}
 
 
 def load_artifact_bytes(kind: str, data: bytes, path=None,
                         strict: bool = True) -> Artifact:
-    """Dispatch to the loader for ``kind`` (``trc`` | ``tgp`` | ``bin``)."""
+    """Dispatch to the loader for ``kind`` (trc | tgp | bin | snap)."""
     if kind == "trc":
         return load_trc_bytes(data, path=path, strict=strict)
     try:
@@ -260,6 +266,9 @@ def reserialize(artifact: Artifact) -> object:
         return serialize_trc(events, master_id=master_id)
     if artifact.kind == "tgp":
         return artifact.value.to_tgp()
+    if artifact.kind == "snap":
+        from repro.artifacts.snap import canonical_snap_json
+        return canonical_snap_json(artifact.value)
     return assemble_binary(artifact.value)
 
 

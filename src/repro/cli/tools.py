@@ -451,7 +451,21 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         if args.resume:
             journal = SweepJournal.resume(
                 args.resume, spec.to_dict() if spec is not None else None)
-            spec = _apply_backend(SweepSpec.from_dict(journal.state.spec))
+            journal_spec = SweepSpec.from_dict(journal.state.spec)
+            if args.backend is not None \
+                    and journal_spec.backend != args.backend:
+                # folding the override in would serve journal/cache rows
+                # computed under the other backend as this run's results
+                journal.close()
+                from repro.artifacts.errors import ParseDiagnostic
+                raise ParseDiagnostic(
+                    f"journal was recorded with backend "
+                    f"{journal_spec.backend!r}; refusing --backend "
+                    f"{args.backend} on resume",
+                    path=journal.path,
+                    hint="resume without --backend, or start a fresh "
+                         "sweep for the other engine")
+            spec = journal_spec
             done = journal.state.records
             print(f"[sweep] resuming {journal.path}: {done} of "
                   f"{journal.state.total} point(s) already journalled",
@@ -622,8 +636,10 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-experiment",
         description="Run a reference + TG simulation pair and report "
                     "accuracy and speedup (one Table-2 row).")
-    parser.add_argument("benchmark", type=_app_by_name,
-                        help="sp_matrix | cacheloop | mp_matrix | des")
+    parser.add_argument("benchmark", type=_app_by_name, nargs="?",
+                        help="sp_matrix | cacheloop | mp_matrix | des "
+                             "(not needed with --restore: snapshots are "
+                             "self-contained)")
     parser.add_argument("-n", "--cores", type=int, default=2)
     parser.add_argument("--interconnect", default="ahb",
                         choices=["ahb", "xpipes", "stbus", "tlm"])
@@ -668,72 +684,127 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="kernel event-dispatch engine for both runs "
                              "(bit-identical results; 'fast' is quicker)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="CYCLES",
+                        help="snapshot the TG run at the first quiescent "
+                             "cycle on/after every CYCLES-cycle boundary "
+                             "(requires --checkpoint-dir; see "
+                             "docs/CHECKPOINT.md)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="directory for .snap checkpoints (written "
+                             "atomically; newest K retained)")
+    parser.add_argument("--checkpoint-keep", type=int, default=None,
+                        metavar="K",
+                        help="checkpoints to retain (default 3)")
+    parser.add_argument("--restore", metavar="SNAP", default=None,
+                        help="resume a checkpointed TG run from this "
+                             ".snap file and run it to completion "
+                             "(bit-identical to the uninterrupted run)")
     parser.add_argument("--json", action="store_true")
+    parser.add_argument("--diagnostics-json", metavar="FILE",
+                        help="write a machine-readable diagnostics report "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
+    if args.restore is None and args.benchmark is None:
+        parser.error("benchmark is required unless --restore SNAP "
+                     "is given")
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        parser.error("--checkpoint-every requires --checkpoint-dir")
 
-    app_params = {}
-    for item in args.param:
-        key, _, value = item.partition("=")
-        app_params[key] = int(value, 0)
+    def body() -> int:
+        if args.restore:
+            from repro.harness import load_snapshot, restore_platform
+            snapshot = load_snapshot(args.restore)
+            platform = restore_platform(snapshot,
+                                        backend=args.backend)
+            platform.run(progress_window=args.progress_window)
+            out = {
+                "restored_from": args.restore,
+                "restore_cycle": snapshot["cycle"],
+                "tg_summary": platform.stats_summary(),
+            }
+            print(json.dumps(out, indent=2, sort_keys=True))
+            _write_diagnostics(args.diagnostics_json,
+                               _diagnostics_payload("repro-experiment",
+                                                    True))
+            return 0
 
-    fault_spec = None
-    if args.fault_spec:
-        from repro.faults import FaultSpec
-        fault_spec = FaultSpec.load(args.fault_spec)
-    retry_policy = None
-    if args.retry_attempts is not None:
-        from repro.faults import RetryPolicy
-        retry_policy = RetryPolicy(max_attempts=args.retry_attempts,
-                                   backoff=args.retry_backoff,
-                                   on_exhaust=args.on_exhaust)
+        app_params = {}
+        for item in args.param:
+            key, _, value = item.partition("=")
+            app_params[key] = int(value, 0)
 
-    from repro.harness import table2_row, tg_flow
-    result = tg_flow(args.benchmark, args.cores,
-                     interconnect=args.interconnect,
-                     tg_interconnect=args.tg_interconnect,
-                     mode=ReplayMode.from_name(args.mode),
-                     app_params=app_params or None,
-                     fault_spec=fault_spec,
-                     fault_seed=args.fault_seed,
-                     retry_policy=retry_policy,
-                     watchdog_cycles=args.watchdog,
-                     progress_window=args.progress_window,
-                     backend=args.backend)
-    if args.save_traces:
-        from repro.apps.common import pollable_ranges
-        from repro.trace import save_trace_set
-        save_trace_set(args.save_traces, result.traces,
-                       benchmark=result.benchmark,
-                       interconnect=result.interconnect,
-                       pollable_ranges=pollable_ranges(result.n_cores))
-        print(f"traces archived to {args.save_traces}", file=sys.stderr)
-    payload = {
-        "benchmark": result.benchmark,
-        "n_cores": result.n_cores,
-        "interconnect": result.interconnect,
-        "mode": result.mode.value,
-        "ref_cycles": result.ref_cycles,
-        "tg_cycles": result.tg_cycles,
-        "error": result.error,
-        "ref_wall_s": result.ref_wall,
-        "tg_wall_s": result.tg_wall,
-        "gain": result.gain,
-        "event_gain": result.event_gain,
-    }
-    resilience = None
-    if result.tg_platform is not None and \
-            result.tg_platform.fault_injector is not None:
-        resilience = result.tg_platform.resilience_counters().as_dict()
-        payload["fault_seed"] = args.fault_seed
-        payload["resilience"] = resilience
-    if args.json:
-        print(json.dumps(payload, indent=2))
-    else:
-        print(table2_row(result))
-        if resilience is not None:
-            from repro.stats import resilience_report
-            print(resilience_report(resilience))
-    return 0
+        fault_spec = None
+        if args.fault_spec:
+            from repro.faults import FaultSpec
+            fault_spec = FaultSpec.load(args.fault_spec)
+        retry_policy = None
+        if args.retry_attempts is not None:
+            from repro.faults import RetryPolicy
+            retry_policy = RetryPolicy(max_attempts=args.retry_attempts,
+                                       backoff=args.retry_backoff,
+                                       on_exhaust=args.on_exhaust)
+
+        from repro.harness import table2_row, tg_flow
+        result = tg_flow(args.benchmark, args.cores,
+                         interconnect=args.interconnect,
+                         tg_interconnect=args.tg_interconnect,
+                         mode=ReplayMode.from_name(args.mode),
+                         app_params=app_params or None,
+                         fault_spec=fault_spec,
+                         fault_seed=args.fault_seed,
+                         retry_policy=retry_policy,
+                         watchdog_cycles=args.watchdog,
+                         progress_window=args.progress_window,
+                         backend=args.backend,
+                         checkpoint_every=args.checkpoint_every,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_keep=args.checkpoint_keep)
+        if args.save_traces:
+            from repro.apps.common import pollable_ranges
+            from repro.trace import save_trace_set
+            save_trace_set(args.save_traces, result.traces,
+                           benchmark=result.benchmark,
+                           interconnect=result.interconnect,
+                           pollable_ranges=pollable_ranges(result.n_cores))
+            print(f"traces archived to {args.save_traces}",
+                  file=sys.stderr)
+        payload = {
+            "benchmark": result.benchmark,
+            "n_cores": result.n_cores,
+            "interconnect": result.interconnect,
+            "mode": result.mode.value,
+            "ref_cycles": result.ref_cycles,
+            "tg_cycles": result.tg_cycles,
+            "error": result.error,
+            "ref_wall_s": result.ref_wall,
+            "tg_wall_s": result.tg_wall,
+            "gain": result.gain,
+            "event_gain": result.event_gain,
+        }
+        if args.checkpoint_every is not None:
+            # same shape the --restore path prints, so a crash-restore
+            # continuation can be byte-compared against this run
+            payload["tg_summary"] = result.tg_platform.stats_summary()
+        resilience = None
+        if result.tg_platform is not None and \
+                result.tg_platform.fault_injector is not None:
+            resilience = result.tg_platform.resilience_counters().as_dict()
+            payload["fault_seed"] = args.fault_seed
+            payload["resilience"] = resilience
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(table2_row(result))
+            if resilience is not None:
+                from repro.stats import resilience_report
+                print(resilience_report(resilience))
+        _write_diagnostics(args.diagnostics_json,
+                           _diagnostics_payload("repro-experiment", True))
+        return 0
+
+    return _guarded("repro-experiment", body,
+                    diagnostics=args.diagnostics_json)
 
 
 # --------------------------------------------------------------- traffic
@@ -818,15 +889,49 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
                         default=None,
                         help="kernel event-dispatch engine for --simulate "
                              "(bit-identical results; 'fast' is quicker)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="CYCLES",
+                        help="with --simulate: snapshot the run at every "
+                             "CYCLES-cycle boundary (requires "
+                             "--checkpoint-dir; see docs/CHECKPOINT.md)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="directory for .snap checkpoints")
+    parser.add_argument("--checkpoint-keep", type=int, default=None,
+                        metavar="K",
+                        help="checkpoints to retain (default 3)")
+    parser.add_argument("--restore", metavar="SNAP", default=None,
+                        help="resume a checkpointed simulation from this "
+                             ".snap file instead of generating traffic")
     parser.add_argument("--json", action="store_true",
                         help="print the simulation summary as JSON")
     parser.add_argument("--diagnostics-json", metavar="FILE",
                         help="write a machine-readable diagnostics report "
                              "('-' for stdout)")
     args = parser.parse_args(argv)
+    if args.checkpoint_every is not None:
+        if args.checkpoint_dir is None:
+            parser.error("--checkpoint-every requires --checkpoint-dir")
+        if args.simulate is None:
+            parser.error("--checkpoint-every requires --simulate FABRIC")
 
     def body() -> int:
         import os
+
+        if args.restore:
+            from repro.harness import load_snapshot, restore_platform
+            snapshot = load_snapshot(args.restore)
+            platform = restore_platform(snapshot, backend=args.backend)
+            platform.run()
+            out = {
+                "restored_from": args.restore,
+                "restore_cycle": snapshot["cycle"],
+                "tg_summary": platform.stats_summary(),
+            }
+            print(json.dumps(out, indent=2, sort_keys=True))
+            _write_diagnostics(args.diagnostics_json,
+                               _diagnostics_payload("repro-traffic",
+                                                    True))
+            return 0
 
         from repro.apps.synthetic import (
             TrafficSpec,
@@ -898,9 +1003,17 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
                   f"{args.output}/core<i>.tgp|.bin", file=sys.stderr)
 
         if args.simulate:
-            result = synthetic_flow(spec, args.simulate,
-                                    backend=args.backend)
+            result = synthetic_flow(
+                spec, args.simulate, backend=args.backend,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_keep=args.checkpoint_keep)
             summary = result.summary()
+            if args.checkpoint_every is not None:
+                # same shape --restore prints, for crash-restore compares
+                summary = dict(summary)
+                summary["tg_summary"] = \
+                    result.tg_platform.stats_summary()
             payload["simulation"] = summary
             if args.json:
                 print(json.dumps(summary, indent=2, sort_keys=True))

@@ -37,6 +37,13 @@ class SeededRandom:
     def __init__(self, seed: int):
         self._state = (seed * 2 + 1) & _LCG_MASK
 
+    def getstate(self) -> int:
+        """The full generator state (one 64-bit integer)."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        self._state = int(state) & _LCG_MASK
+
     def _next(self) -> int:
         self._state = (self._state * _LCG_MULT + _LCG_INC) & _LCG_MASK
         return self._state >> 16
@@ -135,6 +142,7 @@ class StochasticTGMaster(Component):
         self.halt_time: Optional[int] = None
         self.transactions_generated = 0
         self._process = None
+        self._in_txn = False
 
     def start(self) -> None:
         self._process = self.sim.spawn(self._run(), name=f"{self.name}.gen")
@@ -147,27 +155,99 @@ class StochasticTGMaster(Component):
     def completion_time(self) -> Optional[int]:
         return self.halt_time
 
-    def _run(self):
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        """Counter + PRNG state.  Captured only at an inter-transaction
+        gap sleep, *after* that gap was drawn — so a restored generator
+        skips its first gap draw (:meth:`rearm`) and the PRNG sequence
+        continues bit-identically."""
+        return {
+            "profile_transactions": self.profile.transactions,
+            "rng_state": self.rng.getstate(),
+            "halted": self.halted,
+            "halt_time": self.halt_time,
+            "transactions_generated": self.transactions_generated,
+            "port_transactions_issued": self.port.transactions_issued,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        expected = state_get(state, "profile_transactions", self.name)
+        if expected != self.profile.transactions:
+            raise SnapshotError(
+                f"snapshot for {self.name} was taken with a different "
+                f"traffic profile ({expected} transactions, this one has "
+                f"{self.profile.transactions})")
+        self.rng.setstate(state_get(state, "rng_state", self.name))
+        self.halted = state_get(state, "halted", self.name)
+        self.halt_time = state_get(state, "halt_time", self.name)
+        self.transactions_generated = state_get(
+            state, "transactions_generated", self.name)
+        self.port.transactions_issued = state_get(
+            state, "port_transactions_issued", self.name)
+        self._in_txn = False
+
+    def checkpoint_blockers(self):
+        return ["transaction in flight"] if self._in_txn else []
+
+    def claim_entry(self, entry):
+        if entry.process is None or entry.process is not self._process \
+                or self._in_txn:
+            return None
+        return {"kind": "gen", "at": entry.time}
+
+    def rearm(self, sim, slot: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        if state_get(slot, "kind", self.name) != "gen":
+            raise SnapshotError(
+                f"{self.name}: unknown pending-entry kind "
+                f"{slot.get('kind')!r}")
+        at = state_get(slot, "at", self.name)
+        if not isinstance(at, int) or at < sim.now:
+            raise SnapshotError(
+                f"{self.name}: pending wake-up at cycle {at!r} is before "
+                f"the snapshot cycle {sim.now}")
+        self._process = sim.spawn(self._run(skip_first_gap=True),
+                                  name=f"{self.name}.gen",
+                                  delay=at - sim.now)
+
+    # ------------------------------------------------------------ execution
+
+    def _run(self, skip_first_gap: bool = False):
         profile = self.profile
         weighted = list(profile.mix.items())
-        for _ in range(profile.transactions):
-            gap = self.rng.geometric_gap(profile.mean_gap)
-            if gap:
-                yield gap
-            cmd = self.rng.choice(weighted)
-            pool = profile.address_pools[cmd]
-            addr = pool[self.rng.randint(0, len(pool) - 1)]
-            self.transactions_generated += 1
-            if cmd == OCPCommand.READ:
-                yield from self.port.read(addr)
-            elif cmd == OCPCommand.WRITE:
-                yield from self.port.write(addr, self.rng.randint(0, 255))
-            elif cmd == OCPCommand.BURST_READ:
-                yield from self.port.burst_read(addr, profile.burst_len)
+        rng = self.rng
+        pending_gap_skip = skip_first_gap
+        while self.transactions_generated < profile.transactions:
+            if pending_gap_skip:
+                # restored mid-gap: the captured PRNG state already
+                # consumed this gap draw, and the wake-up delay served it
+                pending_gap_skip = False
             else:
-                data = [self.rng.randint(0, 255)
-                        for _ in range(profile.burst_len)]
-                yield from self.port.burst_write(addr, data)
+                gap = rng.geometric_gap(profile.mean_gap)
+                if gap:
+                    yield gap
+            cmd = rng.choice(weighted)
+            pool = profile.address_pools[cmd]
+            addr = pool[rng.randint(0, len(pool) - 1)]
+            self.transactions_generated += 1
+            self._in_txn = True
+            try:
+                if cmd == OCPCommand.READ:
+                    yield from self.port.read(addr)
+                elif cmd == OCPCommand.WRITE:
+                    yield from self.port.write(addr, rng.randint(0, 255))
+                elif cmd == OCPCommand.BURST_READ:
+                    yield from self.port.burst_read(addr, profile.burst_len)
+                else:
+                    data = [rng.randint(0, 255)
+                            for _ in range(profile.burst_len)]
+                    yield from self.port.burst_write(addr, data)
+            finally:
+                self._in_txn = False
         self.halted = True
         self.halt_time = self.sim.now
         return self.halt_time

@@ -21,9 +21,12 @@ measures how wrong it gets.
 
 from typing import Dict, Optional
 
+from repro.artifacts.errors import SnapshotError
+from repro.artifacts.header import crc32_hex
 from repro.faults.retry import RetryPolicy
 from repro.kernel import Component, Simulator
 from repro.kernel.errors import WatchdogTimeout
+from repro.kernel.snapshot import state_get
 from repro.core.isa import (
     Cond,
     RDREG,
@@ -90,6 +93,10 @@ class TGMaster(Component):
         self._issue_fifo = None
         self._issuer = None
         self._outstanding = []
+        # live transactions on this TG (main program, non-blocking
+        # readers and the cloning issuer all thread through _transact);
+        # non-zero means the TG cannot be checkpointed right now
+        self._txn_depth = 0
 
     # ------------------------------------------------------------- control
 
@@ -134,6 +141,146 @@ class TGMaster(Component):
             "watchdog_trips": self.watchdog_trips,
         }
 
+    # ----------------------------------------------------------- checkpoint
+
+    def _program_crc32(self) -> str:
+        return crc32_hex(self.program.to_tgp().encode("utf-8"))
+
+    def state_dict(self) -> dict:
+        """Architectural + counter state (no scheduler entries)."""
+        return {
+            "program_crc32": self._program_crc32(),
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "halt_time": self.halt_time,
+            "instructions_executed": self.instructions_executed,
+            "max_outstanding_observed": self.max_outstanding_observed,
+            "error_responses": self.error_responses,
+            "ocp_transactions": self.ocp_transactions,
+            "ocp_beats": self.ocp_beats,
+            "ocp_latency_cycles": self.ocp_latency_cycles,
+            "ocp_latency_max": self.ocp_latency_max,
+            "retries": self.retries,
+            "retry_backoff_cycles": self.retry_backoff_cycles,
+            "degraded_transactions": self.degraded_transactions,
+            "watchdog_trips": self.watchdog_trips,
+            "port_transactions_issued": self.port.transactions_issued,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Apply a snapshot to this freshly-built TG (do not ``start()``).
+
+        For a CLONING-mode TG that has not halted, the issue queue and
+        its drain process are re-created here (the snapshot guarantees
+        the queue was empty and the issuer parked on it); the main
+        program wake-up itself arrives later via :meth:`rearm`.
+        """
+        crc = state_get(state, "program_crc32", self.name)
+        if crc != self._program_crc32():
+            raise SnapshotError(
+                f"snapshot for {self.name} was taken with a different "
+                f"program (crc32 {crc} != {self._program_crc32()})",
+                hint="rebuild the platform with the program the snapshot "
+                     "was taken on")
+        regs = state_get(state, "regs", self.name)
+        if not isinstance(regs, list) or len(regs) != TG_NUM_REGS:
+            raise SnapshotError(
+                f"snapshot for {self.name} has a malformed register file")
+        self.regs = [int(value) for value in regs]
+        self.pc = state_get(state, "pc", self.name)
+        self.halted = state_get(state, "halted", self.name)
+        self.halt_time = state_get(state, "halt_time", self.name)
+        self.instructions_executed = state_get(
+            state, "instructions_executed", self.name)
+        self.max_outstanding_observed = state_get(
+            state, "max_outstanding_observed", self.name)
+        self.error_responses = state_get(state, "error_responses",
+                                         self.name)
+        self.ocp_transactions = state_get(state, "ocp_transactions",
+                                          self.name)
+        self.ocp_beats = state_get(state, "ocp_beats", self.name)
+        self.ocp_latency_cycles = state_get(state, "ocp_latency_cycles",
+                                            self.name)
+        self.ocp_latency_max = state_get(state, "ocp_latency_max",
+                                         self.name)
+        self.retries = state_get(state, "retries", self.name)
+        self.retry_backoff_cycles = state_get(
+            state, "retry_backoff_cycles", self.name)
+        self.degraded_transactions = state_get(
+            state, "degraded_transactions", self.name)
+        self.watchdog_trips = state_get(state, "watchdog_trips", self.name)
+        self.port.transactions_issued = state_get(
+            state, "port_transactions_issued", self.name)
+        self._txn_depth = 0
+        self._outstanding = []
+        if self.program.mode is ReplayMode.CLONING and not self.halted:
+            self._issue_fifo = self.sim.fifo(name=f"{self.name}.issueq")
+            self._issuer = self.sim.spawn(self._issue_process(),
+                                          name=f"{self.name}.issuer")
+
+    def checkpoint_blockers(self):
+        blockers = []
+        if self._txn_depth:
+            blockers.append(
+                f"{self._txn_depth} transaction(s) in flight")
+        alive = sum(1 for reader in self._outstanding if reader.alive)
+        if alive:
+            blockers.append(f"{alive} non-blocking read(s) outstanding")
+        issuer = self._issuer
+        if issuer is not None and issuer.alive:
+            if self._issue_fifo is None or len(self._issue_fifo):
+                blockers.append("issue queue not drained")
+            elif issuer.waiting_on is not self._issue_fifo.not_empty:
+                blockers.append("issuer not parked on its issue queue")
+        return blockers
+
+    def claim_entry(self, entry):
+        """Claim the main program's wake-up when it is re-armable.
+
+        The only pending entry a TG leaves at a quiescent cycle is the
+        timed wake-up of its own main process (an ``Idle`` gap or the
+        1-cycle cost of a local instruction) — claimable because a fresh
+        interpreter generator resumes at ``self.pc`` with the restored
+        registers, which is exactly where the captured one slept.
+        """
+        if entry.process is None or entry.process is not self._process:
+            return None
+        if self._txn_depth:
+            return None
+        if any(reader.alive for reader in self._outstanding):
+            return None
+        return {"kind": "run", "at": entry.time}
+
+    def rearm(self, sim, slot: dict) -> None:
+        if state_get(slot, "kind", self.name) != "run":
+            raise SnapshotError(
+                f"{self.name}: unknown pending-entry kind "
+                f"{slot.get('kind')!r}")
+        at = state_get(slot, "at", self.name)
+        if not isinstance(at, int) or at < sim.now:
+            raise SnapshotError(
+                f"{self.name}: pending wake-up at cycle {at!r} is before "
+                f"the snapshot cycle {sim.now}")
+        if self.halted:
+            raise SnapshotError(
+                f"{self.name}: snapshot re-arms a halted TG")
+        # interpreter choice is structural, not captured state: the
+        # cloning path always replays on the reference interpreter, the
+        # others pick by the *restoring* kernel's backend
+        if self.program.mode is ReplayMode.CLONING:
+            runner = self._run()
+        elif sim.backend == "fast":
+            runner = self._run_fast()
+        else:
+            runner = self._run()
+        self._process = sim.spawn(runner, name=f"{self.name}.run",
+                                  delay=at - sim.now)
+
+    def owned_idle_processes(self):
+        if self._issuer is not None and self._issuer.alive:
+            yield self._issuer
+
     # --------------------------------------------------------- transactions
 
     def _transact(self, cmd: OCPCommand, addr: int, data=None,
@@ -147,8 +294,12 @@ class TGMaster(Component):
         accept for posted writes (whose beats drain in the background).
         """
         start = self.sim.now
-        response = yield from self._transact_attempts(cmd, addr, data,
-                                                      burst_len)
+        self._txn_depth += 1
+        try:
+            response = yield from self._transact_attempts(cmd, addr, data,
+                                                          burst_len)
+        finally:
+            self._txn_depth -= 1
         elapsed = self.sim.now - start
         self.ocp_transactions += 1
         self.ocp_beats += burst_len

@@ -41,6 +41,17 @@ class TGSharedMemorySlave(MemorySlave):
         self.transactions_served += 1
         return response
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["transactions_served"] = self.transactions_served
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        self.transactions_served = state_get(
+            state, "transactions_served", self.name)
+
 
 class TGDummySlave(MemorySlave):
     """Dummy-response slave TG: fixed-latency, constant read data.
@@ -69,3 +80,14 @@ class TGDummySlave(MemorySlave):
         response = yield from super().access(request)
         self.transactions_served += 1
         return response
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["transactions_served"] = self.transactions_served
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        self.transactions_served = state_get(
+            state, "transactions_served", self.name)

@@ -116,6 +116,56 @@ class FaultInjector:
             self.counters["sem_delays_injected"] += 1
         return False, delay
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        """Counters, rule occurrence tallies and the full RNG state.
+
+        ``random.Random.getstate()`` is ``(version, tuple_of_ints,
+        gauss_next)`` — JSON-safe once the inner tuple becomes a list.
+        """
+        version, internal, gauss_next = self.rng.getstate()
+        return {
+            "rng_state": [version, list(internal), gauss_next],
+            "counters": dict(self.counters),
+            "slave_accesses": list(self._slave_accesses),
+            "slave_faults": list(self._slave_faults),
+            "link_faults": list(self._link_faults),
+            "sem_drops": list(self._sem_drops),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        rng_state = state_get(state, "rng_state", "injector")
+        try:
+            version, internal, gauss_next = rng_state
+            self.rng.setstate((version, tuple(internal), gauss_next))
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"snapshot carries an invalid injector RNG state "
+                f"({error})") from None
+        counters = state_get(state, "counters", "injector")
+        if not isinstance(counters, dict) \
+                or set(counters) != set(INJECTOR_COUNTERS):
+            raise SnapshotError(
+                "snapshot injector counters do not match this version")
+        self.counters = {key: counters[key] for key in INJECTOR_COUNTERS}
+        for attr, key in (("_slave_accesses", "slave_accesses"),
+                          ("_slave_faults", "slave_faults"),
+                          ("_link_faults", "link_faults"),
+                          ("_sem_drops", "sem_drops")):
+            values = state_get(state, key, "injector")
+            if not isinstance(values, list) \
+                    or len(values) != len(getattr(self, attr)):
+                raise SnapshotError(
+                    f"snapshot injector tally {key!r} does not match the "
+                    f"fault spec",
+                    hint="the snapshot was taken with a different fault "
+                         "spec; restore with a matching spec or branch "
+                         "with fresh=['injector']")
+            setattr(self, attr, list(values))
+
     # ------------------------------------------------------------ reporting
 
     @property

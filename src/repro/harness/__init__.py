@@ -29,6 +29,16 @@ from repro.harness.experiments import (
     tg_flow,
     translate_traces,
 )
+from repro.harness.checkpoint import (
+    CheckpointManager,
+    branch,
+    checkpointed_run,
+    comparable_summary,
+    load_snapshot,
+    platform_recipe,
+    rebuild_platform,
+    restore_platform,
+)
 from repro.harness.cache import (
     CacheIssue,
     ResultCache,
@@ -68,6 +78,14 @@ __all__ = [
     "JournalState",
     "PointResult",
     "CacheIssue",
+    "CheckpointManager",
+    "branch",
+    "checkpointed_run",
+    "comparable_summary",
+    "load_snapshot",
+    "platform_recipe",
+    "rebuild_platform",
+    "restore_platform",
     "ResultCache",
     "SweepInterrupted",
     "SweepJournal",

@@ -1,0 +1,296 @@
+"""Crash-durable TG simulation: auto-checkpointing, restore, branching.
+
+The kernel layer (:mod:`repro.kernel.snapshot`) captures and re-applies
+simulation state; this module makes that *self-contained on disk*:
+
+* :func:`platform_recipe` embeds everything needed to rebuild the TG
+  platform (programs as ``.tgp`` text, socket count, interconnect,
+  config overrides, resilience knobs) into the snapshot payload, so
+  ``repro-experiment --restore run.snap`` needs no reference re-run and
+  no other files;
+* :class:`CheckpointManager` writes ``.snap`` artifacts atomically
+  (write-then-rename) and retains only the newest K — a SIGKILL at any
+  instant leaves either the previous snapshot or the complete new one,
+  never a torn file;
+* :func:`checkpointed_run` drives a platform to completion, snapshotting
+  at the first quiescent cycle at or after every cadence boundary;
+* :func:`restore_platform` rebuilds a platform from a payload's embedded
+  recipe and applies the snapshot — the continuation is bit-identical to
+  the uninterrupted run, under either kernel backend;
+* :func:`branch` is the fault-campaign primitive: restore the shared
+  warm-up state with a *fresh* fault injector (new spec/seed), so N
+  scenarios share one warm-up simulation.
+
+See docs/CHECKPOINT.md for the format and the quiescence rules.
+"""
+
+import os
+from typing import Dict, Optional, Union
+
+from repro.artifacts.errors import SnapshotError
+from repro.artifacts.snap import dump_snap, load_snap
+from repro.core.program import TGProgram, parse_tgp
+from repro.faults import FaultSpec, RetryPolicy
+from repro.harness.experiments import build_tg_platform
+from repro.platform import MparmPlatform
+
+#: Snapshots retained per directory by default.
+DEFAULT_KEEP = 3
+
+_SNAP_SUFFIX = ".snap"
+
+
+def _serializable_overrides(config_overrides: Optional[dict]) -> dict:
+    overrides = dict(config_overrides or {})
+    spec = overrides.get("fault_spec")
+    if isinstance(spec, FaultSpec):
+        overrides["fault_spec"] = spec.to_dict()
+    return overrides
+
+
+def platform_recipe(programs: Dict[int, TGProgram], n_cores: int,
+                    interconnect: str = "ahb",
+                    config_overrides: Optional[dict] = None,
+                    retry_policy: Optional[RetryPolicy] = None,
+                    watchdog_cycles: Optional[int] = None) -> dict:
+    """Self-contained rebuild recipe for a TG platform.
+
+    Mirrors the :func:`~repro.harness.experiments.build_tg_platform`
+    signature; programs travel as ``.tgp`` text (their canonical,
+    checksummable form — the TG validates the CRC at restore).
+    """
+    return {
+        "kind": "tg_platform",
+        "programs": {str(master_id): programs[master_id].to_tgp()
+                     for master_id in sorted(programs)},
+        "n_cores": n_cores,
+        "interconnect": interconnect,
+        "config_overrides": _serializable_overrides(config_overrides),
+        "retry_policy": (retry_policy.to_dict()
+                         if retry_policy is not None else None),
+        "watchdog_cycles": watchdog_cycles,
+    }
+
+
+def rebuild_platform(recipe: dict,
+                     config_overrides: Optional[dict] = None,
+                     ) -> MparmPlatform:
+    """Build a fresh, un-started platform from a snapshot recipe.
+
+    ``config_overrides`` are applied *on top* of the recipe's own
+    overrides (the branch mechanism swaps fault spec/seed/backend this
+    way).
+    """
+    from repro.kernel.snapshot import state_get
+    if not isinstance(recipe, dict) \
+            or recipe.get("kind") != "tg_platform":
+        raise SnapshotError(
+            "snapshot has no embedded platform recipe",
+            hint="only snapshots taken through the harness/CLI are "
+                 "self-contained; rebuild the platform yourself and use "
+                 "MparmPlatform.apply_snapshot")
+    raw_programs = state_get(recipe, "programs", "platform recipe")
+    if not isinstance(raw_programs, dict) or not raw_programs:
+        raise SnapshotError(
+            "snapshot platform recipe carries no programs")
+    try:
+        programs = {int(master_id): parse_tgp(text)
+                    for master_id, text in raw_programs.items()}
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(
+            f"snapshot platform recipe has an unparsable program "
+            f"({error})") from None
+    overrides = dict(state_get(recipe, "config_overrides",
+                               "platform recipe") or {})
+    overrides.update(config_overrides or {})
+    retry = state_get(recipe, "retry_policy", "platform recipe")
+    return build_tg_platform(
+        programs,
+        state_get(recipe, "n_cores", "platform recipe"),
+        state_get(recipe, "interconnect", "platform recipe"),
+        overrides,
+        retry_policy=RetryPolicy.from_dict(retry),
+        watchdog_cycles=state_get(recipe, "watchdog_cycles",
+                                  "platform recipe"))
+
+
+def restore_platform(payload: dict,
+                     backend: Optional[str] = None) -> MparmPlatform:
+    """Rebuild the platform a snapshot embeds and apply the snapshot.
+
+    The returned platform sits at the snapshot cycle, started, with the
+    exact pending-event set of the captured run — ``platform.run()``
+    continues it to a bit-identical completion.  ``backend`` optionally
+    continues under a *different* kernel engine than the capture ran on
+    (re-armed entries are structural, so the continuation is still
+    bit-identical).
+    """
+    from repro.kernel.snapshot import _require
+    overrides = {"backend": backend} if backend is not None else None
+    platform = rebuild_platform(_require(payload, "platform", "payload"),
+                                overrides)
+    platform.apply_snapshot(payload)
+    return platform
+
+
+def branch(payload: dict,
+           fault_spec: Union[None, dict, FaultSpec] = None,
+           fault_seed: Optional[int] = None,
+           backend: Optional[str] = None) -> MparmPlatform:
+    """Branch a fault scenario off a shared warm-up snapshot.
+
+    Rebuilds the platform with the given fault spec/seed (and optionally
+    a different kernel backend), then applies the snapshot with a
+    **fresh** injector: all architectural state — TG registers, memory
+    contents, traffic counters — continues from the warm-up, while the
+    fault sequence is the new scenario's own.  Simulate the warm-up
+    once, branch N times.
+    """
+    overrides: dict = {}
+    if fault_spec is not None:
+        overrides["fault_spec"] = (fault_spec.to_dict()
+                                   if isinstance(fault_spec, FaultSpec)
+                                   else fault_spec)
+    if fault_seed is not None:
+        overrides["fault_seed"] = fault_seed
+        if "fault_spec" not in overrides:
+            raise SnapshotError(
+                "branch got fault_seed without fault_spec",
+                hint="pass the scenario's fault spec as well")
+    if backend is not None:
+        overrides["backend"] = backend
+    from repro.kernel.snapshot import _require
+    platform = rebuild_platform(
+        _require(payload, "platform", "payload"), overrides)
+    platform.apply_snapshot(payload, fresh=["injector"])
+    return platform
+
+
+class CheckpointManager:
+    """Atomic ``.snap`` writer with bounded retention.
+
+    Snapshots are named ``<prefix>-<cycle padded to 12>.snap`` so
+    lexicographic order equals cycle order; :meth:`save` writes to a
+    ``.tmp`` sibling and ``os.replace``-renames it into place, then
+    prunes everything but the newest ``keep``.
+    """
+
+    def __init__(self, directory, keep: int = DEFAULT_KEEP,
+                 prefix: str = "ckpt"):
+        if keep < 1:
+            raise SnapshotError(f"checkpoint retention must be >= 1, "
+                                f"got {keep}")
+        self.directory = str(directory)
+        self.keep = keep
+        self.prefix = prefix
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _snapshots(self):
+        names = [name for name in os.listdir(self.directory)
+                 if name.startswith(self.prefix + "-")
+                 and name.endswith(_SNAP_SUFFIX)]
+        return sorted(names)
+
+    def latest(self) -> Optional[str]:
+        """Path of the newest retained snapshot, or None."""
+        names = self._snapshots()
+        if not names:
+            return None
+        return os.path.join(self.directory, names[-1])
+
+    def save(self, payload: dict) -> str:
+        """Atomically write one snapshot; returns its path."""
+        cycle = payload.get("cycle", 0)
+        name = f"{self.prefix}-{cycle:012d}{_SNAP_SUFFIX}"
+        path = os.path.join(self.directory, name)
+        tmp = path + ".tmp"
+        text = dump_snap(payload)
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        for stale in self._snapshots()[:-self.keep]:
+            os.unlink(os.path.join(self.directory, stale))
+        return path
+
+
+def checkpointed_run(platform: MparmPlatform, recipe: dict,
+                     manager: CheckpointManager, every: int,
+                     scan_limit: Optional[int] = None,
+                     progress_window: Optional[int] = None) -> int:
+    """Run a platform to completion, checkpointing as it goes.
+
+    A snapshot is taken at the first quiescent cycle at or after each
+    ``every``-cycle boundary (quiescence scans may overshoot slightly;
+    the next boundary is measured from the snapshot cycle).  Completion
+    semantics — deadlock detection, the livelock watchdog — match a
+    plain ``platform.run(progress_window=...)``.
+    """
+    if every < 1:
+        raise SnapshotError(
+            f"checkpoint cadence must be >= 1 cycle, got {every}")
+    sim = platform.sim
+    if not platform._started:
+        platform.start()  # run() starts lazily; we peek the queue first
+    while True:
+        boundary = sim.now + every
+        # fire cluster-by-cluster so the clock stops on the last event
+        # when the run completes inside this segment — run(until=X)
+        # would coast to X and overshoot the natural completion cycle
+        while True:
+            next_time = sim._queue.peek_time()
+            if next_time is None or next_time > boundary:
+                break
+            platform.run(until=next_time,
+                         progress_window=progress_window)
+        if sim._queue.peek_time() is None:
+            break
+        manager.save(platform.snapshot(recipe, scan_limit))
+    # drained (or finished): let the normal run path apply its
+    # completion/deadlock checks
+    return platform.run(progress_window=progress_window)
+
+
+def load_snapshot(path) -> dict:
+    """Load + verify a ``.snap`` file; returns the payload dict."""
+    return load_snap(path).value
+
+
+#: Kernel diagnostics whose values depend on the *dispatch mode* (batched
+#: drain vs bounded stepping) on the fast backend, not on the simulated
+#: behaviour — the same set test_backend_parity already treats as
+#: backend-structural.  Everything else in a summary is bit-stable.
+STRUCTURAL_KERNEL_KEYS = ("heap_compactions", "peak_heap_size",
+                          "queued_tombstones")
+
+
+def comparable_summary(summary: dict) -> dict:
+    """A stats summary with dispatch-mode-dependent diagnostics removed.
+
+    Use this to compare a checkpointed/restored run against an
+    uninterrupted one on the ``fast`` backend; on ``classic`` the full
+    summaries already match bit-for-bit.
+    """
+    trimmed = dict(summary)
+    kernel = trimmed.get("kernel")
+    if isinstance(kernel, dict):
+        trimmed["kernel"] = {key: value for key, value in kernel.items()
+                             if key not in STRUCTURAL_KERNEL_KEYS}
+    return trimmed
+
+
+__all__ = [
+    "DEFAULT_KEEP",
+    "STRUCTURAL_KERNEL_KEYS",
+    "CheckpointManager",
+    "branch",
+    "checkpointed_run",
+    "comparable_summary",
+    "load_snapshot",
+    "platform_recipe",
+    "rebuild_platform",
+    "restore_platform",
+]

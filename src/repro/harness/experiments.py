@@ -194,7 +194,10 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
             retry_policy: Optional[RetryPolicy] = None,
             watchdog_cycles: Optional[int] = None,
             progress_window: Optional[int] = None,
-            backend: Optional[str] = None) -> TGFlowResult:
+            backend: Optional[str] = None,
+            checkpoint_every: Optional[int] = None,
+            checkpoint_dir=None,
+            checkpoint_keep: Optional[int] = None) -> TGFlowResult:
     """Full flow: reference run → translate → TG run → compare.
 
     ``tg_interconnect`` lets the TG simulation run on a *different* fabric
@@ -211,6 +214,12 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
     the trace is collected on a healthy reference platform, then replayed
     against a degraded interconnect — the paper's decoupling, exercised
     under adverse conditions.
+
+    ``checkpoint_every`` (cycles) arms crash-durable auto-checkpointing of
+    the TG run: self-contained ``.snap`` artifacts land in
+    ``checkpoint_dir`` (keeping the newest ``checkpoint_keep``), each
+    restorable with ``repro-experiment --restore`` to a bit-identical
+    continuation (see docs/CHECKPOINT.md).
     """
     result = TGFlowResult()
     result.benchmark = getattr(app, "__name__", str(app)).split(".")[-1]
@@ -242,7 +251,26 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
                                     retry_policy=retry_policy,
                                     watchdog_cycles=watchdog_cycles)
     start = time.perf_counter()
-    tg_platform.run(progress_window=progress_window)
+    if checkpoint_every is not None:
+        from repro.harness.checkpoint import (
+            DEFAULT_KEEP,
+            CheckpointManager,
+            checkpointed_run,
+            platform_recipe,
+        )
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        recipe = platform_recipe(result.programs, n_cores,
+                                 tg_interconnect or interconnect,
+                                 tg_overrides, retry_policy,
+                                 watchdog_cycles)
+        manager = CheckpointManager(
+            checkpoint_dir,
+            keep=checkpoint_keep if checkpoint_keep else DEFAULT_KEEP)
+        checkpointed_run(tg_platform, recipe, manager, checkpoint_every,
+                         progress_window=progress_window)
+    else:
+        tg_platform.run(progress_window=progress_window)
     result.tg_wall = time.perf_counter() - start
     result.tg_platform = tg_platform
     result.tg_events = tg_platform.sim.events_fired

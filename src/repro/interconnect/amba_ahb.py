@@ -59,6 +59,26 @@ class AmbaAhbBus(Fabric):
             return 0.0
         return self.arbiter.busy_cycles / self.sim.now
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["arbiter"] = self.arbiter.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        self.arbiter.load_state(state_get(state, "arbiter", self.name))
+
+    def checkpoint_blockers(self):
+        # in-flight posted writes surface as live _complete_write
+        # processes, caught by the global unclaimed-process pass
+        return [f"arbiter: {reason}"
+                for reason in self.arbiter.checkpoint_blockers()]
+
+    # ------------------------------------------------------------ transport
+
     def transport(self, master_id: int, request: Request):
         self.stats.record(master_id, request)
         range_ = self.address_map.decode(request)

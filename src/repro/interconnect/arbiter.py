@@ -90,6 +90,52 @@ class Arbiter:
             self._decision_scheduled = True
             self.sim.schedule_after(0, self._decide)
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        """Grant statistics; captured only when idle (no owner, no queue,
+        no armed decision — see :meth:`checkpoint_blockers`)."""
+        return {
+            "grants": self.grants,
+            "wait_cycles": {str(master_id): cycles
+                            for master_id, cycles
+                            in sorted(self.wait_cycles.items())},
+            "busy_cycles": self.busy_cycles,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        self.grants = state_get(state, "grants", self.name)
+        waits = state_get(state, "wait_cycles", self.name)
+        if not isinstance(waits, dict):
+            raise SnapshotError(
+                f"snapshot for {self.name}: 'wait_cycles' must be an "
+                f"object")
+        try:
+            self.wait_cycles = {int(key): value
+                                for key, value in waits.items()}
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"snapshot for {self.name}: bad wait_cycles entry "
+                f"({error})") from None
+        self.busy_cycles = state_get(state, "busy_cycles", self.name)
+        self._entries = []
+        self._owner = None
+        self._decision_scheduled = False
+        self._owned_since = 0
+
+    def checkpoint_blockers(self):
+        blockers = []
+        if self._owner is not None:
+            blockers.append(f"owned by master {self._owner}")
+        if self._entries:
+            blockers.append(f"{len(self._entries)} grant request(s) "
+                            f"queued")
+        if self._decision_scheduled:
+            blockers.append("grant decision scheduled")
+        return blockers
+
     # ------------------------------------------------------------ internal
 
     def _decide(self) -> None:
@@ -133,6 +179,16 @@ class RoundRobinArbiter(Arbiter):
                  arbitration_cycles: int = 1):
         super().__init__(sim, name, arbitration_cycles)
         self._last_winner = -1
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["last_winner"] = self._last_winner
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        self._last_winner = state_get(state, "last_winner", self.name)
 
     def _choose(self, pending: List[int]) -> int:
         ordered = sorted(set(pending))

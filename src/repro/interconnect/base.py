@@ -53,6 +53,46 @@ class Fabric(Component):
         raise NotImplementedError
         yield  # pragma: no cover - makes this a generator for type symmetry
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        """Traffic statistics; fabrics with internal machinery extend."""
+        stats = self.stats
+        return {
+            "transactions": stats.transactions,
+            "read_transactions": stats.read_transactions,
+            "write_transactions": stats.write_transactions,
+            "beats_transferred": stats.beats_transferred,
+            "per_master_transactions": {
+                str(master_id): count for master_id, count
+                in sorted(stats.per_master_transactions.items())},
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        stats = FabricStats()
+        stats.transactions = state_get(state, "transactions", self.name)
+        stats.read_transactions = state_get(
+            state, "read_transactions", self.name)
+        stats.write_transactions = state_get(
+            state, "write_transactions", self.name)
+        stats.beats_transferred = state_get(
+            state, "beats_transferred", self.name)
+        per_master = state_get(state, "per_master_transactions", self.name)
+        if not isinstance(per_master, dict):
+            raise SnapshotError(
+                f"snapshot for {self.name}: 'per_master_transactions' "
+                f"must be an object")
+        try:
+            stats.per_master_transactions = {
+                int(key): value for key, value in per_master.items()}
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"snapshot for {self.name}: bad per-master entry "
+                f"({error})") from None
+        self.stats = stats
+
     def _hop_delay(self) -> int:
         """Injected extra cycles for one hop (0 when faults are disabled)."""
         if self.fault_injector is None:

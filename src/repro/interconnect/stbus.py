@@ -49,6 +49,55 @@ class STBusFabric(Fabric):
             self._slave_arbiters[key] = arbiter
         return arbiter
 
+    # ----------------------------------------------------------- checkpoint
+
+    def _arbiters_by_port_name(self) -> Dict[str, Arbiter]:
+        by_id = {id(port): port for port in self.address_map.slave_ports()}
+        return {by_id[key].name: arbiter
+                for key, arbiter in self._slave_arbiters.items()
+                if key in by_id}
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # lazily-created per-slave channels, keyed by slave-port name (the
+        # only stable cross-build identity)
+        state["slave_arbiters"] = {
+            name: arbiter.state_dict()
+            for name, arbiter
+            in sorted(self._arbiters_by_port_name().items())}
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        arbiters = state_get(state, "slave_arbiters", self.name)
+        if not isinstance(arbiters, dict):
+            raise SnapshotError(
+                f"snapshot for {self.name}: 'slave_arbiters' must be an "
+                f"object")
+        ports = {port.name: port
+                 for port in self.address_map.slave_ports()}
+        self._slave_arbiters = {}
+        for port_name, arbiter_state in arbiters.items():
+            port = ports.get(port_name)
+            if port is None:
+                raise SnapshotError(
+                    f"snapshot for {self.name} references unknown slave "
+                    f"channel {port_name!r}",
+                    hint="the snapshot was taken on a differently-"
+                         "configured platform")
+            self._arbiter_for(port).load_state(arbiter_state)
+
+    def checkpoint_blockers(self):
+        blockers = []
+        for name, arbiter in sorted(self._arbiters_by_port_name().items()):
+            blockers.extend(f"channel {name}: {reason}"
+                            for reason in arbiter.checkpoint_blockers())
+        return blockers
+
+    # ------------------------------------------------------------ transport
+
     def transport(self, master_id: int, request: Request):
         self.stats.record(master_id, request)
         range_ = self.address_map.decode(request)

@@ -125,6 +125,7 @@ class Router:
         self.inputs: Dict[str, Fifo] = {}
         self._output_busy: Dict[str, bool] = {}
         self._output_free: Dict[str, object] = {}
+        self._procs: Dict[str, object] = {}
         self.flits_routed = 0
         name = f"router{coords}"
         for port in (LOCAL, NORTH, SOUTH, EAST, WEST):
@@ -134,8 +135,9 @@ class Router:
 
     def start(self) -> None:
         for port in self.inputs:
-            self.sim.spawn(self._input_process(port),
-                           name=f"router{self.coords}.fw[{port}]")
+            self._procs[port] = self.sim.spawn(
+                self._input_process(port),
+                name=f"router{self.coords}.fw[{port}]")
 
     def _acquire_output(self, port: str):
         while self._output_busy[port]:
@@ -187,6 +189,7 @@ class NetworkInterface:
         self.receive_fifo = sim.fifo(noc.fifo_depth, f"{name}.rx")
         self._tx_busy = False
         self._tx_free = sim.signal(f"{name}.tx_free")
+        self._rx_proc = None  # set by the subclass after spawning
 
     def _inject(self, packet: Packet):
         """Stream a packet's flits into the local router, 1 flit/cycle.
@@ -222,7 +225,8 @@ class MasterNI(NetworkInterface):
         super().__init__(sim, noc, coords, name)
         self.master_id = master_id
         self._pending: Dict[int, object] = {}  # packet uid -> signal
-        sim.spawn(self._rx_process(), name=f"{name}.rx_proc")
+        self._rx_proc = sim.spawn(self._rx_process(),
+                                  name=f"{name}.rx_proc")
 
     def send_request(self, request: Request):
         """Transport one OCP transaction over the mesh (generator)."""
@@ -265,7 +269,8 @@ class SlaveNI(NetworkInterface):
         self.slave_port = slave_port
         self._pending = 0
         self._buffer_free = sim.signal(f"{name}.buffer_free")
-        sim.spawn(self._rx_process(), name=f"{name}.rx_proc")
+        self._rx_proc = sim.spawn(self._rx_process(),
+                                  name=f"{name}.rx_proc")
 
     def _rx_process(self):
         while True:
@@ -461,6 +466,97 @@ class XpipesNoc(Fabric):
             if ni is not None and ni.coords == coords:
                 return ni
         raise OCPError(f"no master NI at {coords}")
+
+    # ----------------------------------------------------------- checkpoint
+
+    def _all_nis(self):
+        for master_id in sorted(self._master_nis):
+            ni = self._master_nis[master_id]
+            if ni is not None:
+                yield ni
+        for ni in self._slave_nis:
+            yield ni
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["built"] = self._built
+        state["flits_routed"] = {
+            f"{x},{y}": router.flits_routed
+            for (x, y), router in sorted(self._routers.items())}
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        if state_get(state, "built", self.name) and not self._built:
+            # re-create the mesh (routers, NIs and their permanent
+            # processes); the settle pass parks everything at t=0
+            self.build()
+        flits = state_get(state, "flits_routed", self.name)
+        if not isinstance(flits, dict):
+            raise SnapshotError(
+                f"snapshot for {self.name}: 'flits_routed' must be an "
+                f"object")
+        for key, count in flits.items():
+            try:
+                x, y = (int(part) for part in key.split(","))
+            except ValueError:
+                raise SnapshotError(
+                    f"snapshot for {self.name}: bad router coordinate "
+                    f"{key!r}") from None
+            router = self._routers.get((x, y))
+            if router is None:
+                raise SnapshotError(
+                    f"snapshot for {self.name} references unknown router "
+                    f"({x}, {y})",
+                    hint="the snapshot was taken on a different mesh")
+            router.flits_routed = count
+
+    def checkpoint_blockers(self):
+        if not self._built:
+            return []
+        blockers = []
+        for coords, router in sorted(self._routers.items()):
+            for port, fifo in router.inputs.items():
+                if len(fifo):
+                    blockers.append(f"router{coords} input {port} holds "
+                                    f"{len(fifo)} flit(s)")
+            for port, busy in sorted(router._output_busy.items()):
+                if busy:
+                    blockers.append(f"router{coords} output {port} "
+                                    f"mid-packet")
+            for port, proc in router._procs.items():
+                if proc.alive and \
+                        proc.waiting_on is not router.inputs[port].not_empty:
+                    blockers.append(f"router{coords} input {port} "
+                                    f"forwarding in progress")
+        for ni in self._all_nis():
+            if len(ni.receive_fifo):
+                blockers.append(f"{ni.name}: {len(ni.receive_fifo)} "
+                                f"flit(s) awaiting reassembly")
+            if ni._tx_busy:
+                blockers.append(f"{ni.name}: injection in progress")
+            if ni._pending:
+                what = (f"{len(ni._pending)} response(s) awaited"
+                        if isinstance(ni._pending, dict)
+                        else f"{ni._pending} request(s) in service")
+                blockers.append(f"{ni.name}: {what}")
+            rx = ni._rx_proc
+            if rx is not None and rx.alive and \
+                    rx.waiting_on is not ni.receive_fifo.not_empty:
+                blockers.append(f"{ni.name}: packet reassembly in "
+                                f"progress")
+        return blockers
+
+    def owned_idle_processes(self):
+        for _, router in sorted(self._routers.items()):
+            for proc in router._procs.values():
+                if proc.alive:
+                    yield proc
+        for ni in self._all_nis():
+            if ni._rx_proc is not None and ni._rx_proc.alive:
+                yield ni._rx_proc
 
     # ------------------------------------------------------------ transport
 

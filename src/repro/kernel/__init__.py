@@ -46,7 +46,7 @@ from repro.kernel.errors import (
     SimulationError,
     WatchdogTimeout,
 )
-from repro.kernel.event import Event, EventQueue
+from repro.kernel.event import Event, EventQueue, PendingEntry
 from repro.kernel.signal import Fifo, Signal, TimeoutSignal
 from repro.kernel.process import Process
 from repro.kernel.simulator import Simulator
@@ -59,6 +59,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "KERNEL_BACKENDS",
+    "PendingEntry",
     "make_backend",
     "Fifo",
     "KernelError",

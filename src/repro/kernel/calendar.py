@@ -43,7 +43,7 @@ import heapq
 from typing import Callable, Optional, Tuple
 
 from repro.kernel.errors import SimulationError
-from repro.kernel.event import Event
+from repro.kernel.event import Event, PendingEntry, _classify_entry
 from repro.kernel.process import Process
 
 
@@ -511,6 +511,51 @@ class CalendarQueue:
             buckets.pop(time, None)
             heads.pop(time, None)
         return None
+
+    def pending_entries(self):
+        """Backend hook: every live entry in firing order (snapshots).
+
+        Walks the distinct bucket cycles in ascending order (the
+        ``_times`` heap may carry cycles whose bucket was already
+        consumed — those are skipped, read-only), honouring the
+        consumed-prefix offsets pop_entry leaves in ``_heads``.  Within a
+        bucket, plain buckets are insertion-ordered (identical to classic
+        seq order) and mixed buckets are sorted by their ``(priority,
+        seq)`` keys.  Tombstoned events are dropped; classification
+        matches the classic backend exactly.
+        """
+        entries = []
+        for time in sorted(set(self._times)):
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                continue
+            if bucket.__class__ is not list:
+                items = [bucket]
+            else:
+                start = self._heads.get(time, 0)
+                items = bucket[start:] if start else list(bucket)
+            if self._mixed:
+                keyed = [(item[0], item[1], item[2])
+                         if item.__class__ is list else (0, -1, item)
+                         for item in items]
+                items = [item for _, _, item in sorted(
+                    keyed, key=lambda key: (key[0], key[1]))]
+            for entry in items:
+                cls = entry.__class__
+                if cls is Event:
+                    if entry.cancelled:
+                        continue
+                    entries.append(_classify_entry(time, entry.fn))
+                elif cls is Process:
+                    entries.append(PendingEntry(time, entry))
+                elif cls is tuple:
+                    # payload-carrying resume: opaque, never claimable
+                    entries.append(PendingEntry(time, None))
+                else:
+                    # bare callable (push_fn fast path): expose for
+                    # identity-based claims
+                    entries.append(PendingEntry(time, None, entry))
+        return entries
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live entry, or None if the queue is empty."""

@@ -17,11 +17,50 @@ carry thousands of dead entries through every heap operation.
 """
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, NamedTuple, Optional
 
 #: Compact only when the heap is at least this large; below it the
 #: tombstone overhead is noise and rebuilding would churn.
 _COMPACT_MIN_SIZE = 64
+
+
+class PendingEntry(NamedTuple):
+    """One live queue entry, as reported by ``pending_entries()``.
+
+    ``process`` is set when the entry is a plain (payload-free) resume of
+    a sleeping :class:`~repro.kernel.process.Process` — the only entry
+    kind a snapshot can re-arm, because the wake-up carries no captured
+    state beyond the target process and the firing time.  Everything else
+    (arbitrary callbacks, payload-carrying resumes) is opaque: ``process``
+    is None.  For opaque *callbacks* the raw callable is exposed as
+    ``fn`` so a component that scheduled it can recognise its own (e.g. a
+    semaphore bank's tracked delayed-release) and claim it after all;
+    payload-carrying resumes have both fields None and are never
+    claimable.
+    """
+
+    time: int
+    process: Optional[object]
+    fn: Optional[Callable] = None
+
+
+def _classify_entry(time: int, fn: Callable) -> PendingEntry:
+    """Map a scheduled callable to a :class:`PendingEntry`.
+
+    A bound ``Process._resume`` method is the signature of ``yield n`` /
+    ``spawn(delay=...)`` — a payload-free sleep.  Payload resumes are
+    closures (classic) or tuples (calendar) and stay opaque.
+    """
+    from repro.kernel.process import Process
+    owner = getattr(fn, "__self__", None)
+    if isinstance(owner, Process) and \
+            getattr(fn, "__func__", None) is Process._resume:
+        return PendingEntry(time, owner)
+    if getattr(fn, "_payload_resume", False):
+        # payload-carrying resume: opaque, never claimable (parity with
+        # the calendar backend's tuple entries)
+        return PendingEntry(time, None)
+    return PendingEntry(time, None, fn)
 
 
 class Event:
@@ -149,7 +188,11 @@ class EventQueue:
         if payload is None:
             self.push(time, 0, process._resume)
         else:
-            self.push(time, 0, lambda: process._resume(payload))
+            resume = lambda: process._resume(payload)  # noqa: E731
+            # mark so pending_entries() reports it opaque (fn=None),
+            # matching the calendar backend's tuple entries
+            resume._payload_resume = True
+            self.push(time, 0, resume)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if drained."""
@@ -177,6 +220,17 @@ class EventQueue:
         if heap:
             return heap[0].time
         return None
+
+    def pending_entries(self) -> List[PendingEntry]:
+        """Backend hook: every live entry in firing order (snapshots).
+
+        The heap is sorted (``(time, priority, seq)`` is a total order),
+        tombstones dropped, and each entry classified as a re-armable
+        process resume or an opaque callback.  Read-only: the queue is
+        untouched.
+        """
+        return [_classify_entry(event.time, event.fn)
+                for event in sorted(self._heap) if not event.cancelled]
 
     def drain(self, sim) -> None:
         """Backend hook: run-to-empty dispatch (the unbounded run() path).

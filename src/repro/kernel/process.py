@@ -48,6 +48,16 @@ class Process:
         return self._alive
 
     @property
+    def waiting_on(self) -> Optional[Signal]:
+        """The signal this process is parked on, or None.
+
+        The checkpoint machinery uses this to verify that a component's
+        permanent idle process is parked at its structural idle point
+        (e.g. a router input reader on its empty FIFO's ``not_empty``).
+        """
+        return self._waiting_on
+
+    @property
     def result(self) -> Any:
         """Return value of the generator; raises if still running."""
         if self._result is _PENDING:

@@ -115,6 +115,11 @@ class Fifo:
         return len(self._items)
 
     @property
+    def not_empty(self) -> Signal:
+        """The consumer-side wait signal (see ``Process.waiting_on``)."""
+        return self._not_empty
+
+    @property
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 

@@ -43,6 +43,9 @@ class SemaphoreBank(MemorySlave):
         self.failed_polls = 0
         self.releases_dropped = 0
         self.releases_delayed = 0
+        # in-flight delayed releases, tracked so checkpoints can claim
+        # and re-arm them: [{"offset": int, "due": cycle, "fn": callable}]
+        self._delayed_releases = []
 
     def read_location(self, offset: int) -> int:
         value = self.store.read_word(offset)
@@ -66,10 +69,71 @@ class SemaphoreBank(MemorySlave):
                 return
             if delay:
                 self.releases_delayed += 1
-                self.sim.schedule_after(
-                    delay, lambda: self.store.write_word(offset, SEM_FREE))
+                self._schedule_release(offset, delay)
                 return
         self.store.write_word(offset, value & WORD_MASK)
+
+    def _schedule_release(self, offset: int, delay: int) -> None:
+        """Schedule a tracked late release ``delay`` cycles out."""
+        record = {"offset": offset, "due": self.sim.now + delay}
+
+        def fire(record=record):
+            self._delayed_releases.remove(record)
+            self.store.write_word(record["offset"], SEM_FREE)
+
+        record["fn"] = fire
+        self._delayed_releases.append(record)
+        self.sim.schedule_after(delay, fire)
+
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update({
+            "acquisitions": self.acquisitions,
+            "failed_polls": self.failed_polls,
+            "releases_dropped": self.releases_dropped,
+            "releases_delayed": self.releases_delayed,
+            # in-flight delayed releases are captured as claimed pending
+            # entries (claim_entry/rearm), not here — storing them twice
+            # would double-release on restore
+        })
+        return state
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        super().load_state(state)
+        self.acquisitions = state_get(state, "acquisitions", self.name)
+        self.failed_polls = state_get(state, "failed_polls", self.name)
+        self.releases_dropped = state_get(state, "releases_dropped",
+                                          self.name)
+        self.releases_delayed = state_get(state, "releases_delayed",
+                                          self.name)
+        self._delayed_releases = []
+
+    def claim_entry(self, entry):
+        if entry.fn is None:
+            return None
+        for record in self._delayed_releases:
+            if record["fn"] is entry.fn:
+                return {"kind": "release", "offset": record["offset"],
+                        "at": record["due"]}
+        return None
+
+    def rearm(self, sim, slot: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        if state_get(slot, "kind", self.name) != "release":
+            raise SnapshotError(
+                f"{self.name}: unknown pending-entry kind "
+                f"{slot.get('kind')!r}")
+        offset = state_get(slot, "offset", self.name)
+        at = state_get(slot, "at", self.name)
+        if not isinstance(at, int) or at <= sim.now:
+            raise SnapshotError(
+                f"{self.name}: delayed release due at cycle {at!r} is not "
+                f"after the snapshot cycle {sim.now}")
+        self._schedule_release(offset, at - sim.now)
 
     def semaphore_addr(self, index: int) -> int:
         """Global address of semaphore ``index``."""

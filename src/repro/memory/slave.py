@@ -105,6 +105,47 @@ class MemorySlave(Component):
         self.writes += request.burst_len
         return Response(request)
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        """Memory contents (sparse) + access counters.
+
+        Subclasses with extra architectural state extend the dict via
+        ``super().state_dict()``.  JSON keys must be strings, so offsets
+        are serialised as decimal strings.
+        """
+        store = self.store
+        return {
+            "words": {str(offset): store.read_word(offset)
+                      for offset in store.written_offsets},
+            "reads": self.reads,
+            "writes": self.writes,
+            "error_responses_sent": self.error_responses_sent,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.artifacts.errors import SnapshotError
+        from repro.kernel.snapshot import state_get
+        words = state_get(state, "words", self.name)
+        if not isinstance(words, dict):
+            raise SnapshotError(
+                f"snapshot for {self.name}: 'words' must be an object")
+        store = WordStore(self.size_bytes)
+        try:
+            for key, value in words.items():
+                store.write_word(int(key), value)
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(
+                f"snapshot for {self.name}: bad memory word entry "
+                f"({error})") from None
+        # replace wholesale: device resets applied in __init__ (e.g. the
+        # semaphore free words) are part of the captured written set
+        self.store = store
+        self.reads = state_get(state, "reads", self.name)
+        self.writes = state_get(state, "writes", self.name)
+        self.error_responses_sent = state_get(
+            state, "error_responses_sent", self.name)
+
     # --------------------------------------------------------- debug/load
 
     def load(self, addr: int, words) -> None:

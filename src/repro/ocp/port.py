@@ -141,6 +141,22 @@ class OCPSlavePort(Component):
     def busy(self) -> bool:
         return self._busy
 
+    # ----------------------------------------------------------- checkpoint
+
+    def state_dict(self) -> dict:
+        return {"accesses_served": self.accesses_served}
+
+    def load_state(self, state: dict) -> None:
+        from repro.kernel.snapshot import state_get
+        self.accesses_served = state_get(state, "accesses_served",
+                                         self.name)
+        self._busy = False
+
+    def checkpoint_blockers(self):
+        return ["access in service"] if self._busy else []
+
+    # --------------------------------------------------------------- serve
+
     def access(self, request: Request):
         """Serve one request (generator); serialises concurrent accesses."""
         while self._busy:

@@ -53,6 +53,7 @@ class MparmPlatform:
         self.config = config
         self.sim = Simulator(backend=config.backend)
         self.address_map = AddressMap()
+        self.slave_ports: Dict[str, OCPSlavePort] = {}
         self.private_mems: List[MemorySlave] = []
         for core_id in range(config.n_masters):
             mem = MemorySlave(self.sim, f"priv{core_id}",
@@ -92,6 +93,7 @@ class MparmPlatform:
     def _map(self, slave: MemorySlave) -> None:
         port = OCPSlavePort(self.sim, f"{slave.name}.port", slave)
         self.address_map.add(slave.base, slave.size_bytes, port, slave.name)
+        self.slave_ports[slave.name] = port
 
     # ------------------------------------------------------------- masters
 
@@ -178,6 +180,65 @@ class MparmPlatform:
                     f"masters: {names}; blocked processes: "
                     f"{self.sim.blocked_report()}")
         return end
+
+    # ---------------------------------------------------------- checkpoint
+
+    def checkpoint_components(self) -> Dict[str, object]:
+        """Ordered registry of every stateful component, by stable name.
+
+        The order (masters, slaves, ports, fabric, injector) is the
+        serialisation order; names are stable across rebuilds of the same
+        configuration, which is what lets a snapshot taken here apply to
+        a freshly-built platform.  Raises if any master is not
+        checkpoint-aware (armlet cores hold live caches and pipeline
+        state this machinery does not capture — checkpointing is a TG
+        feature, like the paper's fast simulation itself).
+        """
+        from repro.artifacts.errors import SnapshotError
+        components: Dict[str, object] = {}
+        for master_id, master in enumerate(self.masters):
+            if not hasattr(master, "state_dict") \
+                    or not hasattr(master, "load_state"):
+                raise SnapshotError(
+                    f"master {getattr(master, 'name', master_id)!r} is "
+                    f"not checkpointable",
+                    hint="checkpoint/restore supports TG platforms; "
+                         "replace cores with traffic generators")
+            components[f"master{master_id}"] = master
+        for slave in (*self.private_mems, self.shared_mem,
+                      self.semaphores, self.barriers):
+            components[f"slave:{slave.name}"] = slave
+        for name in sorted(self.slave_ports):
+            components[f"port:{name}"] = self.slave_ports[name]
+        components["fabric"] = self.fabric
+        if self.fault_injector is not None:
+            components["injector"] = self.fault_injector
+        return components
+
+    def snapshot(self, platform_recipe: Optional[dict] = None,
+                 scan_limit: Optional[int] = None) -> dict:
+        """Capture a snapshot at the first quiescent cycle >= now.
+
+        May advance simulation time (see
+        :func:`repro.kernel.snapshot.advance_to_quiescence`).
+        ``platform_recipe`` is stored verbatim for self-contained
+        restores (see :mod:`repro.harness.checkpoint`).
+        """
+        from repro.kernel.snapshot import DEFAULT_SCAN_LIMIT, capture
+        return capture(
+            self.sim, self.checkpoint_components(),
+            platform_recipe if platform_recipe is not None else {},
+            scan_limit if scan_limit is not None else DEFAULT_SCAN_LIMIT)
+
+    def apply_snapshot(self, payload: dict,
+                       fresh: Optional[List[str]] = None) -> None:
+        """Restore a snapshot onto this freshly-built, un-started
+        platform.  ``fresh`` names components that keep their built state
+        (fault-campaign branching passes ``["injector"]``)."""
+        from repro.kernel.snapshot import restore
+        restore(self.sim, self.checkpoint_components(), payload,
+                fresh=fresh)
+        self._started = True
 
     # ------------------------------------------------------------- results
 

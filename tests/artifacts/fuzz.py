@@ -34,7 +34,7 @@ from repro.artifacts import ArtifactError, load_artifact_bytes, reserialize
 
 DEFAULT_SEED = 20260805
 DEFAULT_MUTANTS = 300
-KINDS = ("trc", "tgp", "bin")
+KINDS = ("trc", "tgp", "bin", "snap")
 
 
 # -------------------------------------------------------------- baselines
@@ -62,12 +62,30 @@ def _baseline_trc_text() -> str:
     return "\n".join(lines) + "\n"
 
 
+def _baseline_snap() -> bytes:
+    """A real mid-run checkpoint of a tiny all-TG platform."""
+    from repro.apps.synthetic import TrafficSpec, generate
+    from repro.artifacts.snap import dump_snap
+    from repro.harness import build_tg_platform, platform_recipe
+
+    spec = TrafficSpec.from_dict({"n_cores": 2, "transactions": 8,
+                                  "pattern": "uniform", "load": 0.5,
+                                  "seed": 7})
+    programs, _ = generate(spec)
+    platform = build_tg_platform(programs, 2, "ahb")
+    platform.run(until=40)
+    payload = platform.snapshot(platform_recipe(programs, 2, "ahb"))
+    return dump_snap(payload).encode("utf-8")
+
+
 def make_baseline(kind: str) -> bytes:
     """A small but representative well-formed artifact of ``kind``."""
     from repro.artifacts import dump_bin, dump_tgp, dump_trc
     from repro.trace import Translator, TranslatorOptions
     from repro.trace.trc_format import parse_trc
 
+    if kind == "snap":
+        return _baseline_snap()
     master_id, events = parse_trc(_baseline_trc_text())
     if kind == "trc":
         return dump_trc(events, master_id=master_id).encode("utf-8")

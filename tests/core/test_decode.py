@@ -7,8 +7,10 @@ be *identical* (same columns, same bound condition callables) because
 the fast interpreter's behaviour may never depend on which one ran.
 """
 
+import pytest
 from hypothesis import given, strategies as st
 
+import repro.core.decode
 from repro.core.decode import (
     COND_FUNCS,
     decode_program,
@@ -17,6 +19,11 @@ from repro.core.decode import (
 )
 from repro.core.isa import Cond, TGInstruction, TGOp
 from repro.core.program import TGProgram
+
+needs_numpy = pytest.mark.skipif(
+    repro.core.decode._np is None,
+    reason="parity needs the numpy lowering (no-numpy CI leg runs "
+           "the scalar path everywhere else)")
 
 
 def full_coverage_program() -> TGProgram:
@@ -38,6 +45,7 @@ def full_coverage_program() -> TGProgram:
 
 
 class TestLoweringParity:
+    @needs_numpy
     def test_numpy_and_python_lowerings_agree(self):
         program = full_coverage_program()
         assert _lower_numpy(program) == _lower_python(program)
@@ -73,6 +81,7 @@ class TestLoweringParity:
                       imm=st.just(0)),
         ),
         max_size=40))
+    @needs_numpy
     def test_lowerings_agree_on_random_programs(self, body):
         program = TGProgram(instructions=body
                             + [TGInstruction(TGOp.HALT)])

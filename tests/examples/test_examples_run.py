@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "noc_debugging",
     "fault_injection",
     "saturation_curve",
+    "fault_campaign",
 ]
 
 

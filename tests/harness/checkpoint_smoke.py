@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Scripted crash-then-restore smoke test for the checkpoint CI job.
+
+Exercises the crash-durability story end to end, outside pytest, the
+way an operator would hit it:
+
+1. run a checkpointed experiment to completion — its ``tg_summary`` is
+   the reference end state;
+2. start the same run again, SIGKILL the process as soon as a
+   checkpoint lands on disk — a hard crash, no cleanup;
+3. the checkpoint directory must hold only verified ``.snap``
+   artifacts (no torn temp files);
+4. ``--restore`` the newest snapshot — the continued run's
+   ``tg_summary`` must be byte-identical (canonical JSON) to the
+   uninterrupted run's.
+
+Usage: PYTHONPATH=src python tests/harness/checkpoint_smoke.py WORKDIR
+Snapshots are left in WORKDIR for CI to upload on failure.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+DRIVER = """\
+import sys
+from repro.cli import experiment_main
+sys.exit(experiment_main(sys.argv[1:]))
+"""
+
+# classic backend: every field of tg_summary, kernel counters included,
+# is bit-identical between a restored and an uninterrupted run
+RUN_ARGS = ["mp_matrix", "--cores", "2", "--interconnect", "ahb",
+            "--backend", "classic", "--checkpoint-every", "400",
+            "--json"]
+
+
+def say(message):
+    print(f"[smoke] {message}", flush=True)
+
+
+def fail(message):
+    say(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def canonical(summary):
+    return json.dumps(summary, sort_keys=True, separators=(",", ":"))
+
+
+def snapshots(directory):
+    if not directory.exists():
+        return []
+    return sorted(directory.glob("*.snap"))
+
+
+def main():
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else "ckpt-work")
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+
+    say("reference: checkpointed run to completion")
+    reference_dir = workdir / "reference"
+    reference = subprocess.run(
+        [sys.executable, "-c", DRIVER, *RUN_ARGS,
+         "--checkpoint-dir", str(reference_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, timeout=600)
+    if reference.returncode != 0:
+        sys.stderr.write(reference.stderr)
+        fail(f"reference run exited {reference.returncode}")
+    expected = canonical(json.loads(reference.stdout)["tg_summary"])
+    if not snapshots(reference_dir):
+        fail("reference run wrote no checkpoints")
+    say(f"reference wrote {len(snapshots(reference_dir))} snapshot(s)")
+
+    say("crash run: SIGKILL as soon as a checkpoint lands")
+    crash_dir = workdir / "crash"
+    victim = subprocess.Popen(
+        [sys.executable, "-c", DRIVER, *RUN_ARGS,
+         "--checkpoint-dir", str(crash_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if snapshots(crash_dir):
+                break
+            if victim.poll() is not None:
+                # completed before we could kill it: the checkpoints
+                # are still valid crash-restore material
+                break
+            time.sleep(0.02)
+        else:
+            fail("no checkpoint appeared within 120s")
+        if victim.poll() is None:
+            os.kill(victim.pid, signal.SIGKILL)
+            say(f"SIGKILLed pid {victim.pid}")
+        else:
+            say("run finished before the kill landed; restoring anyway")
+    finally:
+        victim.communicate()
+        if victim.poll() is None:
+            victim.kill()
+
+    survivors = snapshots(crash_dir)
+    if not survivors:
+        fail("crash left no snapshot behind")
+    torn = [p for p in crash_dir.iterdir() if p.suffix != ".snap"]
+    if torn:
+        fail(f"crash left non-snapshot debris: {torn}")
+    newest = survivors[-1]
+    say(f"restoring newest snapshot {newest.name}")
+
+    restored = subprocess.run(
+        [sys.executable, "-c", DRIVER, "--restore", str(newest)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env, timeout=600)
+    if restored.returncode != 0:
+        sys.stderr.write(restored.stderr)
+        fail(f"--restore exited {restored.returncode}")
+    out = json.loads(restored.stdout)
+    if out["restore_cycle"] < 1:
+        fail(f"implausible restore cycle {out['restore_cycle']}")
+    got = canonical(out["tg_summary"])
+    if got != expected:
+        say(f"expected: {expected}")
+        say(f"got:      {got}")
+        fail("restored end state differs from the uninterrupted run")
+    say(f"restored from cycle {out['restore_cycle']}: tg_summary is "
+        f"byte-identical to the uninterrupted run")
+    say("PASS")
+
+
+if __name__ == "__main__":
+    main()

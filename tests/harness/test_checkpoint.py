@@ -1,0 +1,264 @@
+"""Checkpoint harness tests: manager, recipes, auto-checkpointed runs,
+restore and fault-campaign branching (fast, synthetic workloads)."""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.synthetic import TrafficSpec, generate
+from repro.artifacts.errors import EXIT_SNAPSHOT, SnapshotError
+from repro.artifacts.snap import load_snap
+from repro.faults import RetryPolicy
+from repro.harness import (
+    CheckpointManager,
+    branch,
+    build_tg_platform,
+    checkpointed_run,
+    comparable_summary,
+    load_snapshot,
+    platform_recipe,
+    rebuild_platform,
+    restore_platform,
+)
+
+SPEC = TrafficSpec.from_dict({"n_cores": 2, "transactions": 30,
+                              "pattern": "uniform", "load": 0.4,
+                              "seed": 11})
+FAULTS = {"slave_errors": [{"slave": "shared", "probability": 0.2}]}
+RETRY = RetryPolicy(max_attempts=4, backoff=2, backoff_factor=2,
+                    on_exhaust="degrade")
+
+
+def _programs():
+    programs, _ = generate(SPEC)
+    return programs
+
+
+def _recipe(overrides=None, retry_policy=None):
+    return platform_recipe(_programs(), 2, "ahb", overrides,
+                           retry_policy=retry_policy)
+
+
+def _platform(overrides=None, retry_policy=None):
+    return build_tg_platform(_programs(), 2, "ahb", overrides,
+                             retry_policy=retry_policy)
+
+
+class TestCheckpointManager:
+
+    def test_atomic_save_and_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        assert manager.latest() is None
+        platform = _platform()
+        platform.run(until=100)
+        path = manager.save(platform.snapshot(_recipe()))
+        assert os.path.exists(path)
+        assert manager.latest() == path
+        assert not any(name.endswith(".tmp")
+                       for name in os.listdir(tmp_path))
+        # the artifact is a verified .snap
+        assert load_snap(path).value["cycle"] == platform.sim.now
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        platform = _platform()
+        paths = []
+        for until in (50, 120, 190):
+            platform.run(until=until)
+            paths.append(manager.save(platform.snapshot(_recipe())))
+        names = sorted(os.listdir(tmp_path))
+        assert len(names) == 2
+        assert os.path.basename(paths[0]) not in names
+        assert manager.latest() == paths[-1]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_lexicographic_equals_cycle_order(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        platform = _platform()
+        platform.run(until=80)
+        first = manager.save(platform.snapshot(_recipe()))
+        platform.run(until=200)
+        second = manager.save(platform.snapshot(_recipe()))
+        assert sorted([first, second]) == [first, second]
+
+
+class TestCheckpointedRun:
+
+    @pytest.mark.parametrize("backend", ["classic", "fast"])
+    def test_matches_uninterrupted_run(self, tmp_path, backend):
+        overrides = {"backend": backend}
+        base = _platform(overrides)
+        base.run()
+        manager = CheckpointManager(tmp_path, keep=2)
+        platform = _platform(overrides)
+        checkpointed_run(platform, _recipe(overrides), manager,
+                         every=100)
+        assert comparable_summary(platform.stats_summary()) \
+            == comparable_summary(base.stats_summary())
+        if backend == "classic":
+            assert platform.stats_summary() == base.stats_summary()
+        assert manager.latest() is not None
+
+    def test_cadence_validated(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(SnapshotError):
+            checkpointed_run(_platform(), _recipe(), manager, every=0)
+
+
+class TestRestorePlatform:
+
+    @pytest.mark.parametrize("backend", ["classic", "fast"])
+    def test_bit_identical_continuation(self, tmp_path, backend):
+        overrides = {"backend": backend}
+        base = _platform(overrides)
+        base.run()
+
+        platform = _platform(overrides)
+        platform.run(until=150)
+        payload = platform.snapshot(_recipe(overrides))
+
+        restored = restore_platform(payload)
+        assert restored.sim.now == payload["cycle"]
+        assert restored.sim.events_fired \
+            == payload["kernel"]["events_fired"]
+        restored.run()
+        assert comparable_summary(restored.stats_summary()) \
+            == comparable_summary(base.stats_summary())
+
+    def test_cross_backend_continuation(self):
+        platform = _platform({"backend": "classic"})
+        platform.run(until=150)
+        payload = platform.snapshot(_recipe({"backend": "classic"}))
+        restored = restore_platform(payload, backend="fast")
+        assert restored.sim.backend == "fast"
+        restored.run()
+        base = _platform({"backend": "classic"})
+        base.run()
+        assert comparable_summary(restored.stats_summary()) \
+            == comparable_summary(base.stats_summary())
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        platform = _platform()
+        platform.run(until=150)
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(platform.snapshot(_recipe()))
+        payload = load_snapshot(path)
+        restored = restore_platform(payload)
+        restored.run()
+        assert restored.all_finished
+
+    def test_missing_recipe_is_typed(self):
+        platform = _platform()
+        platform.run(until=100)
+        payload = platform.snapshot()            # no recipe embedded
+        with pytest.raises(SnapshotError) as excinfo:
+            restore_platform(payload)
+        assert "no embedded platform recipe" in str(excinfo.value)
+        assert excinfo.value.exit_code == EXIT_SNAPSHOT
+
+    def test_unparsable_program_is_typed(self):
+        platform = _platform()
+        platform.run(until=100)
+        payload = platform.snapshot(_recipe())
+        payload["platform"]["programs"]["0"] = "NOT A PROGRAM @@@"
+        with pytest.raises(SnapshotError):
+            rebuild_platform(payload["platform"])
+
+    def test_faulted_run_restores_with_matching_spec(self):
+        overrides = {"fault_spec": FAULTS, "fault_seed": 5}
+        base = _platform(overrides, retry_policy=RETRY)
+        base.run()
+        base_res = base.resilience_counters().as_dict()
+
+        platform = _platform(overrides, retry_policy=RETRY)
+        platform.run(until=150)
+        payload = platform.snapshot(
+            _recipe(overrides, retry_policy=RETRY))
+        restored = restore_platform(payload)
+        restored.run()
+        assert restored.resilience_counters().as_dict() == base_res
+        assert comparable_summary(restored.stats_summary()) \
+            == comparable_summary(base.stats_summary())
+
+    def test_spec_mismatched_injector_state_is_typed(self):
+        overrides = {"fault_spec": FAULTS, "fault_seed": 5}
+        platform = _platform(overrides, retry_policy=RETRY)
+        platform.run(until=150)
+        payload = platform.snapshot(
+            _recipe(overrides, retry_policy=RETRY))
+        # forge: recipe claims two slave-error rules, state has one tally
+        other = {"slave_errors": [{"slave": "shared", "nth": 3},
+                                  {"slave": "priv0", "nth": 5}]}
+        payload["platform"]["config_overrides"]["fault_spec"] = other
+        with pytest.raises(SnapshotError) as excinfo:
+            restore_platform(payload)
+        assert "fault spec" in str(excinfo.value)
+
+
+class TestBranch:
+
+    def _warmup_payload(self):
+        platform = _platform(retry_policy=RETRY)
+        platform.run(until=150)
+        return platform.snapshot(_recipe(retry_policy=RETRY)), platform
+
+    def test_branch_arms_fresh_injector(self):
+        payload, warm = self._warmup_payload()
+        scenario = branch(payload, fault_spec=FAULTS, fault_seed=9)
+        assert scenario.fault_injector is not None
+        assert scenario.fault_injector.seed == 9
+        # warm-up events were not re-simulated
+        assert scenario.sim.events_fired == warm.sim.events_fired
+        scenario.run()
+        assert scenario.all_finished
+
+    def test_branches_differ_only_by_seed(self):
+        payload, _ = self._warmup_payload()
+        prob_faults = {"slave_errors": [
+            {"slave": "shared", "probability": 0.3}]}
+        runs = {}
+        for seed in (1, 2):
+            scenario = branch(payload, fault_spec=prob_faults,
+                              fault_seed=seed)
+            scenario.run()
+            runs[seed] = scenario.resilience_counters().as_dict()
+        # deterministic per seed: branching twice reproduces exactly
+        again = branch(payload, fault_spec=prob_faults, fault_seed=1)
+        again.run()
+        assert again.resilience_counters().as_dict() == runs[1]
+
+    def test_plain_branch_continues_healthy_run(self):
+        payload, _ = self._warmup_payload()
+        base = _platform(retry_policy=RETRY)
+        base.run()
+        control = branch(payload)
+        control.run()
+        assert control.stats_summary() == base.stats_summary()
+
+    def test_fault_seed_without_spec_is_typed(self):
+        payload, _ = self._warmup_payload()
+        with pytest.raises(SnapshotError):
+            branch(payload, fault_seed=3)
+
+    def test_branch_onto_other_backend(self):
+        payload, _ = self._warmup_payload()
+        scenario = branch(payload, fault_spec=FAULTS, fault_seed=2,
+                          backend="fast")
+        assert scenario.sim.backend == "fast"
+        scenario.run()
+        assert scenario.all_finished
+
+
+class TestSnapPayloadCanonical:
+
+    def test_dump_is_deterministic(self, tmp_path):
+        platform = _platform()
+        platform.run(until=100)
+        payload = platform.snapshot(_recipe())
+        from repro.artifacts.snap import dump_snap
+        assert dump_snap(payload) == dump_snap(
+            json.loads(json.dumps(payload)))

@@ -1,0 +1,124 @@
+"""Spec-fingerprint skew audit (checkpointing hardened this contract).
+
+Every field that changes a simulation's outcome or its stored summary
+must perturb both the sweep journal's spec fingerprint and the result
+cache key; otherwise ``--resume`` or a cache hit can serve rows
+computed under different conditions.  ``backend`` is the newest such
+field: results are bit-identical across engines, but wall-clock
+columns and kernel counters are not, so a classic-backend journal must
+refuse a ``--backend fast`` resume."""
+
+import json
+
+import pytest
+
+from repro.cli import sweep_main
+from repro.harness import SweepJournal, SweepSpec, point_cache_key
+from repro.harness.cache import repro_version
+from repro.harness.journal import _spec_fingerprint
+
+BASE_SPEC = {"benchmark": "cacheloop", "cores": [1],
+             "interconnects": ["ahb"], "app_params": {"iters": 10}}
+
+
+def _spec(backend=None):
+    data = dict(BASE_SPEC)
+    if backend is not None:
+        data["backend"] = backend
+    return SweepSpec.from_dict(data)
+
+
+class TestFingerprintSkew:
+
+    def test_backend_perturbs_spec_fingerprint(self):
+        classic = _spec_fingerprint(_spec().to_dict())
+        fast = _spec_fingerprint(_spec("fast").to_dict())
+        assert classic != fast
+
+    def test_explicit_classic_matches_default(self):
+        # "classic" is the default: spelling it out must not skew the
+        # fingerprint, or old journals would refuse their own spec
+        assert _spec_fingerprint(_spec().to_dict()) \
+            == _spec_fingerprint(_spec("classic").to_dict())
+
+    def test_backend_perturbs_point_cache_key(self):
+        kwargs = dict(benchmark="cacheloop", n_cores=2,
+                      interconnect="ahb", mode="reactive",
+                      version="1.0")
+        assert point_cache_key(**kwargs, backend="fast") \
+            != point_cache_key(**kwargs)
+        assert point_cache_key(**kwargs, backend="classic") \
+            == point_cache_key(**kwargs)
+
+    def test_fault_fields_still_perturb_cache_key(self):
+        kwargs = dict(benchmark="cacheloop", n_cores=2,
+                      interconnect="ahb", mode="reactive",
+                      version="1.0")
+        plain = point_cache_key(**kwargs)
+        faulted = point_cache_key(
+            **kwargs,
+            fault_spec={"slave_errors": [{"slave": "shared", "nth": 3}]})
+        seeded = point_cache_key(**kwargs, fault_seed=7)
+        assert len({plain, faulted, seeded}) == 3
+
+
+class TestResumeRefusesBackendSkew:
+
+    def _journal(self, tmp_path, backend=None):
+        spec = _spec(backend)
+        journal = SweepJournal.create(tmp_path, spec.to_dict(),
+                                      spec.points, repro_version())
+        journal.close()
+        return spec
+
+    def test_resume_with_other_backend_exits_parse(self, tmp_path,
+                                                   capsys):
+        self._journal(tmp_path)                       # classic journal
+        code = sweep_main(["--resume", str(tmp_path), "--no-cache",
+                           "-j", "1", "--backend", "fast"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "refusing --backend" in err
+        assert "backend 'classic'" in err
+
+    def test_resume_fast_journal_with_classic_flag_refused(
+            self, tmp_path, capsys):
+        self._journal(tmp_path, backend="fast")
+        code = sweep_main(["--resume", str(tmp_path), "--no-cache",
+                           "-j", "1", "--backend", "classic"])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "refusing --backend" in err
+
+    def test_resume_with_matching_backend_proceeds(self, tmp_path,
+                                                   capsys):
+        self._journal(tmp_path, backend="fast")
+        code = sweep_main(["--resume", str(tmp_path), "--no-cache",
+                           "-j", "1", "--backend", "fast"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "resuming" in captured.err
+
+    def test_resume_without_flag_uses_journal_backend(self, tmp_path,
+                                                      capsys):
+        self._journal(tmp_path, backend="fast")
+        code = sweep_main(["--resume", str(tmp_path), "--no-cache",
+                           "-j", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 simulated" in captured.err
+
+    def test_mismatched_spec_file_still_refused(self, tmp_path, capsys):
+        self._journal(tmp_path)
+        other = dict(BASE_SPEC, cores=[1, 2])
+        spec_file = tmp_path / "other.json"
+        spec_file.write_text(json.dumps(other))
+        code = sweep_main([str(spec_file), "--no-cache", "-j", "1",
+                           "--resume", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "different sweep spec" in err
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
