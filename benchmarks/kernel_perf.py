@@ -21,6 +21,13 @@ same under either backend):
   queue's batched same-cycle dispatch shines here).
 * ``timeout_churn``    — processes blocking on ``timeout()`` signals that
   are notified early: the waiter-removal + event-cancel path.
+* ``snapshot_churn``   — one quiescent warm-up capture, then repeated
+  codec round-trip + cross-platform restore: the per-point cost of a
+  warm-up-shared sweep (gated separately via ``BENCH_snapshot.json``).
+
+``--workloads a,b`` restricts a run to a subset, so CI can gate the
+snapshot path against its own committed baseline without re-measuring
+the event-loop workloads.
 
 ``--backend both`` runs every workload under the classic heap engine and
 the fast calendar-queue engine, records the ``speedup`` ratio per
@@ -135,12 +142,46 @@ def wl_timeout_churn(rounds: int = 15_000, deadline: int = 500,
     return sim
 
 
+def wl_snapshot_churn(rounds: int = 40, warmup: int = 400,
+                      backend: str = "classic") -> Simulator:
+    """The warm-up-sharing hot path: restore N platforms from one snap.
+
+    Captures one quiescent warm-up snapshot of a small synthetic
+    workload, then repeatedly codec-round-trips it (the worker reads
+    the ``.snap`` from disk) and fast-forwards a fresh platform from
+    it — exactly what every point of a warm-up-shared sweep does.  The
+    last restored platform is run to completion so the backends'
+    events/cycles equality check still applies (restore overwrites the
+    kernel counters with the captured values, so the totals are
+    deterministic).
+    """
+    from repro.apps.synthetic import TrafficSpec, synthetic_programs
+    from repro.artifacts.snap import dump_snap, load_snap_bytes
+    from repro.harness.checkpoint import fast_forward, warmup_snapshot
+
+    spec = TrafficSpec.from_dict({"n_cores": 2, "pattern": "uniform",
+                                  "load": 0.4, "transactions": 30,
+                                  "seed": 11})
+    programs, _ = synthetic_programs(spec)
+    overrides = {"backend": backend}
+    payload = warmup_snapshot(programs, 2, warmup, "tlm", overrides)
+    text = dump_snap(payload).encode("utf-8")
+    platform = None
+    for _ in range(rounds):
+        restored = load_snap_bytes(text).value
+        platform = fast_forward(restored, interconnect="tlm",
+                                config_overrides=overrides)
+    platform.run()
+    return platform.sim
+
+
 #: name -> (factory, {param overrides for --quick})
 WORKLOADS = {
     "event_chain": (wl_event_chain, {"n_events": 60_000}),
     "watchdog_churn": (wl_watchdog_churn, {"transactions": 12_000}),
     "notify_storm": (wl_notify_storm, {"rounds": 4_000}),
     "timeout_churn": (wl_timeout_churn, {"rounds": 5_000}),
+    "snapshot_churn": (wl_snapshot_churn, {"rounds": 12}),
 }
 
 
@@ -152,9 +193,10 @@ def _kernel_counters(sim: Simulator) -> dict:
 
 
 def run_profile(quick: bool = False, repeats: int = 3,
-                backends=("classic",)) -> dict:
+                backends=("classic",), workloads=None) -> dict:
     results = {}
-    for name, (factory, quick_params) in WORKLOADS.items():
+    selected = {name: WORKLOADS[name] for name in (workloads or WORKLOADS)}
+    for name, (factory, quick_params) in selected.items():
         kwargs = quick_params if quick else {}
         per_backend = {}
         for backend in backends:
@@ -264,12 +306,25 @@ def main(argv=None) -> int:
                         help="fail unless the fast backend is at least "
                              "X times the classic one on "
                              + " and ".join(GATED_WORKLOADS))
+    parser.add_argument("--workloads", metavar="LIST", default=None,
+                        help="comma-separated subset of workloads to run "
+                             "(default: all of "
+                             + ",".join(WORKLOADS) + ")")
     args = parser.parse_args(argv)
+
+    workloads = None
+    if args.workloads is not None:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+        unknown = sorted(set(workloads) - set(WORKLOADS))
+        if unknown:
+            parser.error(f"unknown workload(s) {', '.join(unknown)}; "
+                         f"choose from {', '.join(WORKLOADS)}")
 
     backends = ("classic", "fast") if args.backend == "both" \
         else (args.backend,)
     profile = run_profile(quick=args.quick, repeats=args.repeats,
-                          backends=backends)
+                          backends=backends, workloads=workloads)
     width = max(len(name) for name in profile["workloads"])
     for name, row in profile["workloads"].items():
         for backend, stats in row["backends"].items():

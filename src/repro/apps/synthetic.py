@@ -68,6 +68,7 @@ __all__ = [
     "load_cdf",
     "parse_cdf",
     "synthetic_flow",
+    "synthetic_programs",
     "SyntheticResult",
 ]
 
@@ -592,6 +593,25 @@ def generate_programs(spec: TrafficSpec) -> Dict[int, TGProgram]:
     return generate(spec)[0]
 
 
+def synthetic_programs(spec: TrafficSpec
+                       ) -> Tuple[Dict[int, TGProgram], List[Dict]]:
+    """Generate the programs exactly as the simulation flow runs them.
+
+    Generation plus the ``.bin`` assemble/disassemble round-trip — the
+    TG executes the binary image, and the ``.tgp`` text of the
+    round-tripped program is what snapshot recipes embed.  The sweep
+    driver and its workers both build programs through this helper, so
+    a warm-up snapshot taken by the driver byte-matches the recipe a
+    worker derives independently (see
+    :func:`repro.harness.checkpoint.ensure_recipe_compatible`).
+    """
+    from repro.core.assembler import assemble_binary, disassemble_binary
+    programs, report = generate(spec)
+    programs = {core: disassemble_binary(assemble_binary(program))
+                for core, program in programs.items()}
+    return programs, report
+
+
 # ------------------------------------------------------------ execution
 
 class SyntheticResult:
@@ -627,6 +647,10 @@ class SyntheticResult:
         self.latency_avg = 0.0
         self.latency_max = 0
         self.throughput_wpkc = 0.0
+        # set on fast-forwarded runs: the quiescent cycle the warm-up
+        # snapshot was captured at, and the fabric it ran on
+        self.warmup_cycle: Optional[int] = None
+        self.warmup_fabric: Optional[str] = None
         self.generator_report: List[Dict] = []
         self.tg_platform = None
 
@@ -646,8 +670,13 @@ class SyntheticResult:
         return 0.0
 
     def summary(self) -> Dict[str, object]:
-        """Picklable scalar view (sweep workers / result cache)."""
-        return {
+        """Picklable scalar view (sweep workers / result cache).
+
+        The warm-up keys appear only on fast-forwarded runs, so
+        cold-run summaries are byte-identical to what older versions
+        produced.
+        """
+        data = {
             "benchmark": self.benchmark,
             "n_cores": self.n_cores,
             "interconnect": self.interconnect,
@@ -665,6 +694,10 @@ class SyntheticResult:
             "latency_max": self.latency_max,
             "throughput_wpkc": self.throughput_wpkc,
         }
+        if self.warmup_cycle is not None:
+            data["warmup_cycle"] = self.warmup_cycle
+            data["warmup_fabric"] = self.warmup_fabric
+        return data
 
     def __repr__(self) -> str:
         return (f"<SyntheticResult {self.pattern} {self.n_cores}P "
@@ -677,7 +710,10 @@ def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
                    backend: Optional[str] = None,
                    checkpoint_every: Optional[int] = None,
                    checkpoint_dir=None,
-                   checkpoint_keep: Optional[int] = None
+                   checkpoint_keep: Optional[int] = None,
+                   warmup_cycles: Optional[int] = None,
+                   warmup_fabric: str = "tlm",
+                   warmup_payload: Optional[Dict] = None
                    ) -> SyntheticResult:
     """Generate, assemble and simulate one synthetic workload.
 
@@ -689,39 +725,83 @@ def synthetic_flow(spec: TrafficSpec, interconnect: str = "tlm",
     ``checkpoint_every``/``checkpoint_dir``/``checkpoint_keep`` arm
     crash-durable auto-checkpointing exactly as in
     :func:`~repro.harness.experiments.tg_flow`.
+
+    ``warmup_cycles`` arms mixed-fidelity fast-forward: the workload's
+    first quiescent cycle at or after that boundary is simulated on
+    ``warmup_fabric`` (default: the cheap contention-free TLM model),
+    snapshotted, and the run continues cycle-true on ``interconnect``
+    from there — with fault injection arming at the restore point.
+    ``warmup_payload`` supplies an already-captured warm-up snapshot
+    (the warm-up-shared sweep path); it is verified against this
+    workload's recipe before restoring, so a stale or foreign snapshot
+    is a typed error, never a wrong result.  See docs/CHECKPOINT.md.
     """
-    from repro.core.assembler import assemble_binary, disassemble_binary
     from repro.harness.experiments import build_tg_platform
     import time
 
     if backend is not None:
         config_overrides = dict(config_overrides or {})
         config_overrides["backend"] = backend
+    warmup = warmup_cycles is not None or warmup_payload is not None
+    if warmup and checkpoint_every is not None:
+        raise ValueError("warm-up fast-forward and auto-checkpointing "
+                         "are mutually exclusive")
     result = SyntheticResult(spec, interconnect)
-    programs, report = generate(spec)
-    result.generator_report = report
-    programs = {core: disassemble_binary(assemble_binary(program))
-                for core, program in programs.items()}
-    platform = build_tg_platform(programs, spec.n_cores, interconnect,
-                                 config_overrides)
-    start = time.perf_counter()
-    if checkpoint_every is not None:
-        from repro.harness.checkpoint import (
-            DEFAULT_KEEP,
-            CheckpointManager,
-            checkpointed_run,
-            platform_recipe,
-        )
-        if checkpoint_dir is None:
-            raise ValueError("checkpoint_every requires checkpoint_dir")
-        recipe = platform_recipe(programs, spec.n_cores, interconnect,
-                                 config_overrides)
-        manager = CheckpointManager(
-            checkpoint_dir,
-            keep=checkpoint_keep if checkpoint_keep else DEFAULT_KEEP)
-        checkpointed_run(platform, recipe, manager, checkpoint_every)
+    if warmup_payload is not None:
+        # restore path: the platform is rebuilt from the snapshot's
+        # byte-compared recipe, so the assemble round-trip is skipped —
+        # ``.tgp`` text is canonical across it, making the generated
+        # programs' recipe byte-identical to the round-tripped one
+        programs, report = generate(spec)
     else:
+        programs, report = synthetic_programs(spec)
+    result.generator_report = report
+    if warmup:
+        from repro.harness.checkpoint import (
+            fast_forward,
+            platform_recipe,
+            warmup_snapshot,
+        )
+        expected = platform_recipe(programs, spec.n_cores, interconnect,
+                                   config_overrides)
+        payload = warmup_payload
+        if payload is None:
+            payload = warmup_snapshot(programs, spec.n_cores,
+                                      warmup_cycles, warmup_fabric,
+                                      config_overrides)
+        # the restore (but not the warm-up itself) counts into tg_wall:
+        # shared warm-ups run once in the sweep driver, so per-point
+        # wall clocks stay comparable between shared and cold execution
+        start = time.perf_counter()
+        platform = fast_forward(
+            payload, interconnect=interconnect,
+            config_overrides=config_overrides, expected_recipe=expected,
+            programs=programs if warmup_payload is not None else None)
         platform.run()
+        result.warmup_cycle = payload["cycle"]
+        result.warmup_fabric = payload["platform"]["interconnect"]
+    else:
+        platform = build_tg_platform(programs, spec.n_cores, interconnect,
+                                     config_overrides)
+        start = time.perf_counter()
+        if checkpoint_every is not None:
+            from repro.harness.checkpoint import (
+                DEFAULT_KEEP,
+                CheckpointManager,
+                checkpointed_run,
+                platform_recipe,
+            )
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires "
+                                 "checkpoint_dir")
+            recipe = platform_recipe(programs, spec.n_cores, interconnect,
+                                     config_overrides)
+            manager = CheckpointManager(
+                checkpoint_dir,
+                keep=checkpoint_keep if checkpoint_keep else DEFAULT_KEEP)
+            checkpointed_run(platform, recipe, manager, checkpoint_every)
+        else:
+            platform.run()
     result.tg_wall = time.perf_counter() - start
     result.tg_platform = platform
     result.tg_events = platform.sim.events_fired

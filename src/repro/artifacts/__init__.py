@@ -34,6 +34,7 @@ from repro.artifacts.errors import (
     DiagnosticReport,
     ParseDiagnostic,
     SnapshotError,
+    SnapshotRecipeMismatch,
     TruncatedArtifact,
     VersionMismatch,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "EXIT_VERSION",
     "ParseDiagnostic",
     "SnapshotError",
+    "SnapshotRecipeMismatch",
     "TruncatedArtifact",
     "VersionMismatch",
     "add_text_header",

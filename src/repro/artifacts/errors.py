@@ -141,6 +141,32 @@ class SnapshotError(ArtifactError):
     exit_code = EXIT_SNAPSHOT
 
 
+class SnapshotRecipeMismatch(SnapshotError):
+    """A snapshot's embedded platform recipe does not match the target.
+
+    Raised by cross-fabric fast-forward when the workload identity
+    differs between the snapshot and the platform it is being restored
+    onto — different core count, different TG programs, a different
+    address map or resilience configuration.  The fabric itself is
+    *allowed* to differ (that is the point of mixed-fidelity restore);
+    everything that defines the architectural state is not.
+
+    Attributes:
+        mismatches: One human-readable line per differing recipe field.
+    """
+
+    def __init__(self, message: str, path=None,
+                 hint: Optional[str] = None,
+                 mismatches: Optional[List[str]] = None):
+        super().__init__(message, path=path, hint=hint)
+        self.mismatches = list(mismatches or [])
+
+    def as_dict(self) -> dict:
+        data = super().as_dict()
+        data["mismatches"] = self.mismatches
+        return data
+
+
 class DiagnosticReport:
     """Everything a permissive load skipped, machine-readable.
 

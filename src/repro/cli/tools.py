@@ -280,12 +280,34 @@ def trace_stats_main(argv: Optional[List[str]] = None) -> int:
 
 # ----------------------------------------------------------------- sweep
 
+def _point_provenance(result) -> str:
+    """How this row's numbers were obtained, for diagnostics.
+
+    ``journal`` (terminal record replayed from a resumed journal),
+    ``cache`` (content-addressed result-cache hit), ``warmup-restored``
+    (simulated this run, fast-forwarded from a warm-up snapshot) or
+    ``simulated`` (cold simulation this run).
+    """
+    if getattr(result, "journaled", False):
+        return "journal"
+    if getattr(result, "cached", False):
+        return "cache"
+    if getattr(result, "warm_restored", False):
+        return "warmup-restored"
+    return "simulated"
+
+
 def _sweep_diagnostics(results, interrupted: bool, journal_dir,
-                       exit_code: int) -> dict:
+                       exit_code: int, warmup=None) -> dict:
     """Machine-readable sweep report (per-point failure taxonomy)."""
     points = []
+    provenance = {"simulated": 0, "cache": 0, "journal": 0,
+                  "warmup-restored": 0}
     for result in results:
         failure = getattr(result, "failure", None)
+        source = _point_provenance(result)
+        if result.status == "ok":
+            provenance[source] += 1
         points.append({
             "benchmark": result.benchmark,
             "n_cores": result.n_cores,
@@ -297,12 +319,16 @@ def _sweep_diagnostics(results, interrupted: bool, journal_dir,
             "quarantined": getattr(result, "quarantined", False),
             "cached": getattr(result, "cached", False),
             "journaled": getattr(result, "journaled", False),
+            "warm_restored": getattr(result, "warm_restored", False),
+            "provenance": source,
         })
     return {"tool": "repro-sweep",
             "ok": exit_code == 0,
             "interrupted": interrupted,
             "journal": journal_dir,
             "exit_code": exit_code,
+            "provenance": provenance,
+            "warmup": warmup,
             "points": points}
 
 
@@ -335,7 +361,8 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                              "entries and exit (no sweep is run)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         metavar="N",
-                        help="worker processes (default: all CPUs; "
+                        help="worker processes (default: the spec's "
+                             "'jobs' key, else all CPUs; 0 = all CPUs; "
                              "1 = in-process)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always simulate; neither read nor write "
@@ -381,6 +408,23 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
                              "point, overriding the spec's 'backend' key "
                              "(bit-identical results; part of the cache "
                              "key when not 'classic')")
+    parser.add_argument("--warmup-cycles", type=int, default=None,
+                        metavar="N",
+                        help="fast-forward every grid point through an "
+                             "N-cycle warm-up captured once per "
+                             "equivalence class on the warm-up fabric, "
+                             "overriding the spec's 'warmup_cycles' key "
+                             "(see docs/CHECKPOINT.md)")
+    parser.add_argument("--warmup-fabric", default=None,
+                        choices=["ahb", "stbus", "tlm", "xpipes"],
+                        help="fabric the shared warm-up prefix is "
+                             "simulated on (default: the spec's "
+                             "'warmup_fabric' key, else tlm)")
+    parser.add_argument("--no-warmup-share", action="store_true",
+                        help="re-run the warm-up inside every worker "
+                             "instead of sharing one snapshot per "
+                             "equivalence class (identical results, "
+                             "no speedup)")
     parser.add_argument("--diagnostics-json", metavar="FILE",
                         help="write a machine-readable sweep report with "
                              "the per-point failure taxonomy ('-' for "
@@ -416,21 +460,37 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     if not args.spec and not args.resume:
         parser.error("spec is required unless --cache-verify or "
                      "--resume DIR is given")
+    if args.resume and (args.warmup_cycles is not None
+                        or args.warmup_fabric is not None):
+        # the journal pins the spec (and with it every cache key); a
+        # different warm-up would mix incompatible rows into one sweep
+        parser.error("--warmup-cycles/--warmup-fabric cannot be changed "
+                     "on --resume")
 
-    def _apply_backend(spec):
-        """Fold the --backend override into a freshly-parsed spec."""
-        if args.backend is None or spec is None \
-                or spec.backend == args.backend:
+    def _apply_overrides(spec):
+        """Fold --backend/--warmup-* overrides into a parsed spec."""
+        if spec is None:
             return spec
         data = spec.to_dict()
-        data["backend"] = args.backend
-        return SweepSpec.from_dict(data)
+        changed = False
+        if args.backend is not None and spec.backend != args.backend:
+            data["backend"] = args.backend
+            changed = True
+        if args.warmup_cycles is not None \
+                and spec.warmup_cycles != args.warmup_cycles:
+            data["warmup_cycles"] = args.warmup_cycles
+            changed = True
+        if args.warmup_fabric is not None \
+                and spec.warmup_fabric != args.warmup_fabric:
+            data["warmup_fabric"] = args.warmup_fabric
+            changed = True
+        return SweepSpec.from_dict(data) if changed else spec
 
     spec = None
     if args.spec:
         try:
             with open(args.spec) as handle:
-                spec = _apply_backend(
+                spec = _apply_overrides(
                     SweepSpec.from_dict(json.load(handle)))
         except OSError as error:
             print(f"repro-sweep: error: {error}", file=sys.stderr)
@@ -511,6 +571,7 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         pass                       # not the main thread (tests)
 
     interrupted = False
+    warmup_report: dict = {}
     print(f"running {spec.points} grid point(s)...", file=sys.stderr)
     start = time_module.perf_counter()
     try:
@@ -521,7 +582,9 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries, retry_backoff_s=args.retry_backoff,
             journal=journal,
             heartbeat_timeout_s=args.heartbeat_timeout or None,
-            requeue_failed=args.retry_quarantined, cancel=cancel)
+            requeue_failed=args.retry_quarantined,
+            warmup_share=not args.no_warmup_share,
+            warmup_report=warmup_report, cancel=cancel)
     except SweepInterrupted as stop:
         results = stop.results
         interrupted = True
@@ -540,10 +603,14 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     journaled = sum(1 for r in results
                     if getattr(r, "journaled", False))
     failed = sum(1 for r in results if r.status != "ok")
+    warm = sum(1 for r in results
+               if getattr(r, "warm_restored", False))
     segments = [f"{simulated} simulated", f"{cached} cached"]
     if journal is not None:
         segments.append(f"{journaled} journaled")
     segments.append(f"{failed} failed")
+    if spec.warmup_cycles is not None:
+        segments.append(f"{warm} warmup-restored")
     print(f"[sweep] {len(results)} point(s): {', '.join(segments)} "
           f"in {wall:.1f}s", file=sys.stderr)
     for result in results:
@@ -562,7 +629,8 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
 
     exit_code = EXIT_INTERRUPTED if interrupted else (1 if failed else 0)
     _write_diagnostics(args.diagnostics_json, _sweep_diagnostics(
-        results, interrupted, journal_dir, exit_code))
+        results, interrupted, journal_dir, exit_code,
+        warmup=warmup_report or None))
     if interrupted:
         hint = journal_dir if journal is not None else None
         if hint:
@@ -700,6 +768,16 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                         help="resume a checkpointed TG run from this "
                              ".snap file and run it to completion "
                              "(bit-identical to the uninterrupted run)")
+    parser.add_argument("--warmup-cycles", type=int, default=None,
+                        metavar="N",
+                        help="fast-forward the TG run through an N-cycle "
+                             "warm-up simulated on --warmup-fabric and "
+                             "restored onto the target fabric (see "
+                             "docs/CHECKPOINT.md)")
+    parser.add_argument("--warmup-fabric", default="tlm",
+                        choices=["ahb", "stbus", "tlm", "xpipes"],
+                        help="fabric the warm-up prefix is simulated on "
+                             "(default tlm, the cheapest)")
     parser.add_argument("--json", action="store_true")
     parser.add_argument("--diagnostics-json", metavar="FILE",
                         help="write a machine-readable diagnostics report "
@@ -710,6 +788,11 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                      "is given")
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         parser.error("--checkpoint-every requires --checkpoint-dir")
+    if args.warmup_cycles is not None \
+            and args.checkpoint_every is not None:
+        parser.error("--warmup-cycles cannot be combined with "
+                     "--checkpoint-every (a fast-forwarded run starts "
+                     "past the early checkpoint boundaries)")
 
     def body() -> int:
         if args.restore:
@@ -759,7 +842,9 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
                          backend=args.backend,
                          checkpoint_every=args.checkpoint_every,
                          checkpoint_dir=args.checkpoint_dir,
-                         checkpoint_keep=args.checkpoint_keep)
+                         checkpoint_keep=args.checkpoint_keep,
+                         warmup_cycles=args.warmup_cycles,
+                         warmup_fabric=args.warmup_fabric)
         if args.save_traces:
             from repro.apps.common import pollable_ranges
             from repro.trace import save_trace_set
@@ -782,6 +867,9 @@ def experiment_main(argv: Optional[List[str]] = None) -> int:
             "gain": result.gain,
             "event_gain": result.event_gain,
         }
+        if result.warmup_cycle is not None:
+            payload["warmup_cycle"] = result.warmup_cycle
+            payload["warmup_fabric"] = result.warmup_fabric
         if args.checkpoint_every is not None:
             # same shape the --restore path prints, so a crash-restore
             # continuation can be byte-compared against this run
@@ -902,6 +990,16 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--restore", metavar="SNAP", default=None,
                         help="resume a checkpointed simulation from this "
                              ".snap file instead of generating traffic")
+    parser.add_argument("--warmup-cycles", type=int, default=None,
+                        metavar="N",
+                        help="with --simulate: fast-forward the run "
+                             "through an N-cycle warm-up simulated on "
+                             "--warmup-fabric and restored onto the "
+                             "target fabric (see docs/CHECKPOINT.md)")
+    parser.add_argument("--warmup-fabric", default="tlm",
+                        choices=["ahb", "stbus", "tlm", "xpipes"],
+                        help="fabric the warm-up prefix is simulated on "
+                             "(default tlm, the cheapest)")
     parser.add_argument("--json", action="store_true",
                         help="print the simulation summary as JSON")
     parser.add_argument("--diagnostics-json", metavar="FILE",
@@ -913,6 +1011,13 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
             parser.error("--checkpoint-every requires --checkpoint-dir")
         if args.simulate is None:
             parser.error("--checkpoint-every requires --simulate FABRIC")
+    if args.warmup_cycles is not None:
+        if args.simulate is None:
+            parser.error("--warmup-cycles requires --simulate FABRIC")
+        if args.checkpoint_every is not None:
+            parser.error("--warmup-cycles cannot be combined with "
+                         "--checkpoint-every (a fast-forwarded run "
+                         "starts past the early checkpoint boundaries)")
 
     def body() -> int:
         import os
@@ -1007,7 +1112,9 @@ def traffic_main(argv: Optional[List[str]] = None) -> int:
                 spec, args.simulate, backend=args.backend,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_dir=args.checkpoint_dir,
-                checkpoint_keep=args.checkpoint_keep)
+                checkpoint_keep=args.checkpoint_keep,
+                warmup_cycles=args.warmup_cycles,
+                warmup_fabric=args.warmup_fabric)
             summary = result.summary()
             if args.checkpoint_every is not None:
                 # same shape --restore prints, for crash-restore compares

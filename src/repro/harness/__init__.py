@@ -31,19 +31,24 @@ from repro.harness.experiments import (
 )
 from repro.harness.checkpoint import (
     CheckpointManager,
+    SnapshotRecipeMismatch,
     branch,
     checkpointed_run,
     comparable_summary,
+    ensure_recipe_compatible,
+    fast_forward,
     load_snapshot,
     platform_recipe,
     rebuild_platform,
     restore_platform,
+    warmup_snapshot,
 )
 from repro.harness.cache import (
     CacheIssue,
     ResultCache,
     default_cache_dir,
     point_cache_key,
+    warmup_digest,
 )
 from repro.harness.journal import (
     JOURNAL_FILENAME,
@@ -79,13 +84,17 @@ __all__ = [
     "PointResult",
     "CacheIssue",
     "CheckpointManager",
+    "SnapshotRecipeMismatch",
     "branch",
     "checkpointed_run",
     "comparable_summary",
+    "ensure_recipe_compatible",
+    "fast_forward",
     "load_snapshot",
     "platform_recipe",
     "rebuild_platform",
     "restore_platform",
+    "warmup_snapshot",
     "ResultCache",
     "SweepInterrupted",
     "SweepJournal",
@@ -98,6 +107,7 @@ __all__ = [
     "journal_path",
     "point_cache_key",
     "run_sweep_parallel",
+    "warmup_digest",
     "TGFlowResult",
     "build_testchip_platform",
     "build_tg_platform",

@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Union
 
 __all__ = ["CacheIssue", "ResultCache", "default_cache_dir",
-           "point_cache_key", "repro_version"]
+           "point_cache_key", "repro_version", "warmup_digest"]
 
 
 class CacheIssue(NamedTuple):
@@ -66,7 +66,8 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
                     fault_spec: Optional[Dict] = None, fault_seed: int = 0,
                     traffic: Optional[Dict] = None,
                     backend: Optional[str] = None,
-                    version: Optional[str] = None) -> str:
+                    version: Optional[str] = None,
+                    warmup: Optional[str] = None) -> str:
     """Content hash identifying one grid point's simulation outcome.
 
     ``traffic`` (the resolved synthetic-traffic spec dict) joins the key
@@ -74,7 +75,11 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
     key is unchanged.  ``backend`` joins the same way, only when it is
     not the default ``"classic"`` engine: simulated numbers are
     bit-identical across backends, but the stored summary carries
-    wall-clock columns, which are backend-dependent.
+    wall-clock columns, which are backend-dependent.  ``warmup`` (the
+    :func:`warmup_digest` of a fast-forwarded point's warm-up material)
+    also joins only when present: a point executed via warm-up restore
+    is a different simulation than the same point cold-started from
+    cycle 0, so the two must never share a cache entry.
     """
     provenance = {
         "benchmark": benchmark,
@@ -90,6 +95,26 @@ def point_cache_key(benchmark: str, n_cores: int, interconnect: str,
         provenance["traffic"] = traffic
     if backend is not None and backend != "classic":
         provenance["backend"] = backend
+    if warmup is not None:
+        provenance["warmup"] = warmup
+    blob = json.dumps(provenance, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def warmup_digest(material: Dict) -> str:
+    """Content hash of one warm-up equivalence class.
+
+    ``material`` is everything that determines the warm-up snapshot's
+    bytes (workload identity + warm-up length + warm-up fabric — see
+    :meth:`~repro.harness.parallel.SweepPoint.warmup_material`); the
+    package version joins automatically, so a simulator upgrade
+    invalidates every stored warm-up snapshot the same way it
+    invalidates results.  The digest names the ``.snap`` entry in the
+    cache directory, joins :func:`point_cache_key` and is recorded as
+    ``warmup=<digest>`` provenance in the sweep journal.
+    """
+    provenance = dict(material)
+    provenance["version"] = repro_version()
     blob = json.dumps(provenance, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -105,13 +130,21 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """A directory of ``<key>.json`` sweep-point results."""
+    """A directory of ``<key>.json`` sweep-point results.
+
+    Warm-up snapshots live alongside the results as
+    ``<digest>.snap`` artifacts (see :func:`warmup_digest`); ``len()``
+    counts result entries only.
+    """
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    def snap_path_for(self, digest: str) -> Path:
+        return self.directory / f"{digest}.snap"
 
     def get(self, key: str,
             artifact_checksums: Optional[Dict[str, str]] = None,
@@ -176,6 +209,46 @@ class ResultCache:
                 pass
             raise
 
+    def get_snap(self, digest: str) -> Optional[Dict]:
+        """The cached warm-up snapshot payload for ``digest``, or None.
+
+        Like :meth:`get`, damage is a miss, never an error: the ``.snap``
+        header's CRC32 and structural validation must pass.  The package
+        version needs no separate check — it is part of the digest, so a
+        stale snapshot is simply never looked up.
+        """
+        from repro.artifacts.errors import ArtifactError
+        from repro.artifacts.snap import load_snap
+        path = self.snap_path_for(digest)
+        try:
+            return load_snap(path).value
+        except (OSError, ArtifactError):
+            return None
+
+    def put_snap(self, digest: str, payload: Dict) -> Path:
+        """Store a warm-up snapshot atomically; returns its path.
+
+        The path is handed to sweep workers, which re-verify the
+        artifact (header CRC + recipe compatibility) before restoring.
+        """
+        from repro.artifacts.snap import dump_snap
+        self.directory.mkdir(parents=True, exist_ok=True)
+        text = dump_snap(payload)
+        fd, tmp_path = tempfile.mkstemp(dir=str(self.directory),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            path = self.snap_path_for(digest)
+            os.replace(tmp_path, path)
+            return path
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
     def verify(self) -> List[CacheIssue]:
         """Audit every entry; returns the corrupt/stale ones.
 
@@ -233,19 +306,33 @@ class ResultCache:
                     name, "stale",
                     f"recorded by version {version or 'unknown'}, "
                     f"current is {repro_version()}"))
+        from repro.artifacts.errors import ArtifactError
+        from repro.artifacts.snap import load_snap
+        for path in sorted(self.directory.glob("*.snap")):
+            try:
+                load_snap(path)
+            except OSError as error:
+                issues.append(CacheIssue(str(path), "corrupt",
+                                         f"unreadable: {error}"))
+            except ArtifactError as error:
+                issues.append(CacheIssue(str(path), "corrupt",
+                                         f"invalid snapshot: "
+                                         f"{error.message}"))
         return issues
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (results and snapshots); returns the
+        number removed."""
         removed = 0
         if not self.directory.is_dir():
             return removed
-        for path in self.directory.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.snap"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def __len__(self) -> int:

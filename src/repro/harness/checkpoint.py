@@ -25,9 +25,9 @@ See docs/CHECKPOINT.md for the format and the quiescence rules.
 """
 
 import os
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
-from repro.artifacts.errors import SnapshotError
+from repro.artifacts.errors import SnapshotError, SnapshotRecipeMismatch
 from repro.artifacts.snap import dump_snap, load_snap
 from repro.core.program import TGProgram, parse_tgp
 from repro.faults import FaultSpec, RetryPolicy
@@ -74,12 +74,20 @@ def platform_recipe(programs: Dict[int, TGProgram], n_cores: int,
 
 def rebuild_platform(recipe: dict,
                      config_overrides: Optional[dict] = None,
+                     interconnect: Optional[str] = None,
+                     programs: Optional[Dict[int, TGProgram]] = None,
                      ) -> MparmPlatform:
     """Build a fresh, un-started platform from a snapshot recipe.
 
     ``config_overrides`` are applied *on top* of the recipe's own
     overrides (the branch mechanism swaps fault spec/seed/backend this
-    way).
+    way).  ``interconnect`` replaces the recipe's fabric — the
+    cross-fabric fast-forward path rebuilds the captured workload on a
+    *different* interconnect.  ``programs`` skips the ``.tgp`` re-parse
+    when the caller already holds the recipe's programs in memory; it is
+    only safe after the recipe has been byte-compared against a
+    :func:`platform_recipe` of those same programs (``.tgp`` text is
+    canonical, so equal text means equal programs).
     """
     from repro.kernel.snapshot import state_get
     if not isinstance(recipe, dict) \
@@ -93,15 +101,16 @@ def rebuild_platform(recipe: dict,
     if not isinstance(raw_programs, dict) or not raw_programs:
         raise SnapshotError(
             "snapshot platform recipe carries no programs")
-    try:
-        programs = {int(master_id): parse_tgp(text)
-                    for master_id, text in raw_programs.items()}
-    except SnapshotError:
-        raise
-    except Exception as error:
-        raise SnapshotError(
-            f"snapshot platform recipe has an unparsable program "
-            f"({error})") from None
+    if programs is None:
+        try:
+            programs = {int(master_id): parse_tgp(text)
+                        for master_id, text in raw_programs.items()}
+        except SnapshotError:
+            raise
+        except Exception as error:
+            raise SnapshotError(
+                f"snapshot platform recipe has an unparsable program "
+                f"({error})") from None
     overrides = dict(state_get(recipe, "config_overrides",
                                "platform recipe") or {})
     overrides.update(config_overrides or {})
@@ -109,15 +118,88 @@ def rebuild_platform(recipe: dict,
     return build_tg_platform(
         programs,
         state_get(recipe, "n_cores", "platform recipe"),
-        state_get(recipe, "interconnect", "platform recipe"),
+        interconnect if interconnect is not None
+        else state_get(recipe, "interconnect", "platform recipe"),
         overrides,
         retry_policy=RetryPolicy.from_dict(retry),
         watchdog_cycles=state_get(recipe, "watchdog_cycles",
                                   "platform recipe"))
 
 
+#: Recipe overrides that do not change the captured architectural state:
+#: the kernel backend fires the same events in the same order, and a
+#: warm-up snapshot is always captured healthy (fault state is branched
+#: in fresh at the restore point).  Everything else in the overrides —
+#: fabric parameters, memory timings, platform shape — defines the
+#: workload identity and must match for a restore to be meaningful.
+_PORTABLE_OVERRIDES = ("backend", "fault_spec", "fault_seed")
+
+
+def _comparable_recipe(recipe: dict) -> dict:
+    from repro.kernel.snapshot import state_get
+    overrides = dict(state_get(recipe, "config_overrides",
+                               "platform recipe") or {})
+    for key in _PORTABLE_OVERRIDES:
+        overrides.pop(key, None)
+    return {
+        "programs": state_get(recipe, "programs", "platform recipe"),
+        "n_cores": state_get(recipe, "n_cores", "platform recipe"),
+        "config_overrides": overrides,
+        "retry_policy": state_get(recipe, "retry_policy",
+                                  "platform recipe"),
+        "watchdog_cycles": state_get(recipe, "watchdog_cycles",
+                                     "platform recipe"),
+    }
+
+
+def ensure_recipe_compatible(recipe: dict, expected: dict) -> None:
+    """Check that a snapshot recipe matches the workload it will serve.
+
+    Cross-fabric restore maps state by component identity, so the two
+    recipes must agree on everything that *defines* those components:
+    core count, the TG programs (byte-compared as ``.tgp`` text), the
+    retry/watchdog resilience knobs and all non-portable config
+    overrides.  The ``interconnect`` and the :data:`_PORTABLE_OVERRIDES`
+    (kernel backend, fault spec/seed) are deliberately excluded — those
+    are exactly the axes mixed-fidelity fast-forward varies.  Raises
+    :class:`SnapshotRecipeMismatch` naming every differing field.
+    """
+    ours = _comparable_recipe(recipe)
+    theirs = _comparable_recipe(expected)
+    mismatches: List[str] = []
+    if ours["n_cores"] != theirs["n_cores"]:
+        mismatches.append(f"n_cores: snapshot has {ours['n_cores']}, "
+                          f"target expects {theirs['n_cores']}")
+    our_programs = ours["programs"] or {}
+    their_programs = theirs["programs"] or {}
+    if sorted(our_programs) != sorted(their_programs):
+        mismatches.append(
+            f"programs: snapshot has masters "
+            f"[{', '.join(sorted(our_programs))}], target expects "
+            f"[{', '.join(sorted(their_programs))}]")
+    else:
+        differing = [master for master in sorted(our_programs)
+                     if our_programs[master] != their_programs[master]]
+        if differing:
+            mismatches.append(
+                f"programs: master(s) {', '.join(differing)} differ "
+                f"(.tgp text is not byte-identical)")
+    for field in ("config_overrides", "retry_policy", "watchdog_cycles"):
+        if ours[field] != theirs[field]:
+            mismatches.append(f"{field}: snapshot has {ours[field]!r}, "
+                              f"target expects {theirs[field]!r}")
+    if mismatches:
+        raise SnapshotRecipeMismatch(
+            f"snapshot recipe does not match the target workload "
+            f"({len(mismatches)} field(s) differ)",
+            hint="a snapshot can change fabric, backend and fault "
+                 "configuration, but not the workload itself",
+            mismatches=mismatches)
+
+
 def restore_platform(payload: dict,
-                     backend: Optional[str] = None) -> MparmPlatform:
+                     backend: Optional[str] = None,
+                     interconnect: Optional[str] = None) -> MparmPlatform:
     """Rebuild the platform a snapshot embeds and apply the snapshot.
 
     The returned platform sits at the snapshot cycle, started, with the
@@ -125,28 +207,37 @@ def restore_platform(payload: dict,
     continues it to a bit-identical completion.  ``backend`` optionally
     continues under a *different* kernel engine than the capture ran on
     (re-armed entries are structural, so the continuation is still
-    bit-identical).
+    bit-identical).  ``interconnect`` continues on a *different fabric*:
+    the snapshot must have been taken at a quiescent cycle (all are),
+    so the fabric's internal state is re-derived from quiescence while
+    TG/OCP/memory/semaphore state restores by component identity.
     """
-    from repro.kernel.snapshot import _require
+    from repro.kernel.snapshot import _require, state_get
     overrides = {"backend": backend} if backend is not None else None
-    platform = rebuild_platform(_require(payload, "platform", "payload"),
-                                overrides)
-    platform.apply_snapshot(payload)
+    recipe = _require(payload, "platform", "payload")
+    platform = rebuild_platform(recipe, overrides,
+                                interconnect=interconnect)
+    rederive = None
+    if interconnect is not None and interconnect != state_get(
+            recipe, "interconnect", "platform recipe"):
+        rederive = ["fabric"]
+    platform.apply_snapshot(payload, rederive=rederive)
     return platform
 
 
 def branch(payload: dict,
            fault_spec: Union[None, dict, FaultSpec] = None,
            fault_seed: Optional[int] = None,
-           backend: Optional[str] = None) -> MparmPlatform:
+           backend: Optional[str] = None,
+           interconnect: Optional[str] = None) -> MparmPlatform:
     """Branch a fault scenario off a shared warm-up snapshot.
 
     Rebuilds the platform with the given fault spec/seed (and optionally
-    a different kernel backend), then applies the snapshot with a
-    **fresh** injector: all architectural state — TG registers, memory
-    contents, traffic counters — continues from the warm-up, while the
-    fault sequence is the new scenario's own.  Simulate the warm-up
-    once, branch N times.
+    a different kernel backend and/or fabric), then applies the snapshot
+    with a **fresh** injector: all architectural state — TG registers,
+    memory contents, traffic counters — continues from the warm-up,
+    while the fault sequence is the new scenario's own.  Simulate the
+    warm-up once, branch N times.
     """
     overrides: dict = {}
     if fault_spec is not None:
@@ -161,10 +252,108 @@ def branch(payload: dict,
                 hint="pass the scenario's fault spec as well")
     if backend is not None:
         overrides["backend"] = backend
-    from repro.kernel.snapshot import _require
-    platform = rebuild_platform(
-        _require(payload, "platform", "payload"), overrides)
-    platform.apply_snapshot(payload, fresh=["injector"])
+    from repro.kernel.snapshot import _require, state_get
+    recipe = _require(payload, "platform", "payload")
+    platform = rebuild_platform(recipe, overrides,
+                                interconnect=interconnect)
+    rederive = None
+    if interconnect is not None and interconnect != state_get(
+            recipe, "interconnect", "platform recipe"):
+        rederive = ["fabric"]
+    platform.apply_snapshot(payload, fresh=["injector"],
+                            rederive=rederive)
+    return platform
+
+
+def warmup_snapshot(programs: Dict[int, TGProgram], n_cores: int,
+                    warmup_cycles: int, warmup_fabric: str = "tlm",
+                    config_overrides: Optional[dict] = None,
+                    retry_policy: Optional[RetryPolicy] = None,
+                    watchdog_cycles: Optional[int] = None,
+                    scan_limit: Optional[int] = None) -> dict:
+    """Simulate a warm-up prefix on a cheap fabric and snapshot it.
+
+    Builds the workload on ``warmup_fabric`` (default: the contention-
+    free TLM model), runs it for ``warmup_cycles`` and captures the
+    first quiescent cycle at or after that boundary.  The warm-up is
+    always **healthy**: fault spec/seed overrides are stripped, so one
+    snapshot serves every fault scenario via the fresh-injector branch
+    at restore time (and the snapshot digest can ignore the fault axes).
+
+    A workload that finishes before ``warmup_cycles`` still snapshots
+    cleanly — the queue is drained, the capture is trivially quiescent,
+    and the restored run completes immediately.
+    """
+    from repro.kernel.snapshot import DEFAULT_SCAN_LIMIT
+    if warmup_cycles < 1:
+        raise SnapshotError(
+            f"warm-up length must be >= 1 cycle, got {warmup_cycles}")
+    overrides = _serializable_overrides(config_overrides)
+    for key in ("fault_spec", "fault_seed"):
+        overrides.pop(key, None)
+    platform = build_tg_platform(programs, n_cores, warmup_fabric,
+                                 overrides, retry_policy=retry_policy,
+                                 watchdog_cycles=watchdog_cycles)
+    recipe = platform_recipe(programs, n_cores, warmup_fabric, overrides,
+                             retry_policy=retry_policy,
+                             watchdog_cycles=watchdog_cycles)
+    platform.run(until=warmup_cycles)
+    return platform.snapshot(
+        recipe,
+        scan_limit if scan_limit is not None else DEFAULT_SCAN_LIMIT)
+
+
+def fast_forward(payload: dict,
+                 interconnect: Optional[str] = None,
+                 config_overrides: Optional[dict] = None,
+                 expected_recipe: Optional[dict] = None,
+                 programs: Optional[Dict[int, TGProgram]] = None,
+                 ) -> MparmPlatform:
+    """Restore a warm-up snapshot onto the cycle-true target platform.
+
+    The mixed-fidelity primitive: rebuild the snapshot's workload on
+    ``interconnect`` (possibly a different fabric than the warm-up ran
+    on), layer ``config_overrides`` (backend, fault spec/seed) on top of
+    the recipe's own, and apply the snapshot with
+
+    * the fault **injector fresh** — the warm-up is healthy, so fault
+      injection arms exactly at the restore point, and
+    * the **fabric re-derived** when the target fabric differs — its
+      portable traffic statistics carry over, its internal machinery is
+      rebuilt from quiescence.
+
+    ``expected_recipe`` (a :func:`platform_recipe` of the workload the
+    caller *meant* to restore) guards against serving a stale or
+    foreign snapshot: any workload-identity difference raises
+    :class:`SnapshotRecipeMismatch` (see
+    :func:`ensure_recipe_compatible`).
+
+    ``programs`` short-circuits the recipe's ``.tgp`` re-parse with
+    the caller's in-memory programs — the hot path of a warm-up-shared
+    sweep, where every worker already generated the point's programs.
+    It requires ``expected_recipe`` built from those same programs: the
+    byte-compare then proves the recipe text *is* their canonical
+    ``.tgp`` form, so skipping the parse cannot change the workload.
+    """
+    from repro.kernel.snapshot import _require, state_get
+    recipe = _require(payload, "platform", "payload")
+    if expected_recipe is not None:
+        ensure_recipe_compatible(recipe, expected_recipe)
+    elif programs is not None:
+        raise SnapshotError(
+            "fast_forward(programs=...) requires expected_recipe",
+            hint="the recipe byte-compare is what proves the in-memory "
+                 "programs match the snapshot; pass platform_recipe("
+                 "programs, ...) as expected_recipe")
+    platform = rebuild_platform(recipe, config_overrides,
+                                interconnect=interconnect,
+                                programs=programs)
+    rederive = None
+    if interconnect is not None and interconnect != state_get(
+            recipe, "interconnect", "platform recipe"):
+        rederive = ["fabric"]
+    platform.apply_snapshot(payload, fresh=["injector"],
+                            rederive=rederive)
     return platform
 
 
@@ -286,11 +475,15 @@ __all__ = [
     "DEFAULT_KEEP",
     "STRUCTURAL_KERNEL_KEYS",
     "CheckpointManager",
+    "SnapshotRecipeMismatch",
     "branch",
     "checkpointed_run",
     "comparable_summary",
+    "ensure_recipe_compatible",
+    "fast_forward",
     "load_snapshot",
     "platform_recipe",
     "rebuild_platform",
     "restore_platform",
+    "warmup_snapshot",
 ]

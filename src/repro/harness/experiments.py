@@ -25,6 +25,10 @@ class TGFlowResult:
         self.tg_wall: float = 0.0
         self.ref_events: int = 0          # simulator effort proxies
         self.tg_events: int = 0
+        # set on fast-forwarded TG runs: the quiescent cycle the warm-up
+        # snapshot was captured at, and the fabric it ran on
+        self.warmup_cycle: Optional[int] = None
+        self.warmup_fabric: Optional[str] = None
         self.programs: Dict[int, TGProgram] = {}
         self.traces: Dict[int, TraceCollector] = {}
         self.ref_platform: Optional[MparmPlatform] = None
@@ -38,8 +42,12 @@ class TGFlowResult:
         the provenance fields that identify the configuration, without the
         heavyweight simulation objects (which are neither picklable nor
         worth serialising).
+
+        The warm-up keys appear only on fast-forwarded runs, so
+        cold-run summaries are byte-identical to what older versions
+        produced.
         """
-        return {
+        data = {
             "benchmark": self.benchmark,
             "n_cores": self.n_cores,
             "interconnect": self.interconnect,
@@ -51,6 +59,10 @@ class TGFlowResult:
             "ref_events": self.ref_events,
             "tg_events": self.tg_events,
         }
+        if self.warmup_cycle is not None:
+            data["warmup_cycle"] = self.warmup_cycle
+            data["warmup_fabric"] = self.warmup_fabric
+        return data
 
     @property
     def error(self) -> float:
@@ -197,7 +209,9 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
             backend: Optional[str] = None,
             checkpoint_every: Optional[int] = None,
             checkpoint_dir=None,
-            checkpoint_keep: Optional[int] = None) -> TGFlowResult:
+            checkpoint_keep: Optional[int] = None,
+            warmup_cycles: Optional[int] = None,
+            warmup_fabric: str = "tlm") -> TGFlowResult:
     """Full flow: reference run → translate → TG run → compare.
 
     ``tg_interconnect`` lets the TG simulation run on a *different* fabric
@@ -220,7 +234,17 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
     ``checkpoint_dir`` (keeping the newest ``checkpoint_keep``), each
     restorable with ``repro-experiment --restore`` to a bit-identical
     continuation (see docs/CHECKPOINT.md).
+
+    ``warmup_cycles`` arms mixed-fidelity fast-forward of the TG run
+    (the reference run is untouched): the translated programs first run
+    on ``warmup_fabric`` up to the first quiescent cycle at or after
+    the boundary, and the snapshot is then restored onto the TG fabric
+    — fault injection arming at the restore point.  Mutually exclusive
+    with ``checkpoint_every``.
     """
+    if warmup_cycles is not None and checkpoint_every is not None:
+        raise ValueError("warm-up fast-forward and auto-checkpointing "
+                         "are mutually exclusive")
     result = TGFlowResult()
     result.benchmark = getattr(app, "__name__", str(app)).split(".")[-1]
     result.n_cores = n_cores
@@ -245,6 +269,25 @@ def tg_flow(app, n_cores: int, interconnect: str = "ahb",
     if fault_spec is not None:
         tg_overrides["fault_spec"] = fault_spec
         tg_overrides["fault_seed"] = fault_seed
+    if warmup_cycles is not None:
+        from repro.harness.checkpoint import fast_forward, warmup_snapshot
+        payload = warmup_snapshot(result.programs, n_cores, warmup_cycles,
+                                  warmup_fabric, tg_overrides,
+                                  retry_policy=retry_policy,
+                                  watchdog_cycles=watchdog_cycles)
+        start = time.perf_counter()
+        tg_platform = fast_forward(payload,
+                                   interconnect=tg_interconnect
+                                   or interconnect,
+                                   config_overrides=tg_overrides)
+        tg_platform.run(progress_window=progress_window)
+        result.warmup_cycle = payload["cycle"]
+        result.warmup_fabric = warmup_fabric
+        result.tg_wall = time.perf_counter() - start
+        result.tg_platform = tg_platform
+        result.tg_events = tg_platform.sim.events_fired
+        result.tg_cycles = tg_platform.cumulative_execution_time
+        return result
     tg_platform = build_tg_platform(result.programs, n_cores,
                                     tg_interconnect or interconnect,
                                     tg_overrides,

@@ -27,6 +27,8 @@ index from :func:`~repro.harness.parallel.expand_grid`):
 ``header``      spec dict, total point count, package version
 ``started``     a worker picked the point up (``attempt`` counts from 0)
 ``ok``          terminal success: the picklable result ``summary`` + wall
+                (+ the ``warmup`` snapshot digest on fast-forwarded
+                points)
 ``failed``      one failed attempt: failure ``kind``/``message``/
                 ``traceback``; ``final`` marks a terminal failure
 ``quarantined`` the point exhausted its retries; resume skips it unless
@@ -259,9 +261,18 @@ class SweepJournal:
 
     def record_ok(self, index: int, attempt: int, summary: Dict,
                   wall: Optional[float] = None,
-                  source: str = "simulated") -> None:
-        self._append({"type": "ok", "index": index, "attempt": attempt,
-                      "summary": summary, "wall": wall, "source": source})
+                  source: str = "simulated",
+                  warmup: Optional[str] = None) -> None:
+        """``warmup`` is the :func:`~repro.harness.cache.warmup_digest`
+        of the snapshot a fast-forwarded point restored from; the key is
+        present only on warm-restored records, so journals written
+        without warm-up are byte-identical to earlier versions (and
+        ``--resume`` replays the provenance exactly)."""
+        record = {"type": "ok", "index": index, "attempt": attempt,
+                  "summary": summary, "wall": wall, "source": source}
+        if warmup is not None:
+            record["warmup"] = warmup
+        self._append(record)
 
     def record_failed(self, index: int, attempt: int, kind: str,
                       message: str, traceback: Optional[str] = None,

@@ -43,6 +43,8 @@ protection), which is also the fallback for single-point grids.
 import copy
 import os
 import random
+import shutil
+import tempfile
 import threading
 import time
 import traceback as traceback_module
@@ -51,7 +53,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.modes import ReplayMode
-from repro.harness.cache import ResultCache, point_cache_key, repro_version
+from repro.harness.cache import (
+    ResultCache,
+    point_cache_key,
+    repro_version,
+    warmup_digest,
+)
 from repro.harness.journal import SweepJournal
 from repro.harness.supervisor import (
     INTERRUPTED,
@@ -94,6 +101,42 @@ class SweepPoint:
     fault_seed: int = 0
     traffic: Optional[Dict] = None  # synthetic sweeps: resolved spec dict
     backend: str = "classic"        # kernel dispatch engine
+    warmup_cycles: Optional[int] = None   # mixed-fidelity fast-forward
+    warmup_fabric: str = "tlm"
+
+    def warmup_material(self) -> Optional[Dict]:
+        """The warm-up equivalence-class material (None when disabled).
+
+        Everything that determines the warm-up snapshot's bytes.  A
+        synthetic point's material deliberately *excludes* the target
+        interconnect, the kernel backend and the fault axes — the
+        warm-up always runs on ``warmup_fabric``, healthy, and backends
+        are bit-identical — so grid points differing only along those
+        axes share one warm-up simulation.  Classic-benchmark points
+        include the interconnect (their programs are translated from
+        traces collected on it), so each is its own singleton class and
+        warms up in-worker.
+        """
+        if self.warmup_cycles is None:
+            return None
+        material: Dict = {
+            "benchmark": self.benchmark,
+            "n_cores": self.n_cores,
+            "mode": self.mode,
+            "warmup_cycles": self.warmup_cycles,
+            "warmup_fabric": self.warmup_fabric,
+        }
+        if self.traffic is not None:
+            material["traffic"] = self.traffic
+        else:
+            material["interconnect"] = self.interconnect
+            material["app_params"] = self.app_params
+        return material
+
+    def warmup_key(self) -> Optional[str]:
+        """Digest naming this point's warm-up snapshot (None = cold)."""
+        material = self.warmup_material()
+        return None if material is None else warmup_digest(material)
 
     def provenance(self, version: Optional[str] = None) -> Dict:
         """The pre-hash cache-key material (human-readable)."""
@@ -111,17 +154,21 @@ class SweepPoint:
             provenance["traffic"] = self.traffic
         if self.backend != "classic":
             provenance["backend"] = self.backend
+        warmup = self.warmup_key()
+        if warmup is not None:
+            provenance["warmup"] = warmup
         return provenance
 
     def cache_key(self, version: Optional[str] = None) -> str:
         return point_cache_key(
             self.benchmark, self.n_cores, self.interconnect, self.mode,
             self.app_params, self.fault_spec, self.fault_seed,
-            traffic=self.traffic, backend=self.backend, version=version)
+            traffic=self.traffic, backend=self.backend, version=version,
+            warmup=self.warmup_key())
 
     def payload(self) -> Dict:
         """The dict shipped to a worker process (deep-copied params)."""
-        return {
+        payload = {
             "benchmark": self.benchmark,
             "n_cores": self.n_cores,
             "interconnect": self.interconnect,
@@ -132,6 +179,11 @@ class SweepPoint:
             "traffic": copy.deepcopy(self.traffic),
             "backend": self.backend,
         }
+        if self.warmup_cycles is not None:
+            payload["warmup"] = {"cycles": self.warmup_cycles,
+                                 "fabric": self.warmup_fabric,
+                                 "digest": self.warmup_key()}
+        return payload
 
 
 def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
@@ -159,7 +211,9 @@ def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
                                 traffic=resolve_traffic(
                                     spec.traffic, n_cores, mode.value,
                                     pattern=pattern, load=load),
-                                backend=spec.backend))
+                                backend=spec.backend,
+                                warmup_cycles=spec.warmup_cycles,
+                                warmup_fabric=spec.warmup_fabric))
                     continue
                 points.append(SweepPoint(
                     index=len(points), benchmark=spec.benchmark,
@@ -168,7 +222,9 @@ def expand_grid(spec: SweepSpec) -> List[SweepPoint]:
                     app_params=copy.deepcopy(spec.app_params),
                     fault_spec=copy.deepcopy(spec.fault_spec),
                     fault_seed=spec.fault_seed,
-                    backend=spec.backend))
+                    backend=spec.backend,
+                    warmup_cycles=spec.warmup_cycles,
+                    warmup_fabric=spec.warmup_fabric))
     return points
 
 
@@ -217,6 +273,11 @@ class PointResult:
         self.quarantined = False
         self.cached = False
         self.journaled = False
+        #: this row was simulated *in this run* by restoring a warm-up
+        #: snapshot (cache/journal-served rows keep it False — their
+        #: provenance is the cache or journal, however they were first
+        #: computed)
+        self.warm_restored = False
         self.cache_key: Optional[str] = None
 
     def fail(self, failure: SweepPointFailure,
@@ -294,6 +355,9 @@ def _execute_point(payload: Dict) -> Dict:
     if sleep_s > 0:
         time.sleep(sleep_s)
     try:
+        warmup = payload.get("warmup")
+        warmup_cycles = warmup["cycles"] if warmup is not None else None
+        warmup_fabric = warmup["fabric"] if warmup is not None else "tlm"
         if payload["benchmark"] == SYNTHETIC:
             from repro.apps.synthetic import TrafficSpec, synthetic_flow
             spec = TrafficSpec.from_dict(payload["traffic"])
@@ -303,9 +367,23 @@ def _execute_point(payload: Dict) -> Dict:
                     "fault_spec": payload["fault_spec"],
                     "fault_seed": payload.get("fault_seed", 0),
                 }
+            warmup_payload = None
+            if warmup is not None and warmup.get("snap_path"):
+                # a damaged or vanished driver snapshot is a cache-style
+                # miss, not a failure: the worker re-derives the same
+                # warm-up itself (deterministic, so same result)
+                from repro.artifacts.errors import ArtifactError
+                from repro.harness.checkpoint import load_snapshot
+                try:
+                    warmup_payload = load_snapshot(warmup["snap_path"])
+                except (OSError, ArtifactError):
+                    warmup_payload = None
             result = synthetic_flow(spec, payload["interconnect"],
                                     config_overrides=overrides,
-                                    backend=payload.get("backend"))
+                                    backend=payload.get("backend"),
+                                    warmup_cycles=warmup_cycles,
+                                    warmup_fabric=warmup_fabric,
+                                    warmup_payload=warmup_payload)
             summary = result.summary()
             summary["status"] = "ok"
             return summary
@@ -318,13 +396,108 @@ def _execute_point(payload: Dict) -> Dict:
             app_params=payload["app_params"] or None,
             fault_spec=payload.get("fault_spec"),
             fault_seed=payload.get("fault_seed", 0),
-            backend=payload.get("backend"))
+            backend=payload.get("backend"),
+            warmup_cycles=warmup_cycles,
+            warmup_fabric=warmup_fabric)
         summary = result.summary()
         summary["status"] = "ok"
         return summary
     except Exception:
         return {"status": "failed",
                 "traceback": traceback_module.format_exc()}
+
+
+def _shared_warmup_payload(point: SweepPoint) -> Dict:
+    """Simulate one equivalence class's warm-up prefix in the driver.
+
+    Programs are built through
+    :func:`repro.apps.synthetic.synthetic_programs` — the same helper
+    the restoring workers use — so the snapshot's embedded recipe
+    byte-matches the recipe each worker derives independently (and
+    :func:`~repro.harness.checkpoint.ensure_recipe_compatible` accepts
+    the restore).  The warm-up is healthy and fabric/backend-agnostic
+    by construction (see :meth:`SweepPoint.warmup_material`).
+    """
+    from repro.apps.synthetic import TrafficSpec, synthetic_programs
+    from repro.harness.checkpoint import warmup_snapshot
+    spec = TrafficSpec.from_dict(point.traffic)
+    programs, _ = synthetic_programs(spec)
+    return warmup_snapshot(programs, point.n_cores, point.warmup_cycles,
+                           point.warmup_fabric)
+
+
+def _prepare_warmups(pending: List["_Task"], cache: Optional[ResultCache],
+                     share: bool, progress, report: Optional[Dict],
+                     cancel: threading.Event, finish_failed, interrupt):
+    """Phase A of a warm-up-enabled sweep: one simulation per class.
+
+    Groups the pending synthetic points into warm-up equivalence
+    classes, simulates each class's warm-up once (driver-side, serial),
+    persists the ``.snap`` into the result cache (or a temporary
+    directory with ``--no-cache``) and points every member task at it.
+    Classic-benchmark points — and everything when ``share`` is False —
+    keep ``snap_path`` unset and warm up in-worker instead.  A class
+    whose warm-up simulation fails marks every member point failed
+    (``simulation-error``, final, never retried — the failure is
+    deterministic).  Returns ``(runnable_tasks, temp_dir)``.
+    """
+    classes: Dict[str, List[_Task]] = {}
+    if share:
+        for task in pending:
+            point = task.point
+            if point.warmup_cycles is None or point.traffic is None:
+                continue
+            classes.setdefault(point.warmup_key(), []).append(task)
+    info: List[Dict] = []
+    failed_ids = set()
+    warm_tmp: Optional[str] = None
+    simulated = cached = 0
+    for digest in sorted(classes):
+        members = classes[digest]
+        if cancel.is_set():
+            interrupt([t for t in pending if id(t) not in failed_ids])
+        path: Optional[str] = None
+        if cache is not None and cache.get_snap(digest) is not None:
+            path = str(cache.snap_path_for(digest))
+            cached += 1
+            source = "cache"
+        else:
+            try:
+                payload = _shared_warmup_payload(members[0].point)
+            except Exception:
+                detail = traceback_module.format_exc()
+                for task in members:
+                    finish_failed(task, SweepPointFailure(
+                        SIMULATION_ERROR,
+                        "warm-up simulation failed for this point's "
+                        "equivalence class", traceback=detail,
+                        attempts=task.attempt + 1))
+                    failed_ids.add(id(task))
+                info.append({"digest": digest, "points": len(members),
+                             "source": "failed"})
+                continue
+            simulated += 1
+            source = "simulated"
+            if cache is not None:
+                path = str(cache.put_snap(digest, payload))
+            else:
+                from repro.artifacts.snap import save_snap
+                if warm_tmp is None:
+                    warm_tmp = tempfile.mkdtemp(prefix="repro-warmup-")
+                path = os.path.join(warm_tmp, f"{digest}.snap")
+                save_snap(path, payload)
+        for task in members:
+            task.snap_path = path
+        info.append({"digest": digest, "points": len(members),
+                     "source": source})
+    if classes and progress is not None:
+        progress(f"[sweep] warm-up: {len(classes)} equivalence "
+                 f"class(es) — {simulated} simulated, {cached} cached")
+    if report is not None:
+        report["classes"] = info
+        report["simulated"] = simulated
+        report["cached"] = cached
+    return [t for t in pending if id(t) not in failed_ids], warm_tmp
 
 
 def _retry_delay(attempt: int, backoff_s: float, jitter_seed: int,
@@ -343,6 +516,15 @@ class _Task:
     attempt: int = 0
     eligible_at: float = 0.0       # monotonic time a retry may dispatch
     picked_up: Optional[float] = None
+    #: driver-captured warm-up snapshot the worker restores from (set
+    #: by the warm-up-sharing phase; None = the worker warms up itself)
+    snap_path: Optional[str] = None
+
+    def payload(self) -> Dict:
+        payload = self.point.payload()
+        if self.snap_path is not None and payload.get("warmup"):
+            payload["warmup"]["snap_path"] = self.snap_path
+        return payload
 
 
 def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
@@ -356,6 +538,8 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
                        heartbeat_timeout_s: Optional[float]
                        = DEFAULT_HEARTBEAT_TIMEOUT_S,
                        requeue_failed: bool = False,
+                       warmup_share: bool = True,
+                       warmup_report: Optional[Dict] = None,
                        cancel: Optional[threading.Event] = None,
                        ) -> List[PointResult]:
     """Run a sweep grid over a supervised worker pool.
@@ -388,6 +572,14 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
         requeue_failed: Re-run points the journal recorded as
             terminally failed or quarantined (default: leave them
             failed).
+        warmup_share: When the spec enables warm-up
+            (``warmup_cycles``), simulate each warm-up equivalence
+            class once in the driver and hand every member worker the
+            ``.snap`` to restore from; False makes each worker re-run
+            its own warm-up (same results, no sharing).
+        warmup_report: Optional dict the warm-up-sharing phase fills
+            with ``classes``/``simulated``/``cached`` provenance for
+            diagnostics.
         cancel: Event checked between dispatches; once set, the sweep
             journals in-flight points as interrupted, terminates every
             worker and raises :class:`SweepInterrupted` with the
@@ -404,8 +596,11 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
     points = expand_grid(spec)
     total = len(points)
     results: List[Optional[PointResult]] = [None] * total
-    counters = {"done": 0, "cached": 0, "journaled": 0, "failed": 0}
+    counters = {"done": 0, "cached": 0, "journaled": 0, "failed": 0,
+                "warm": 0}
     walls: List[float] = []
+    if jobs is None:
+        jobs = getattr(spec, "jobs", None)
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
     if cancel is None:
@@ -426,9 +621,12 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
             eta = f"{sum(walls) / len(walls) * remaining / lanes:.1f}s"
         else:
             eta = "0s" if not remaining else "?"
+        segments = [f"{counters['cached']} cached",
+                    f"{counters['failed']} failed"]
+        if counters["warm"]:
+            segments.append(f"{counters['warm']} warm-restored")
         progress(f"[sweep] {counters['done']}/{total} done "
-                 f"({counters['cached']} cached, "
-                 f"{counters['failed']} failed), ETA {eta}")
+                 f"({', '.join(segments)}), ETA {eta}")
 
     def finish_ok(task: _Task, summary: Dict,
                   wall: Optional[float] = None) -> None:
@@ -437,11 +635,15 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
                                           cache_key=task.key)
         result.attempts = task.attempt + 1
         if result.status == "ok":
+            warmup = point.warmup_key()
+            if warmup is not None:
+                result.warm_restored = True
+                counters["warm"] += 1
             if wall is not None:
                 walls.append(wall)
             if journal is not None:
                 journal.record_ok(point.index, task.attempt, summary,
-                                  wall=wall)
+                                  wall=wall, warmup=warmup)
             if cache is not None and task.key is not None:
                 cache.put(task.key, summary,
                           provenance=point.provenance())
@@ -557,18 +759,32 @@ def run_sweep_parallel(spec: SweepSpec, jobs: Optional[int] = None,
     if not pending:
         return results            # every point served without simulating
 
-    if jobs == 1 or len(pending) == 1:
-        _run_in_process(pending, journal, cancel, finish_ok, interrupt)
-        return results
+    warm_tmp: Optional[str] = None
+    try:
+        if any(t.point.warmup_cycles is not None for t in pending):
+            pending, warm_tmp = _prepare_warmups(
+                pending, cache=cache, share=warmup_share,
+                progress=progress, report=warmup_report, cancel=cancel,
+                finish_failed=finish_failed, interrupt=interrupt)
+            if not pending:
+                return results    # every class's warm-up failed
 
-    _run_pool(pending, jobs=min(jobs, len(pending)), journal=journal,
-              cancel=cancel, point_timeout_s=point_timeout_s,
-              heartbeat_timeout_s=heartbeat_timeout_s, retries=retries,
-              retry_backoff_s=retry_backoff_s,
-              retry_jitter_seed=retry_jitter_seed,
-              finish_ok=finish_ok, finish_failed=finish_failed,
-              interrupt=interrupt)
-    return results
+        if jobs == 1 or len(pending) == 1:
+            _run_in_process(pending, journal, cancel, finish_ok,
+                            interrupt)
+            return results
+
+        _run_pool(pending, jobs=min(jobs, len(pending)), journal=journal,
+                  cancel=cancel, point_timeout_s=point_timeout_s,
+                  heartbeat_timeout_s=heartbeat_timeout_s,
+                  retries=retries, retry_backoff_s=retry_backoff_s,
+                  retry_jitter_seed=retry_jitter_seed,
+                  finish_ok=finish_ok, finish_failed=finish_failed,
+                  interrupt=interrupt)
+        return results
+    finally:
+        if warm_tmp is not None:
+            shutil.rmtree(warm_tmp, ignore_errors=True)
 
 
 def _run_in_process(pending: List[_Task], journal: Optional[SweepJournal],
@@ -582,7 +798,7 @@ def _run_in_process(pending: List[_Task], journal: Optional[SweepJournal],
                                    key=task.key)
         start = time.perf_counter()
         try:
-            summary = _execute_point(task.point.payload())
+            summary = _execute_point(task.payload())
         except KeyboardInterrupt:
             if journal is not None:
                 journal.record_interrupted(task.point.index, task.attempt)
@@ -624,7 +840,7 @@ def _run_pool(pending: List[_Task], jobs: int,
                 task = tasks[index]
                 task.picked_up = None
                 in_flight[index] = task
-                supervisor.dispatch(index, task.point.payload())
+                supervisor.dispatch(index, task.payload())
             events = supervisor.poll(timeout=0.05,
                                      point_timeout_s=point_timeout_s)
             for event in events:

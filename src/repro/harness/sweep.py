@@ -89,7 +89,15 @@ class SweepSpec:
     ``n_cores``/``mode`` are overridden per grid point) plus two
     optional extra axes: ``loads`` (offered-load fractions, the
     saturation-curve x-axis) and ``patterns`` (spatial patterns).
+
+    ``warmup_cycles``/``warmup_fabric`` arm mixed-fidelity fast-forward
+    for every grid point (see docs/CHECKPOINT.md); ``jobs`` pins the
+    worker count in the spec itself (``"auto"`` or ``0`` = all CPUs;
+    the ``--jobs`` flag overrides).
     """
+
+    #: Fabrics a warm-up prefix may run on (the platform's full set).
+    WARMUP_FABRICS = ("ahb", "stbus", "tlm", "xpipes")
 
     def __init__(self, benchmark: str, cores: List[int],
                  interconnects: Optional[List[str]] = None,
@@ -100,12 +108,35 @@ class SweepSpec:
                  traffic: Optional[Dict] = None,
                  loads: Optional[List[float]] = None,
                  patterns: Optional[List[str]] = None,
-                 backend: str = "classic"):
+                 backend: str = "classic",
+                 warmup_cycles: Optional[int] = None,
+                 warmup_fabric: str = "tlm",
+                 jobs: Union[None, int, str] = None):
         from repro.kernel.backend import KERNEL_BACKENDS
         if backend not in KERNEL_BACKENDS:
             raise ValueError(f"unknown kernel backend {backend!r}; choose "
                              f"from {sorted(KERNEL_BACKENDS)}")
         self.backend = backend
+        if warmup_cycles is not None:
+            if isinstance(warmup_cycles, bool) \
+                    or not isinstance(warmup_cycles, int) \
+                    or warmup_cycles < 1:
+                raise ValueError(f"warmup_cycles must be an int >= 1, "
+                                 f"got {warmup_cycles!r}")
+            if warmup_fabric not in self.WARMUP_FABRICS:
+                raise ValueError(
+                    f"unknown warmup_fabric {warmup_fabric!r}; choose "
+                    f"from {self.WARMUP_FABRICS}")
+        self.warmup_cycles = warmup_cycles
+        self.warmup_fabric = warmup_fabric
+        if jobs == "auto":
+            jobs = 0
+        if jobs is not None and (isinstance(jobs, bool)
+                                 or not isinstance(jobs, int)
+                                 or jobs < 0):
+            raise ValueError(f"jobs must be 'auto' or an int >= 0 "
+                             f"(0 = all CPUs), got {jobs!r}")
+        self.jobs = jobs
         self.benchmark = benchmark
         self.app = None if benchmark == SYNTHETIC \
             else _resolve_app(benchmark)
@@ -196,7 +227,8 @@ class SweepSpec:
     def from_dict(data: Dict) -> "SweepSpec":
         known = {"benchmark", "cores", "interconnects", "modes",
                  "app_params", "fault_spec", "fault_seed",
-                 "traffic", "loads", "patterns", "backend"}
+                 "traffic", "loads", "patterns", "backend",
+                 "warmup_cycles", "warmup_fabric", "jobs"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown sweep keys: {sorted(unknown)}")
@@ -211,7 +243,10 @@ class SweepSpec:
             traffic=data.get("traffic"),
             loads=data.get("loads"),
             patterns=data.get("patterns"),
-            backend=data.get("backend", "classic"))
+            backend=data.get("backend", "classic"),
+            warmup_cycles=data.get("warmup_cycles"),
+            warmup_fabric=data.get("warmup_fabric", "tlm"),
+            jobs=data.get("jobs"))
 
     def to_dict(self) -> Dict:
         """The canonical JSON-friendly form; round-trips via ``from_dict``.
@@ -230,6 +265,11 @@ class SweepSpec:
         }
         if self.backend != "classic":
             data["backend"] = self.backend
+        if self.warmup_cycles is not None:
+            data["warmup_cycles"] = self.warmup_cycles
+            data["warmup_fabric"] = self.warmup_fabric
+        if self.jobs is not None:
+            data["jobs"] = self.jobs
         if self.benchmark == SYNTHETIC:
             data["traffic"] = copy.deepcopy(self.traffic)
             if self.loads is not None:
@@ -286,7 +326,9 @@ def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
                             results.append(synthetic_flow(
                                 traffic, interconnect,
                                 config_overrides=_fault_overrides(spec),
-                                backend=spec.backend))
+                                backend=spec.backend,
+                                warmup_cycles=spec.warmup_cycles,
+                                warmup_fabric=spec.warmup_fabric))
         return results
     results = []
     for interconnect in spec.interconnects:
@@ -298,7 +340,9 @@ def run_sweep(spec: SweepSpec) -> List[TGFlowResult]:
                     mode=mode, app_params=params or None,
                     fault_spec=copy.deepcopy(spec.fault_spec),
                     fault_seed=spec.fault_seed,
-                    backend=spec.backend))
+                    backend=spec.backend,
+                    warmup_cycles=spec.warmup_cycles,
+                    warmup_fabric=spec.warmup_fabric))
     return results
 
 

@@ -77,6 +77,14 @@ class AmbaAhbBus(Fabric):
         return [f"arbiter: {reason}"
                 for reason in self.arbiter.checkpoint_blockers()]
 
+    def _rederive_quiescent(self) -> None:
+        """Nothing to rebuild: at a quiescent cycle the bus is idle —
+        no grant held, no posted write draining — so the freshly-built
+        arbiter is already in the correct (empty) state.  Its
+        ``busy_cycles`` utilisation accounting restarts at the restore
+        point: bus utilisation is fabric-internal bookkeeping, not
+        portable workload state."""
+
     # ------------------------------------------------------------ transport
 
     def transport(self, master_id: int, request: Request):

@@ -93,6 +93,33 @@ class Fabric(Component):
                 f"({error})") from None
         self.stats = stats
 
+    def load_quiescent_state(self, state: dict) -> None:
+        """Adopt a snapshot taken on a *different* fabric class.
+
+        At a quiescent cycle nothing is in flight, so the only state a
+        fabric carries that outlives the boundary is the portable
+        traffic accounting in :class:`FabricStats` — arbiters hold no
+        grant, FIFOs are empty, no packet is mid-mesh.  Cross-fabric
+        restore therefore loads only the base statistics (explicitly via
+        ``Fabric.load_state``, so a source fabric's private keys —
+        ``"arbiter"``, ``"flits_routed"`` — are ignored rather than
+        demanded) and re-derives everything internal from scratch via
+        :meth:`_rederive_quiescent`.
+        """
+        Fabric.load_state(self, state)
+        self._rederive_quiescent()
+
+    def _rederive_quiescent(self) -> None:
+        """Rebuild fabric-internal machinery for a cross-fabric restore.
+
+        Called by :meth:`load_quiescent_state` after the portable
+        statistics are in place.  The default is a no-op: a fabric whose
+        internal state is created lazily (or is empty at quiescence)
+        needs nothing.  Fabrics with permanent machinery (the ×pipes
+        mesh) override this to construct it so the restore settle pass
+        can park it.
+        """
+
     def _hop_delay(self) -> int:
         """Injected extra cycles for one hop (0 when faults are disabled)."""
         if self.fault_injector is None:

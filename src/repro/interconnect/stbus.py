@@ -96,6 +96,14 @@ class STBusFabric(Fabric):
                             for reason in arbiter.checkpoint_blockers())
         return blockers
 
+    def _rederive_quiescent(self) -> None:
+        """Nothing to rebuild: per-slave channel arbiters are created
+        lazily on first access, and at a quiescent cycle every channel
+        is idle (no grant held), so the lazily-recreated arbiters start
+        in exactly the state a quiescent capture would have given them
+        — modulo the channel-utilisation accounting, which restarts at
+        the restore point."""
+
     # ------------------------------------------------------------ transport
 
     def transport(self, master_id: int, request: Request):

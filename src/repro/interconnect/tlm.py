@@ -34,6 +34,12 @@ class TlmFabric(Fabric):
         self.request_latency = request_latency
         self.response_latency = response_latency
 
+    def _rederive_quiescent(self) -> None:
+        """Nothing to re-derive: the TLM fabric is stateless beyond the
+        portable traffic statistics (latencies are construction
+        parameters; posted-write helper processes exist only while a
+        write is in flight, and at a quiescent cycle none is)."""
+
     def transport(self, master_id: int, request: Request):
         self.stats.record(master_id, request)
         range_ = self.address_map.decode(request)

@@ -513,6 +513,17 @@ class XpipesNoc(Fabric):
                     hint="the snapshot was taken on a different mesh")
             router.flits_routed = count
 
+    def _rederive_quiescent(self) -> None:
+        """Construct the mesh: routers, NIs and their permanent
+        processes do not exist on a freshly-built platform (``build()``
+        normally runs at ``start()``, which a restore never calls).
+        The restore settle pass then parks every router/NI process on
+        its empty FIFO.  Per-router flit counters restart at zero from
+        the restore point — hop accounting is fabric-internal, not
+        portable workload state."""
+        if not self._built:
+            self.build()
+
     def checkpoint_blockers(self):
         if not self._built:
             return []

@@ -207,7 +207,8 @@ def capture(sim, components: Dict[str, object], platform: dict,
 
 
 def restore(sim, components: Dict[str, object], payload: dict,
-            fresh: Optional[List[str]] = None) -> None:
+            fresh: Optional[List[str]] = None,
+            rederive: Optional[List[str]] = None) -> None:
     """Apply a snapshot payload to a freshly-built simulation.
 
     The target must be untouched (cycle 0, no events fired).  Component
@@ -222,6 +223,15 @@ def restore(sim, components: Dict[str, object], payload: dict,
     ``fresh`` names components that skip state loading and keep their
     freshly-built state — the branch mechanism uses it to give a fault
     campaign a new injector at the branch point.
+
+    ``rederive`` names components restored through
+    ``load_quiescent_state`` instead of ``load_state``: they adopt only
+    the portable part of the captured state and re-derive the rest from
+    the quiescence invariant (nothing in flight).  Cross-fabric
+    fast-forward passes ``["fabric"]`` so a snapshot captured on one
+    interconnect can land on another.  A re-derived component cannot
+    own pending queue entries (its captured internal machinery is
+    gone), so a claim owned by one is a typed error.
     """
     if sim.now != 0 or sim.events_fired != 0:
         raise SnapshotError(
@@ -229,6 +239,7 @@ def restore(sim, components: Dict[str, object], payload: dict,
             f"{sim.events_fired} events fired)",
             hint="build a new platform for each restore")
     fresh_set = set(fresh or ())
+    rederive_set = set(rederive or ())
     states = _require(payload, "components", "payload")
     missing = [name for name in components
                if name not in states and name not in fresh_set]
@@ -250,7 +261,18 @@ def restore(sim, components: Dict[str, object], payload: dict,
     for name, component in components.items():
         if name in fresh_set:
             continue
-        component.load_state(states[name])
+        if name in rederive_set:
+            loader = getattr(component, "load_quiescent_state", None)
+            if loader is None:
+                raise SnapshotError(
+                    f"component {name!r} cannot re-derive quiescent "
+                    f"state",
+                    hint="only components implementing "
+                         "load_quiescent_state support cross-recipe "
+                         "restore")
+            loader(states[name])
+        else:
+            component.load_state(states[name])
 
     # settle: every process spawned during load_state parks on its idle
     # signal; zero-delay cascades all fire at cycle 0
@@ -278,6 +300,12 @@ def restore(sim, components: Dict[str, object], payload: dict,
             raise SnapshotError(
                 f"pending entry owned by unknown component "
                 f"{owner_name!r}")
+        if owner_name in rederive_set:
+            raise SnapshotError(
+                f"pending entry owned by re-derived component "
+                f"{owner_name!r}",
+                hint="a component restored from quiescence alone "
+                     "cannot re-arm captured queue entries")
         rearm = getattr(component, "rearm", None)
         if rearm is None:
             raise SnapshotError(

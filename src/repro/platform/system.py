@@ -231,13 +231,17 @@ class MparmPlatform:
             scan_limit if scan_limit is not None else DEFAULT_SCAN_LIMIT)
 
     def apply_snapshot(self, payload: dict,
-                       fresh: Optional[List[str]] = None) -> None:
+                       fresh: Optional[List[str]] = None,
+                       rederive: Optional[List[str]] = None) -> None:
         """Restore a snapshot onto this freshly-built, un-started
         platform.  ``fresh`` names components that keep their built state
-        (fault-campaign branching passes ``["injector"]``)."""
+        (fault-campaign branching passes ``["injector"]``); ``rederive``
+        names components that adopt only the portable part of the
+        captured state and rebuild the rest from quiescence
+        (cross-fabric fast-forward passes ``["fabric"]``)."""
         from repro.kernel.snapshot import restore
         restore(self.sim, self.checkpoint_components(), payload,
-                fresh=fresh)
+                fresh=fresh, rederive=rederive)
         self._started = True
 
     # ------------------------------------------------------------- results
